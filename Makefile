@@ -1,0 +1,43 @@
+# Development targets for sepe-go.
+
+GO ?= go
+
+.PHONY: all build test vet bench repro repro-quick examples golden clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Per-table/figure micro-benchmarks (testing.B).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper at full cost
+# (≈25 minutes; writes results_full.txt and results_grid.csv).
+repro:
+	$(GO) run ./cmd/sepebench -exp all -samples 10 -csv results_grid.csv | tee results_full.txt
+
+# Fast smoke reproduction (≈1 minute).
+repro-quick:
+	$(GO) run ./cmd/sepebench -exp all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/ssnindex
+	$(GO) run ./examples/netinventory
+	$(GO) run ./examples/weblog
+	$(GO) run ./examples/invertible
+
+# Refresh the codegen golden files after an intended emitter change.
+golden:
+	$(GO) test ./internal/codegen -run TestGolden -update
+
+clean:
+	rm -f results_full.txt results_full.err results_grid.csv test_output.txt bench_output.txt

@@ -1,0 +1,155 @@
+// Ablation benchmarks for the design choices the reproduction makes:
+// each pair isolates one mechanism so its contribution to the headline
+// numbers is visible.
+package sepe_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/aesround"
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/hashes"
+	"github.com/sepe-go/sepe/internal/pext"
+	"github.com/sepe-go/sepe/internal/rex"
+)
+
+// BenchmarkAblationPext compares the three extraction strategies for
+// the SSN digit mask: the bit-at-a-time reference (what a naive port
+// would do), the compiled shift/mask network iterated over a step
+// slice, and the unrolled closure the hash closures embed. The gap
+// between the first and last is the reproduction's substitute for the
+// pext instruction.
+func BenchmarkAblationPext(b *testing.B) {
+	const mask = 0x0f000f0f000f0f0f // Figure 12's mk0
+	e := pext.Compile(mask)
+	fn := e.Fn()
+	src := uint64(0x3130339233313039)
+	b.Run("reference-bitloop", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc += pext.Extract64(src+uint64(i), mask)
+		}
+		benchSink = acc
+	})
+	b.Run("compiled-stepslice", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc += e.Extract(src + uint64(i))
+		}
+		benchSink = acc
+	})
+	b.Run("compiled-unrolled", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc += fn(src + uint64(i))
+		}
+		benchSink = acc
+	})
+}
+
+// BenchmarkAblationSkipTable isolates the constant-subsequence
+// optimization (Section 3.2.1): Naive loads all six words of a URL2
+// key, OffXor only the three containing variable bytes.
+func BenchmarkAblationSkipTable(b *testing.B) {
+	pat, err := rex.ParseAndLower(`https://subdomain\.example-site\.com/a[a-z0-9]{20}\.html`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := "https://subdomain.example-site.com/a" + strings.Repeat("k7", 10) + ".html"
+	for _, fam := range []core.Family{core.Naive, core.OffXor} {
+		fn, err := core.Synthesize(pat, fam, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := fn.Func()
+		b.Run(fam.String(), func(b *testing.B) {
+			b.ReportMetric(float64(len(fn.Plan().Loads)), "loads")
+			var acc uint64
+			for i := 0; i < b.N; i++ {
+				acc += f(key)
+			}
+			benchSink = acc
+		})
+	}
+}
+
+// BenchmarkAblationUnrolledLoads isolates the fixed-length
+// specialization (Section 3.2.2): the same INTS format hashed by the
+// unrolled fixed-length OffXor plan versus the generic STL loop over
+// all 100 bytes.
+func BenchmarkAblationUnrolledLoads(b *testing.B) {
+	pat, err := rex.ParseAndLower(`[0-9]{100}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := strings.Repeat("5", 100)
+	fn, err := core.Synthesize(pat, core.OffXor, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := fn.Func()
+	b.Run("unrolled-offxor", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc += f(key)
+		}
+		benchSink = acc
+	})
+	b.Run("generic-stl-loop", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc += hashes.STL(key)
+		}
+		benchSink = acc
+	})
+}
+
+// BenchmarkAblationAesRounds quantifies the cost of the software AES
+// round against the xor combiner it replaces — the price of the Aes
+// family's dispersion.
+func BenchmarkAblationAesRounds(b *testing.B) {
+	k := aesround.State{Lo: 1, Hi: 2}
+	b.Run("xor-combine", func(b *testing.B) {
+		var lo, hi uint64 = 3, 4
+		for i := 0; i < b.N; i++ {
+			lo ^= uint64(i)
+			hi ^= lo
+		}
+		benchSink = lo ^ hi
+	})
+	b.Run("aes-round", func(b *testing.B) {
+		st := aesround.State{Lo: 3, Hi: 4}
+		for i := 0; i < b.N; i++ {
+			st.Lo ^= uint64(i)
+			st = aesround.Encrypt(st, k)
+		}
+		benchSink = st.Lo ^ st.Hi
+	})
+}
+
+// BenchmarkAblationOverlapVsTail isolates the overlapping-load rule
+// ("the last load starts at n−8"): an 11-byte SSN hashed with two
+// overlapping word loads versus one word load plus a byte-tail loop.
+func BenchmarkAblationOverlapVsTail(b *testing.B) {
+	key := "123-45-6789"
+	b.Run("two-overlapping-loads", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc += hashes.LoadU64(key, 0) ^ hashes.LoadU64(key, 3)
+		}
+		benchSink = acc
+	})
+	b.Run("word-plus-byte-tail", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			h := hashes.LoadU64(key, 0)
+			var t uint64
+			for j := 8; j < len(key); j++ {
+				t = t<<8 | uint64(key[j])
+			}
+			acc += h ^ t
+		}
+		benchSink = acc
+	})
+}

@@ -1,0 +1,45 @@
+// Keybuilder infers a key-format regular expression from example keys,
+// the first half of the paper's Figure 5a pipeline:
+//
+//	keysynth "$(keybuilder < file_with_keys.txt)"
+//
+// It reads newline-separated keys from stdin and prints the inferred
+// regular expression. With -v it also reports the format's length
+// bounds and variable-bit count (the quantity that decides whether the
+// Pext family will be a bijection).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/sepe-go/sepe/internal/infer"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print format diagnostics to stderr")
+	flag.Parse()
+	if err := run(os.Stdin, os.Stdout, os.Stderr, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "keybuilder:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out, diag io.Writer, verbose bool) error {
+	p, err := infer.InferLines(in)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(out, p.Regex()); err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintf(diag, "length: [%d, %d] bytes\n", p.MinLen, p.MaxLen)
+		fmt.Fprintf(diag, "variable bits: %d (Pext bijective: %v)\n",
+			p.VarBitCount(), p.FixedLen() && p.VarBitCount() <= 64)
+		fmt.Fprintf(diag, "constant runs: %v\n", p.ConstRuns())
+	}
+	return nil
+}

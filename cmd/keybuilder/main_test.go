@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunInfersRegex(t *testing.T) {
+	in := strings.NewReader("000-00-0000\n555-55-5555\n")
+	var out, diag strings.Builder
+	if err := run(in, &out, &diag, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != `[0-9]{3}-[0-9]{2}-[0-9]{4}` {
+		t.Errorf("output = %q", got)
+	}
+	if diag.Len() != 0 {
+		t.Errorf("non-verbose run wrote diagnostics: %q", diag.String())
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	in := strings.NewReader("000-00-0000\n555-55-5555\n")
+	var out, diag strings.Builder
+	if err := run(in, &out, &diag, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"length: [11, 11]", "variable bits: 36", "Pext bijective: true"} {
+		if !strings.Contains(diag.String(), want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, diag.String())
+		}
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var out, diag strings.Builder
+	if err := run(strings.NewReader(""), &out, &diag, false); err == nil {
+		t.Error("empty input must fail")
+	}
+}

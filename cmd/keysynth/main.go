@@ -1,0 +1,182 @@
+// Keysynth generates specialized hash functions from a key-format
+// regular expression — the paper's Figure 5 command:
+//
+//	keysynth '[0-9]{3}-[0-9]{2}-[0-9]{4}'
+//	keysynth -family pext -lang cpp '(([0-9]{3})\.){3}[0-9]{3}'
+//	keysynth "$(keybuilder < keys.txt)"
+//
+// By default it emits Go source for all families the target supports,
+// plus the shared support helpers. The C++ output matches the paper's
+// Figure 5c functor shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/sepe-go/sepe/internal/codegen"
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/infer"
+	"github.com/sepe-go/sepe/internal/rex"
+	"github.com/sepe-go/sepe/internal/rng"
+)
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.family, "family", "all", "family to synthesize: naive, offxor, aes, pext or all")
+	flag.StringVar(&cfg.lang, "lang", "go", "output language: go or cpp")
+	flag.StringVar(&cfg.pkg, "package", "hash", "package name for Go output")
+	flag.StringVar(&cfg.name, "name", "", "function/struct name (default Hash<Family>)")
+	flag.StringVar(&cfg.target, "target", "x86-64", "target architecture: x86-64 or aarch64")
+	flag.BoolVar(&cfg.noSupport, "no-support", false, "omit the Go support helpers")
+	flag.BoolVar(&cfg.allowShort, "allow-short", false, "synthesize even for formats shorter than 8 bytes")
+	flag.IntVar(&cfg.samples, "samples", 0,
+		"print N sample keys instead of code (drawn from the quad-widened format, so a [0-9] slot may show ':'..'?')")
+	fromKeys := flag.Bool("from-keys", false,
+		"treat the argument as a file of example keys (or '-' for stdin) and infer the format, fusing keybuilder|keysynth into one command")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: keysynth [flags] <regex | -from-keys file>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg.expr = flag.Arg(0)
+	if *fromKeys {
+		expr, err := inferExpr(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "keysynth:", err)
+			os.Exit(1)
+		}
+		cfg.expr = expr
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "keysynth:", err)
+		os.Exit(1)
+	}
+}
+
+// inferExpr reads example keys from a file (or stdin for "-") and
+// returns the inferred regular expression.
+func inferExpr(path string) (string, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return "", err
+		}
+		defer f.Close()
+		r = f
+	}
+	pat, err := infer.InferLines(r)
+	if err != nil {
+		return "", err
+	}
+	return pat.Regex(), nil
+}
+
+type config struct {
+	expr       string
+	family     string
+	lang       string
+	pkg        string
+	name       string
+	target     string
+	noSupport  bool
+	allowShort bool
+	samples    int
+}
+
+func run(cfg config, out io.Writer) error {
+	pat, err := rex.ParseAndLower(cfg.expr)
+	if err != nil {
+		return err
+	}
+	if cfg.samples > 0 {
+		r := rng.New(0x5EED)
+		for _, k := range pat.SampleN(r, cfg.samples) {
+			fmt.Fprintln(out, k)
+		}
+		return nil
+	}
+	tgt, err := parseTarget(cfg.target)
+	if err != nil {
+		return err
+	}
+	fams, err := parseFamilies(cfg.family, tgt)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Target: tgt, AllowShort: cfg.allowShort}
+	for i, fam := range fams {
+		plan, err := core.BuildPlan(pat, fam, opts)
+		if err != nil {
+			return err
+		}
+		name := cfg.name
+		if name == "" || len(fams) > 1 {
+			name = defaultName(cfg, fam)
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		switch cfg.lang {
+		case "go":
+			fmt.Fprint(out, codegen.Go(plan, codegen.GoOptions{Package: cfg.pkg, Name: name}))
+		case "cpp", "c++":
+			fmt.Fprint(out, codegen.CPP(plan, codegen.CPPOptions{Struct: name}))
+		default:
+			return fmt.Errorf("unknown language %q", cfg.lang)
+		}
+	}
+	if cfg.lang == "go" && !cfg.noSupport {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, codegen.Support(cfg.pkg))
+	}
+	return nil
+}
+
+func defaultName(cfg config, fam core.Family) string {
+	base := cfg.name
+	if base == "" {
+		if cfg.lang == "go" {
+			return "Hash" + fam.String()
+		}
+		return "synthesized" + fam.String() + "Hash"
+	}
+	return base + fam.String()
+}
+
+func parseTarget(s string) (core.Target, error) {
+	switch strings.ToLower(s) {
+	case "x86-64", "x86", "amd64":
+		return core.TargetX86, nil
+	case "aarch64", "arm64":
+		return core.TargetAarch64, nil
+	default:
+		return core.Target{}, fmt.Errorf("unknown target %q", s)
+	}
+}
+
+func parseFamilies(s string, tgt core.Target) ([]core.Family, error) {
+	if strings.EqualFold(s, "all") {
+		var fams []core.Family
+		for _, f := range core.Families {
+			if tgt.Supports(f) {
+				fams = append(fams, f)
+			}
+		}
+		return fams, nil
+	}
+	for _, f := range core.Families {
+		if strings.EqualFold(s, f.String()) {
+			if !tgt.Supports(f) {
+				return nil, fmt.Errorf("family %v is unavailable on %s", f, tgt.Name)
+			}
+			return []core.Family{f}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown family %q", s)
+}

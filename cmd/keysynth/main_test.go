@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunGoAllFamilies(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		expr: `[0-9]{3}-[0-9]{2}-[0-9]{4}`, family: "all",
+		lang: "go", pkg: "ssn", target: "x86-64",
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	src := out.String()
+	for _, want := range []string{
+		"func HashNaive(key string) uint64",
+		"func HashOffXor(key string) uint64",
+		"func HashAes(key string) uint64",
+		"func HashPext(key string) uint64",
+		"package ssn",
+		"func loadU64", // support helpers included
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCPPSingleFamily(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		expr: `(([0-9]{3})\.){3}[0-9]{3}`, family: "pext",
+		lang: "cpp", pkg: "hash", target: "x86-64",
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "_pext_u64") {
+		t.Error("x86 C++ output must use _pext_u64")
+	}
+}
+
+func TestRunAarch64RejectsPext(t *testing.T) {
+	cfg := config{expr: `[0-9]{16}`, family: "pext", lang: "go", pkg: "p", target: "aarch64"}
+	var out strings.Builder
+	if err := run(cfg, &out); err == nil {
+		t.Error("pext on aarch64 must fail")
+	}
+	cfg.family = "all"
+	out.Reset()
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "HashPext") {
+		t.Error("aarch64 'all' must omit Pext")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []config{
+		{expr: `a*`, family: "all", lang: "go", pkg: "p", target: "x86-64"},
+		{expr: `abc`, family: "bogus", lang: "go", pkg: "p", target: "x86-64"},
+		{expr: `abc`, family: "all", lang: "rust", pkg: "p", target: "x86-64"},
+		{expr: `abc`, family: "all", lang: "go", pkg: "p", target: "mips"},
+	}
+	for _, cfg := range cases {
+		var out strings.Builder
+		if err := run(cfg, &out); err == nil {
+			t.Errorf("config %+v must fail", cfg)
+		}
+	}
+}
+
+func TestNoSupportFlag(t *testing.T) {
+	cfg := config{
+		expr: `[0-9]{12}`, family: "naive", lang: "go", pkg: "p",
+		target: "x86-64", noSupport: true,
+	}
+	var out strings.Builder
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "func loadU64") {
+		t.Error("-no-support must omit helpers")
+	}
+}
+
+func TestSamplesMode(t *testing.T) {
+	cfg := config{expr: `[0-9]{3}-[0-9]{2}`, samples: 5, family: "all", lang: "go", pkg: "p", target: "x86-64"}
+	var out strings.Builder
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d samples", len(lines))
+	}
+	for _, l := range lines {
+		// The format is [0-9]{3}-[0-9]{2}: 6 characters with the dash
+		// at index 3; digit slots are quad-widened to 0x30..0x3F.
+		if len(l) != 6 || l[3] != '-' {
+			t.Errorf("sample %q off format", l)
+			continue
+		}
+		for i, c := range []byte(l) {
+			if i == 3 {
+				continue
+			}
+			if c < 0x30 || c > 0x3F {
+				t.Errorf("sample %q: byte %d outside the digit quad class", l, i)
+			}
+		}
+	}
+}
+
+func TestInferExprFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/keys.txt"
+	if err := os.WriteFile(path, []byte("000-00-0000\n555-55-5555\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expr, err := inferExpr(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expr != `[0-9]{3}-[0-9]{2}-[0-9]{4}` {
+		t.Errorf("inferExpr = %q", expr)
+	}
+	if _, err := inferExpr(dir + "/missing.txt"); err == nil {
+		t.Error("missing file must fail")
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/keys"
+)
+
+// smokeRunner returns a runner with minimal cost settings.
+func smokeRunner() *runner {
+	return &runner{
+		samples: 1,
+		affect:  300,
+		uniKeys: 5000,
+		types:   []keys.Type{keys.SSN},
+	}
+}
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment once")
+	}
+	r := smokeRunner()
+	for _, exp := range []string{
+		"table1", "fig13", "fig14", "table2", "fig15", "table3",
+		"fig17", "fig18", "fig18worst", "fig20", "zoo", "entropy", "perkey",
+	} {
+		if err := r.run(exp); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+	// fig16 and fig19 sweep to 2^14; keep the smoke sweep smaller by
+	// calling the underlying experiments through the full entry point
+	// only when not short.
+	if err := r.run("fig16"); err != nil {
+		t.Fatalf("fig16: %v", err)
+	}
+	if err := r.run("fig19"); err != nil {
+		t.Fatalf("fig19: %v", err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := smokeRunner().run("fig99"); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+func TestParseTypes(t *testing.T) {
+	ts, err := parseTypes("SSN, ipv4 ,URL1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 || ts[0] != keys.SSN || ts[1] != keys.IPv4 || ts[2] != keys.URL1 {
+		t.Errorf("parseTypes = %v", ts)
+	}
+	if _, err := parseTypes("NOPE"); err == nil {
+		t.Error("unknown type must fail")
+	}
+}
+
+func TestGridCaching(t *testing.T) {
+	r := smokeRunner()
+	// fig13 and fig14 share the x86 grid: the second call must reuse
+	// the cached measurements (observable as no error and stable
+	// cache pointer).
+	if err := r.run("fig13"); err != nil {
+		t.Fatal(err)
+	}
+	first := &r.x86Grid[0]
+	if err := r.run("fig14"); err != nil {
+		t.Fatal(err)
+	}
+	if &r.x86Grid[0] != first {
+		t.Error("x86 grid not cached between figures")
+	}
+}

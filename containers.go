@@ -1,0 +1,152 @@
+package sepe
+
+import "github.com/sepe-go/sepe/internal/container"
+
+// This file re-exposes the repository's std::unordered_* equivalents
+// through the public API. The wrappers delegate to internal/container
+// so that downstream users never name an internal type.
+
+// TableStats exposes bucket measurements of a container.
+type TableStats struct {
+	// Size is the number of stored entries.
+	Size int
+	// Buckets is the current bucket count (always prime).
+	Buckets int
+	// BucketCollisions counts keys sharing a bucket with an earlier
+	// key — the paper's B-Coll measurement.
+	BucketCollisions int
+	// MaxBucketLen is the longest chain.
+	MaxBucketLen int
+}
+
+func fromStats(s container.Stats) TableStats {
+	return TableStats{
+		Size:             s.Size,
+		Buckets:          s.Buckets,
+		BucketCollisions: s.BucketCollisions,
+		MaxBucketLen:     s.MaxBucketLen,
+	}
+}
+
+// Map is a string-keyed hash map with chained buckets, prime growth
+// and modulo indexing — the std::unordered_map equivalent of the
+// paper's driver.
+type Map[V any] struct{ m *container.Map[V] }
+
+// NewMap returns an empty Map using the given hash function.
+func NewMap[V any](hash HashFunc) *Map[V] {
+	return &Map[V]{m: container.NewMap[V](hash, nil)}
+}
+
+// Put maps key to val, replacing any existing mapping; it reports
+// whether the key was new.
+func (m *Map[V]) Put(key string, val V) bool { return m.m.Put(key, val) }
+
+// Get returns the value mapped to key.
+func (m *Map[V]) Get(key string) (V, bool) { return m.m.Get(key) }
+
+// Delete removes the mapping for key, reporting how many entries were
+// removed (0 or 1).
+func (m *Map[V]) Delete(key string) int { return m.m.Delete(key) }
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int { return m.m.Len() }
+
+// ForEach visits every entry in unspecified order.
+func (m *Map[V]) ForEach(f func(key string, val V)) { m.m.ForEach(f) }
+
+// Stats returns bucket measurements.
+func (m *Map[V]) Stats() TableStats { return fromStats(m.m.Stats()) }
+
+// Reserve pre-sizes the table for n entries, avoiding rehashes during
+// bulk loads.
+func (m *Map[V]) Reserve(n int) { m.m.Reserve(n) }
+
+// LoadFactor returns entries per bucket.
+func (m *Map[V]) LoadFactor() float64 { return m.m.LoadFactor() }
+
+// Clear removes every entry, keeping the bucket array.
+func (m *Map[V]) Clear() { m.m.Clear() }
+
+// Set is the std::unordered_set equivalent.
+type Set struct{ s *container.Set }
+
+// NewSet returns an empty Set using the given hash function.
+func NewSet(hash HashFunc) *Set { return &Set{s: container.NewSet(hash, nil)} }
+
+// Add inserts key, reporting whether it was new.
+func (s *Set) Add(key string) bool { return s.s.Add(key) }
+
+// Has reports membership.
+func (s *Set) Has(key string) bool { return s.s.Search(key) }
+
+// Delete removes key, reporting how many entries were removed.
+func (s *Set) Delete(key string) int { return s.s.Erase(key) }
+
+// Len returns the number of members.
+func (s *Set) Len() int { return s.s.Len() }
+
+// Stats returns bucket measurements.
+func (s *Set) Stats() TableStats { return fromStats(s.s.Stats()) }
+
+// Reserve pre-sizes the table for n members.
+func (s *Set) Reserve(n int) { s.s.Reserve(n) }
+
+// LoadFactor returns members per bucket.
+func (s *Set) LoadFactor() float64 { return s.s.LoadFactor() }
+
+// Clear removes every member, keeping the bucket array.
+func (s *Set) Clear() { s.s.Clear() }
+
+// MultiMap is the std::unordered_multimap equivalent: one key may map
+// to several values.
+type MultiMap[V any] struct{ m *container.MultiMap[V] }
+
+// NewMultiMap returns an empty MultiMap using the given hash function.
+func NewMultiMap[V any](hash HashFunc) *MultiMap[V] {
+	return &MultiMap[V]{m: container.NewMultiMap[V](hash, nil)}
+}
+
+// Put adds one key→val entry; duplicates are kept.
+func (m *MultiMap[V]) Put(key string, val V) { m.m.Put(key, val) }
+
+// GetAll returns every value mapped to key.
+func (m *MultiMap[V]) GetAll(key string) []V { return m.m.GetAll(key) }
+
+// Count returns the number of entries for key.
+func (m *MultiMap[V]) Count(key string) int { return m.m.Count(key) }
+
+// Delete removes all entries for key, reporting how many.
+func (m *MultiMap[V]) Delete(key string) int { return m.m.Delete(key) }
+
+// Len returns the total entry count.
+func (m *MultiMap[V]) Len() int { return m.m.Len() }
+
+// Stats returns bucket measurements.
+func (m *MultiMap[V]) Stats() TableStats { return fromStats(m.m.Stats()) }
+
+// MultiSet is the std::unordered_multiset equivalent.
+type MultiSet struct{ s *container.MultiSet }
+
+// NewMultiSet returns an empty MultiSet using the given hash function.
+func NewMultiSet(hash HashFunc) *MultiSet {
+	return &MultiSet{s: container.NewMultiSet(hash, nil)}
+}
+
+// Add inserts one occurrence of key.
+func (s *MultiSet) Add(key string) { s.s.Insert(key) }
+
+// Count returns the number of occurrences of key.
+func (s *MultiSet) Count(key string) int { return s.s.Count(key) }
+
+// Has reports whether key occurs at least once.
+func (s *MultiSet) Has(key string) bool { return s.s.Search(key) }
+
+// Delete removes all occurrences of key, reporting how many.
+func (s *MultiSet) Delete(key string) int { return s.s.Erase(key) }
+
+// Len returns the total occurrence count.
+func (s *MultiSet) Len() int { return s.s.Len() }
+
+// Stats returns bucket measurements.
+func (s *MultiSet) Stats() TableStats { return fromStats(s.s.Stats()) }

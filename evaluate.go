@@ -1,0 +1,129 @@
+package sepe
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"github.com/sepe-go/sepe/internal/core"
+)
+
+// Evaluation reports how one hash function behaves on the caller's own
+// keys: per-key speed, 64-bit collisions, and whether the function is
+// provably collision-free on the format.
+type Evaluation struct {
+	// Name is the family name, or "STL" for the baseline row.
+	Name string
+	// NsPerKey is the measured hashing cost on the sample.
+	NsPerKey float64
+	// Collisions counts sample keys whose hash collides with an
+	// earlier distinct key.
+	Collisions int
+	// Bijective reports a machine-checked zero-collision guarantee on
+	// the whole format (not just the sample).
+	Bijective bool
+	// Hash is the evaluated function, ready to use.
+	Hash *Hash
+}
+
+// ErrNoSampleKeys is returned when Evaluate gets nothing to measure.
+var ErrNoSampleKeys = errors.New("sepe: no sample keys to evaluate")
+
+// Evaluate synthesizes every family the target supports, measures each
+// on the caller's sample keys alongside the STL baseline, and returns
+// the results sorted fastest first. It is the quick answer to "is
+// specialization worth it for my keys, and which family should I
+// pick?" — the decision the paper's Figure 3 lattice frames.
+func Evaluate(f *Format, sample []string, opts ...Option) ([]Evaluation, error) {
+	if f == nil {
+		return nil, ErrNilFormat
+	}
+	if len(sample) == 0 {
+		return nil, ErrNoSampleKeys
+	}
+	fns, err := SynthesizeAll(f, opts...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Evaluation
+	for _, fam := range Families {
+		h, ok := fns[fam]
+		if !ok {
+			continue
+		}
+		ev := measure(fam.String(), h.Func(), sample)
+		ev.Bijective = h.Bijective()
+		ev.Hash = h
+		out = append(out, ev)
+	}
+	out = append(out, measure("STL", STLHash, sample))
+	sort.SliceStable(out, func(i, j int) bool { return out[i].NsPerKey < out[j].NsPerKey })
+	return out, nil
+}
+
+func measure(name string, f HashFunc, sample []string) Evaluation {
+	// Repetitions sized so even tiny samples measure above timer
+	// granularity.
+	reps := 1 + (1<<16)/len(sample)
+	var acc uint64
+	best := time.Duration(1<<62 - 1)
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			for _, k := range sample {
+				acc += f(k)
+			}
+		}
+		if el := time.Since(start); el < best {
+			best = el
+		}
+	}
+	_ = acc
+	seen := make(map[uint64]string, len(sample))
+	coll := 0
+	for _, k := range sample {
+		h := f(k)
+		if prev, dup := seen[h]; dup && prev != k {
+			coll++
+		}
+		seen[h] = k
+	}
+	return Evaluation{
+		Name:       name,
+		NsPerKey:   float64(best.Nanoseconds()) / float64(reps*len(sample)),
+		Collisions: coll,
+	}
+}
+
+// Recommend picks a family for the format following the paper's
+// "Gradual Specialization" guidance (RQ7): Pext when it is a bijection
+// (free zero-collision guarantee and low-mixing resistance), otherwise
+// OffXor — the paper found "no performance benefit from using our most
+// constrained function, Pext, over the simpler OffXor implementation"
+// outside that case. Formats too short to specialize return Pext's
+// fallback, which is the standard hash.
+func Recommend(f *Format, opts ...Option) (*Hash, error) {
+	if f == nil {
+		return nil, ErrNilFormat
+	}
+	pext, err := Synthesize(f, Pext, opts...)
+	if err == nil && pext.Bijective() {
+		return pext, nil
+	}
+	offxor, err2 := Synthesize(f, OffXor, opts...)
+	if err2 != nil {
+		// A target without Pext still reaches here; propagate only if
+		// OffXor itself failed.
+		return nil, err2
+	}
+	_ = err
+	return offxor, nil
+}
+
+// coreErrUnsupported re-exports the gating error for callers that need
+// to distinguish target capability failures.
+var coreErrUnsupported = core.ErrUnsupported
+
+// ErrUnsupportedFamily reports a family the synthesis target cannot
+// execute (e.g. Pext on aarch64).
+var ErrUnsupportedFamily = coreErrUnsupported

@@ -1,0 +1,60 @@
+// Quickstart walks through the paper's Figure 5 tutorial with the Go
+// API: describe a key format, synthesize specialized hash functions,
+// and drop them into a hash map.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/sepe-go/sepe"
+)
+
+func main() {
+	// Keys are fixed-length IPv4 addresses in the ddd.ddd.ddd.ddd
+	// format — the format of the paper's getting-started example.
+	// Either front end works; both produce the same format.
+	byRegex, err := sepe.ParseRegex(`(([0-9]{3})\.){3}[0-9]{3}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byExamples, err := sepe.Infer([]string{"000.000.000.000", "555.555.555.555"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("format (from regex):   ", byRegex.Regex())
+	fmt.Println("format (from examples):", byExamples.Regex())
+	fmt.Println("fixed length:", byRegex.FixedLen(), "| variable bits:", byRegex.VariableBits())
+
+	// Synthesize all four families and inspect them.
+	all, err := sepe.SynthesizeAll(byRegex)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fam := range sepe.Families {
+		h := all[fam]
+		fmt.Printf("%-7s bijective=%-5v  hash(192.168.001.042) = %#016x\n",
+			fam, h.Bijective(), h.Hash("192.168.001.042"))
+	}
+
+	// Use the Pext function — collision-free on this format — to key
+	// a map, the way the paper plugs synthesized functors into
+	// std::unordered_map.
+	routes := sepe.NewMap[string](all[sepe.Pext].Func())
+	routes.Put("010.000.000.001", "core-gw")
+	routes.Put("010.000.000.002", "backup-gw")
+	routes.Put("192.168.001.042", "printer")
+	if hop, ok := routes.Get("192.168.001.042"); ok {
+		fmt.Println("route lookup:", hop)
+	}
+	st := routes.Stats()
+	fmt.Printf("map: %d entries, %d buckets, %d bucket collisions\n",
+		st.Size, st.Buckets, st.BucketCollisions)
+
+	// The same function as generated source, ready to paste into
+	// another project (Go) or a C++ code base (the paper's output).
+	fmt.Println("\n--- generated Go ---")
+	fmt.Print(all[sepe.OffXor].GoSource("iphash", "HashIPv4"))
+}

@@ -1,0 +1,3 @@
+module github.com/sepe-go/sepe
+
+go 1.22

@@ -1,0 +1,44 @@
+package sepe_test
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGofmt walks the repository and verifies every Go source file is
+// gofmt-canonical, so formatting drift cannot land unnoticed.
+func TestGofmt(t *testing.T) {
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			return nil
+		}
+		if string(formatted) != string(src) {
+			t.Errorf("%s is not gofmt-canonical (run gofmt -w %s)", path, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,350 @@
+// Integration tests spanning the whole pipeline: key generation →
+// inference → planning → compilation → source emission → containers →
+// driver, cross-checked against each other and against the paper's
+// claimed invariants.
+package sepe_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sepe-go/sepe"
+	"github.com/sepe-go/sepe/internal/bench"
+	"github.com/sepe-go/sepe/internal/codegen"
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/gperf"
+	"github.com/sepe-go/sepe/internal/infer"
+	"github.com/sepe-go/sepe/internal/keys"
+	"github.com/sepe-go/sepe/internal/rex"
+	"github.com/sepe-go/sepe/internal/stats"
+)
+
+// TestPipelinePerKeyType drives the keybuilder→keysynth flow for all
+// eight paper key types: infer a format from generated examples,
+// synthesize every family, and validate determinism, format matching
+// and collision behaviour on fresh keys from all three distributions.
+func TestPipelinePerKeyType(t *testing.T) {
+	for _, typ := range keys.All {
+		typ := typ
+		t.Run(typ.Name(), func(t *testing.T) {
+			pat, err := infer.Infer(typ.Examples())
+			if err != nil {
+				t.Fatal(err)
+			}
+			fns, err := core.SynthesizeAll(pat, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fns) != 4 {
+				t.Fatalf("families = %d, want 4", len(fns))
+			}
+			for fam, fn := range fns {
+				for _, dist := range keys.Distributions {
+					g := keys.NewGenerator(typ, dist, 0xA11CE)
+					seen := make(map[uint64]string, 600)
+					collisions := 0
+					for i := 0; i < 600; i++ {
+						k := g.Next()
+						if !pat.Matches(k) {
+							t.Fatalf("%v: generated key %q off inferred format", fam, k)
+						}
+						h := fn.Hash(k)
+						if prev, dup := seen[h]; dup && prev != k {
+							collisions++
+						}
+						seen[h] = k
+					}
+					// Pext must be collision-free; the others nearly so
+					// on 600 keys.
+					limit := 3
+					if fam == core.Pext {
+						limit = 0
+					}
+					if collisions > limit {
+						t.Errorf("%v/%v: %d collisions over 600 keys", fam, dist, collisions)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRegexAndExamplesFrontEndsAgreeOnPaperFormats: for each paper key
+// type, lowering the declared regex and inferring from examples must
+// produce functions that hash identically.
+func TestRegexAndExamplesFrontEndsAgreeOnPaperFormats(t *testing.T) {
+	for _, typ := range keys.All {
+		fromRegex, err := rex.ParseAndLower(typ.Regex())
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		fromExamples, err := infer.Infer(typ.Examples())
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		for _, fam := range core.Families {
+			f1, err := core.Synthesize(fromRegex, fam, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f2, err := core.Synthesize(fromExamples, fam, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := keys.NewGenerator(typ, keys.Uniform, 7)
+			for i := 0; i < 100; i++ {
+				k := g.Next()
+				if f1.Hash(k) != f2.Hash(k) {
+					t.Errorf("%v/%v: regex and example front ends disagree on %q",
+						typ, fam, k)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestEmittedSourceStableAcrossFrontEnds: source emission is a pure
+// function of the plan, so both front ends must emit identical code.
+func TestEmittedSourceStableAcrossFrontEnds(t *testing.T) {
+	a, err := rex.ParseAndLower(keys.SSN.Regex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := infer.Infer(keys.SSN.Examples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range core.Families {
+		pa, err := core.BuildPlan(a, fam, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := core.BuildPlan(b, fam, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa := codegen.Go(pa, codegen.GoOptions{Name: "H"})
+		sb := codegen.Go(pb, codegen.GoOptions{Name: "H"})
+		if sa != sb {
+			t.Errorf("%v: emitted source differs between front ends:\n%s\nvs\n%s", fam, sa, sb)
+		}
+	}
+}
+
+// TestPaperClaimH Time: the headline RQ1 shape on this machine — the
+// OffXor family hashes several times faster than the STL murmur on
+// every fixed-format key type longer than one word.
+func TestPaperClaimHTimeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	for _, typ := range []keys.Type{keys.SSN, keys.IPv6, keys.INTS, keys.URL1, keys.URL2} {
+		off, err := bench.HashFor(bench.OffXor, typ, core.TargetX86)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stl, err := bench.HashFor(bench.STL, typ, core.TargetX86)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := keys.NewGenerator(typ, keys.Uniform, 3).Distinct(256)
+		measure := func(f func(string) uint64) float64 {
+			var acc uint64
+			best := 1e18
+			for rep := 0; rep < 5; rep++ {
+				start := time.Now()
+				for i := 0; i < 20000; i++ {
+					acc += f(pool[i&255])
+				}
+				if el := float64(time.Since(start)); el < best {
+					best = el
+				}
+			}
+			_ = acc
+			return best
+		}
+		to, ts := measure(off), measure(stl)
+		if to >= ts {
+			t.Errorf("%v: OffXor (%.0fns) not faster than STL (%.0fns)", typ, to, ts)
+		}
+	}
+}
+
+// TestPaperClaimCollisions reproduces the Table 1 collision column
+// shapes on 10 000 normal keys per type.
+func TestPaperClaimCollisions(t *testing.T) {
+	totals := map[bench.HashName]int{}
+	for _, typ := range keys.All {
+		pool := keys.NewGenerator(typ, keys.Normal, 0xC0FFEE).Distinct(10000)
+		for _, name := range bench.AllHashes {
+			f, err := bench.HashFor(name, typ, core.TargetX86)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make(map[uint64]struct{}, len(pool))
+			for _, k := range pool {
+				h := f(k)
+				if _, dup := seen[h]; dup {
+					totals[name]++
+				}
+				seen[h] = struct{}{}
+			}
+		}
+	}
+	// Zero-collision functions (Table 1: Abseil, City, FNV, Pext, STL).
+	for _, name := range []bench.HashName{bench.Abseil, bench.City, bench.FNV, bench.Pext, bench.STL} {
+		if totals[name] != 0 {
+			t.Errorf("%v: %d collisions, want 0", name, totals[name])
+		}
+	}
+	// Small for the xor families and Aes (paper: 12, 12, 9).
+	for _, name := range []bench.HashName{bench.Naive, bench.OffXor, bench.Aes} {
+		if totals[name] > 100 {
+			t.Errorf("%v: %d collisions, want small", name, totals[name])
+		}
+	}
+	// Massive for Gperf (paper: 55 502) and large for Gpt (7 865,
+	// dominated by IPv4).
+	if totals[bench.Gperf] < 10000 {
+		t.Errorf("Gperf: %d collisions, want massive", totals[bench.Gperf])
+	}
+	if totals[bench.Gpt] < 3000 {
+		t.Errorf("Gpt: %d collisions, want thousands (IPv4 weakness)", totals[bench.Gpt])
+	}
+}
+
+// TestPaperClaimUniformityOrdering reproduces Table 2's ordering on
+// SSNs: STL-class functions uniform, synthetics skewed, Pext best
+// among synthetics on incremental keys.
+func TestPaperClaimUniformityOrdering(t *testing.T) {
+	table, err := bench.UniformityTable(keys.SSN,
+		[]bench.HashName{bench.City, bench.Abseil, bench.OffXor, bench.Naive, bench.Pext}, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []bench.HashName{bench.City, bench.Abseil} {
+		for _, d := range keys.Distributions {
+			if v := table[name][d]; v > 3 {
+				t.Errorf("%v/%v: normalized χ² = %v, want ≈1", name, d, v)
+			}
+		}
+	}
+	for _, name := range []bench.HashName{bench.OffXor, bench.Naive} {
+		if v := table[name][keys.Normal]; v < 10 {
+			t.Errorf("%v/Normal: normalized χ² = %v, want ≫ 1", name, v)
+		}
+	}
+	if table[bench.Pext][keys.Inc] >= table[bench.Naive][keys.Inc] {
+		t.Errorf("Pext (%v) must beat Naive (%v) on incremental keys",
+			table[bench.Pext][keys.Inc], table[bench.Naive][keys.Inc])
+	}
+}
+
+// TestMannWhitneyOnDriverTimes applies the paper's statistical test to
+// real driver measurements: Naive and OffXor should be statistically
+// close (the paper reports p = 0.51), while Aes and OffXor differ.
+func TestMannWhitneyOnDriverTimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	sample := func(name bench.HashName) []float64 {
+		f, err := bench.HashFor(name, keys.IPv6, core.TargetX86)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var xs []float64
+		for s := 0; s < 12; s++ {
+			cfg := bench.Config{
+				Key: keys.IPv6, Structure: 0, Dist: keys.Uniform,
+				Spread: 2000, Mode: bench.Batched, Affectations: 6000,
+				Seed: uint64(s + 1),
+			}
+			res := bench.Run(cfg, f)
+			xs = append(xs, float64(res.HTime))
+		}
+		return xs
+	}
+	naive, off, aes := sample(bench.Naive), sample(bench.OffXor), sample(bench.Aes)
+	if _, p, err := stats.MannWhitney(naive, off); err != nil || p < 0.001 {
+		t.Logf("Naive vs OffXor p = %v (paper: 0.51); err=%v", p, err)
+	}
+	_, p, err := stats.MannWhitney(aes, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.05 {
+		t.Errorf("Aes vs OffXor H-Time p = %v, want significant difference", p)
+	}
+}
+
+// TestGperfEndToEnd drives the gperf baseline the way the paper does:
+// train on 1000 keys, use on 10000, observe the blow-up in a real
+// container.
+func TestGperfEndToEnd(t *testing.T) {
+	train := keys.NewGenerator(keys.IPv4, keys.Uniform, 0xFEED).Distinct(1000)
+	ph, err := gperf.Generate(train, gperf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sepe.NewMap[int](ph.Hash)
+	pool := keys.NewGenerator(keys.IPv4, keys.Uniform, 0xFACE).Distinct(10000)
+	for i, k := range pool {
+		m.Put(k, i)
+	}
+	if m.Len() != 10000 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	// Chains must be pathological compared to a good hash: the small
+	// hash range forces far more same-bucket keys.
+	good := sepe.NewMap[int](sepe.STLHash)
+	for i, k := range pool {
+		good.Put(k, i)
+	}
+	gs, ss := m.Stats(), good.Stats()
+	if gs.BucketCollisions < 2*ss.BucketCollisions {
+		t.Errorf("gperf bucket collisions %d vs STL %d: blow-up missing",
+			gs.BucketCollisions, ss.BucketCollisions)
+	}
+	if gs.MaxBucketLen <= ss.MaxBucketLen {
+		t.Errorf("gperf max chain %d vs STL %d: blow-up missing",
+			gs.MaxBucketLen, ss.MaxBucketLen)
+	}
+	// Every key must still be retrievable (correctness under chains).
+	for i, k := range pool {
+		if v, ok := m.Get(k); !ok || v != i {
+			t.Fatalf("lost %q", k)
+		}
+	}
+}
+
+// TestGeneratedGoSourceForAllKeyTypes emits Go for every (type,
+// family) pair and typechecks nothing here (codegen tests do); it
+// asserts emission is total and deterministic.
+func TestGeneratedGoSourceForAllKeyTypes(t *testing.T) {
+	for _, typ := range keys.All {
+		pat, err := rex.ParseAndLower(typ.Regex())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fam := range core.Families {
+			p1, err := core.BuildPlan(pat, fam, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			src1 := codegen.Go(p1, codegen.GoOptions{Name: "H"})
+			p2, err := core.BuildPlan(pat, fam, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			src2 := codegen.Go(p2, codegen.GoOptions{Name: "H"})
+			if src1 != src2 {
+				t.Errorf("%v/%v: emission not deterministic", typ, fam)
+			}
+			if !strings.Contains(src1, "func H(key string) uint64") {
+				t.Errorf("%v/%v: missing function", typ, fam)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package aesround implements one AES-128 encryption round with the
+// semantics of the x86 aesenc instruction (and aarch64 AESE+AESMC):
+//
+//	out = MixColumns(ShiftRows(SubBytes(state))) XOR roundKey
+//
+// The paper's Aes hash family combines key words with this single
+// round instead of xor, trading a little speed for far better mixing.
+// Since a pure-Go reproduction has no AES instructions, the round is
+// computed with the classic four T-table formulation (one table lookup
+// and one xor per state byte), built at init time from first
+// principles: the S-box is derived from inversion in GF(2^8) followed
+// by the AES affine map, and the tables fold in the MixColumns
+// constants. The bit-at-a-time reference implementation in this
+// package is the specification the tables are tested against.
+package aesround
+
+// State is a 128-bit AES state in memory order: Lo holds bytes 0–7
+// (columns 0 and 1, little-endian), Hi holds bytes 8–15.
+type State struct {
+	Lo, Hi uint64
+}
+
+// sbox is the AES substitution box, computed in init from the GF(2^8)
+// inverse and the affine transformation of FIPS-197 §5.1.1.
+var sbox [256]byte
+
+// te0..te3 are the round T-tables: teI[x] combines S-box substitution
+// and the MixColumns contribution of a byte arriving in row I of a
+// column. Entry layout is little-endian (output row 0 in the low byte).
+var te0, te1, te2, te3 [256]uint32
+
+func init() {
+	// Build log/antilog tables over GF(2^8) with generator 3.
+	var alog [256]byte
+	var log [256]int
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		alog[i] = x
+		log[x] = i
+		x ^= xtime(x) // multiply by 3 = x ^ 2x
+	}
+	inv := func(b byte) byte {
+		if b == 0 {
+			return 0
+		}
+		return alog[(255-log[b])%255]
+	}
+	for i := 0; i < 256; i++ {
+		s := affine(inv(byte(i)))
+		sbox[i] = s
+		s2 := xtime(s)
+		s3 := s2 ^ s
+		te0[i] = uint32(s2) | uint32(s)<<8 | uint32(s)<<16 | uint32(s3)<<24
+		te1[i] = uint32(s3) | uint32(s2)<<8 | uint32(s)<<16 | uint32(s)<<24
+		te2[i] = uint32(s) | uint32(s3)<<8 | uint32(s2)<<16 | uint32(s)<<24
+		te3[i] = uint32(s) | uint32(s)<<8 | uint32(s3)<<16 | uint32(s2)<<24
+	}
+}
+
+// xtime multiplies b by x (i.e. 2) in GF(2^8) mod x^8+x^4+x^3+x+1.
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1B
+	}
+	return b << 1
+}
+
+// affine applies the AES affine transformation to b.
+func affine(b byte) byte {
+	// s_i = b_i ⊕ b_{i+4} ⊕ b_{i+5} ⊕ b_{i+6} ⊕ b_{i+7} ⊕ c_i, c = 0x63.
+	var s byte
+	for i := 0; i < 8; i++ {
+		bit := (b>>i ^ b>>((i+4)%8) ^ b>>((i+5)%8) ^ b>>((i+6)%8) ^ b>>((i+7)%8)) & 1
+		s |= bit << i
+	}
+	return s ^ 0x63
+}
+
+// SBox returns the substitution of b (exported for tests and for the
+// documentation generator).
+func SBox(b byte) byte { return sbox[b] }
+
+// Encrypt performs one aesenc round on state with the given round key.
+// The byte indexing is written as direct shift/mask expressions (state
+// byte i of Lo is Lo>>8i) so the hot path is branch- and loop-free.
+func Encrypt(state, key State) State {
+	lo, hi := state.Lo, state.Hi
+	t0 := te0[byte(lo)] ^ te1[byte(lo>>40)] ^ te2[byte(hi>>16)] ^ te3[byte(hi>>56)]
+	t1 := te0[byte(lo>>32)] ^ te1[byte(hi>>8)] ^ te2[byte(hi>>48)] ^ te3[byte(lo>>24)]
+	t2 := te0[byte(hi)] ^ te1[byte(hi>>40)] ^ te2[byte(lo>>16)] ^ te3[byte(lo>>56)]
+	t3 := te0[byte(hi>>32)] ^ te1[byte(lo>>8)] ^ te2[byte(lo>>48)] ^ te3[byte(hi>>24)]
+	return State{
+		Lo: (uint64(t0) | uint64(t1)<<32) ^ key.Lo,
+		Hi: (uint64(t2) | uint64(t3)<<32) ^ key.Hi,
+	}
+}
+
+// EncryptSlow is the reference implementation: SubBytes, ShiftRows and
+// MixColumns computed step by step from the FIPS-197 definitions. It
+// exists to pin down Encrypt's semantics in tests.
+func EncryptSlow(state, key State) State {
+	var s [16]byte
+	for i := 0; i < 8; i++ {
+		s[i] = byte(state.Lo >> (8 * i))
+		s[8+i] = byte(state.Hi >> (8 * i))
+	}
+	// SubBytes.
+	for i := range s {
+		s[i] = sbox[s[i]]
+	}
+	// ShiftRows: row r (bytes r, r+4, r+8, r+12) rotates left by r.
+	var sr [16]byte
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			sr[4*c+r] = s[4*((c+r)%4)+r]
+		}
+	}
+	// MixColumns.
+	var mc [16]byte
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := sr[4*c], sr[4*c+1], sr[4*c+2], sr[4*c+3]
+		mc[4*c+0] = gmul2(a0) ^ gmul3(a1) ^ a2 ^ a3
+		mc[4*c+1] = a0 ^ gmul2(a1) ^ gmul3(a2) ^ a3
+		mc[4*c+2] = a0 ^ a1 ^ gmul2(a2) ^ gmul3(a3)
+		mc[4*c+3] = gmul3(a0) ^ a1 ^ a2 ^ gmul2(a3)
+	}
+	var out State
+	for i := 0; i < 8; i++ {
+		out.Lo |= uint64(mc[i]) << (8 * i)
+		out.Hi |= uint64(mc[8+i]) << (8 * i)
+	}
+	out.Lo ^= key.Lo
+	out.Hi ^= key.Hi
+	return out
+}
+
+func gmul2(b byte) byte { return xtime(b) }
+func gmul3(b byte) byte { return xtime(b) ^ b }
+
+// PRF runs `rounds` AES rounds with distinct fixed round keys over the
+// state — a building block toward the paper's future work ("the
+// synthesis of efficient and secure cryptographic hash functions").
+// Four or more rounds give full avalanche over the 128-bit state (the
+// design point AES-PRF-style constructions use); one round is the Aes
+// hash family's trade.
+func PRF(state State, rounds int) State {
+	for i := 0; i < rounds; i++ {
+		state = Encrypt(state, prfKeys[i%len(prfKeys)])
+	}
+	return state
+}
+
+// prfKeys are fixed, distinct round keys (decimals of π folded into
+// 64-bit words).
+var prfKeys = [8]State{
+	{Lo: 0x243F6A8885A308D3, Hi: 0x13198A2E03707344},
+	{Lo: 0xA4093822299F31D0, Hi: 0x082EFA98EC4E6C89},
+	{Lo: 0x452821E638D01377, Hi: 0xBE5466CF34E90C6C},
+	{Lo: 0xC0AC29B7C97C50DD, Hi: 0x3F84D5B5B5470917},
+	{Lo: 0x9216D5D98979FB1B, Hi: 0xD1310BA698DFB5AC},
+	{Lo: 0x2FFD72DBD01ADFB7, Hi: 0xB8E1AFED6A267E96},
+	{Lo: 0xBA7C9045F12C7F99, Hi: 0x24A19947B3916CF7},
+	{Lo: 0x0801F2E2858EFC16, Hi: 0x636920D871574E69},
+}

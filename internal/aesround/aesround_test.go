@@ -1,0 +1,198 @@
+package aesround
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSBoxKnownValues(t *testing.T) {
+	// FIPS-197 Figure 7 spot checks.
+	tests := []struct{ in, out byte }{
+		{0x00, 0x63},
+		{0x01, 0x7C},
+		{0x10, 0xCA},
+		{0x53, 0xED},
+		{0xFF, 0x16},
+		{0x9A, 0xB8},
+		{0xC5, 0xA6},
+	}
+	for _, tt := range tests {
+		if got := SBox(tt.in); got != tt.out {
+			t.Errorf("SBox(%#02x) = %#02x, want %#02x", tt.in, got, tt.out)
+		}
+	}
+}
+
+func TestSBoxIsPermutation(t *testing.T) {
+	var seen [256]bool
+	for i := 0; i < 256; i++ {
+		s := SBox(byte(i))
+		if seen[s] {
+			t.Fatalf("SBox not a permutation: %#02x repeated", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSBoxNoFixedPoints(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if SBox(byte(i)) == byte(i) {
+			t.Errorf("SBox has fixed point at %#02x", i)
+		}
+		if SBox(byte(i)) == byte(i)^0xFF {
+			t.Errorf("SBox has anti-fixed point at %#02x", i)
+		}
+	}
+}
+
+func TestEncryptZeroState(t *testing.T) {
+	// SubBytes(0)=0x63 everywhere; ShiftRows is a no-op on a uniform
+	// state; MixColumns of a uniform column is the identity (the row
+	// coefficients 2⊕3⊕1⊕1 = 1). So aesenc(0, 0) = 0x63 in every byte.
+	got := Encrypt(State{}, State{})
+	want := State{Lo: 0x6363636363636363, Hi: 0x6363636363636363}
+	if got != want {
+		t.Errorf("Encrypt(0,0) = %+v, want %+v", got, want)
+	}
+}
+
+func TestEncryptMatchesReference(t *testing.T) {
+	f := func(lo, hi, klo, khi uint64) bool {
+		s := State{Lo: lo, Hi: hi}
+		k := State{Lo: klo, Hi: khi}
+		return Encrypt(s, k) == EncryptSlow(s, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptKeyIsXor(t *testing.T) {
+	// The round key enters by xor only: E(s, k) = E(s, 0) ^ k.
+	f := func(lo, hi, klo, khi uint64) bool {
+		s := State{Lo: lo, Hi: hi}
+		base := Encrypt(s, State{})
+		keyed := Encrypt(s, State{Lo: klo, Hi: khi})
+		return keyed.Lo == base.Lo^klo && keyed.Hi == base.Hi^khi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncryptIsBijective(t *testing.T) {
+	// One AES round is a bijection: distinct states must map to
+	// distinct outputs. Sample a structured family of states.
+	seen := make(map[State]State)
+	for i := uint64(0); i < 4096; i++ {
+		s := State{Lo: i * 0x9E3779B97F4A7C15, Hi: i ^ i<<32}
+		e := Encrypt(s, State{Lo: 42})
+		if prev, dup := seen[e]; dup && prev != s {
+			t.Fatalf("round collision: %+v and %+v → %+v", prev, s, e)
+		}
+		seen[e] = s
+	}
+}
+
+func TestEncryptAvalanche(t *testing.T) {
+	// Flipping one input bit must change many output bits (at least 8
+	// of 128 after a single round — one S-box output propagated
+	// through MixColumns touches 4 bytes).
+	base := State{Lo: 0x0123456789ABCDEF, Hi: 0xFEDCBA9876543210}
+	e0 := Encrypt(base, State{})
+	for bit := 0; bit < 64; bit += 7 {
+		flipped := base
+		flipped.Lo ^= 1 << bit
+		e1 := Encrypt(flipped, State{})
+		diff := popcount(e0.Lo^e1.Lo) + popcount(e0.Hi^e1.Hi)
+		if diff < 4 {
+			t.Errorf("bit %d: only %d output bits changed", bit, diff)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestXtime(t *testing.T) {
+	tests := []struct{ in, out byte }{
+		{0x57, 0xAE},
+		{0xAE, 0x47},
+		{0x47, 0x8E},
+		{0x8E, 0x07},
+	}
+	for _, tt := range tests {
+		if got := xtime(tt.in); got != tt.out {
+			t.Errorf("xtime(%#02x) = %#02x, want %#02x", tt.in, got, tt.out)
+		}
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	s := State{Lo: 0x0123456789ABCDEF, Hi: 0xFEDCBA9876543210}
+	k := State{Lo: 0x5555555555555555, Hi: 0xAAAAAAAAAAAAAAAA}
+	for i := 0; i < b.N; i++ {
+		s = Encrypt(s, k)
+	}
+	sink = s
+}
+
+var sink State
+
+func TestPRFAvalancheFullAtFourRounds(t *testing.T) {
+	// A single-bit input change must flip ≈64 of 128 output bits after
+	// four rounds (the full-avalanche design point), versus only a
+	// column's worth after one.
+	base := State{Lo: 0x0123456789ABCDEF, Hi: 0xFEDCBA9876543210}
+	measure := func(rounds int) float64 {
+		e0 := PRF(base, rounds)
+		total, samples := 0, 0
+		for bit := 0; bit < 64; bit += 5 {
+			flipped := base
+			flipped.Lo ^= 1 << bit
+			e1 := PRF(flipped, rounds)
+			total += popcount(e0.Lo^e1.Lo) + popcount(e0.Hi^e1.Hi)
+			samples++
+		}
+		return float64(total) / float64(samples)
+	}
+	one, four := measure(1), measure(4)
+	if four < 50 || four > 78 {
+		t.Errorf("4-round avalanche = %.1f bits, want ≈64", four)
+	}
+	if one >= four {
+		t.Errorf("1-round avalanche (%.1f) must be below 4-round (%.1f)", one, four)
+	}
+}
+
+func TestPRFDeterministicAndRoundSensitive(t *testing.T) {
+	s := State{Lo: 42, Hi: 7}
+	if PRF(s, 4) != PRF(s, 4) {
+		t.Error("PRF nondeterministic")
+	}
+	if PRF(s, 3) == PRF(s, 4) {
+		t.Error("round count must matter")
+	}
+	if PRF(s, 0) != s {
+		t.Error("zero rounds must be the identity")
+	}
+	// More than len(prfKeys) rounds wraps the key schedule.
+	_ = PRF(s, 12)
+}
+
+func TestPRFBijectivePerRoundCount(t *testing.T) {
+	seen := make(map[State]State)
+	for i := uint64(0); i < 2048; i++ {
+		s := State{Lo: i, Hi: i * 0x9E3779B97F4A7C15}
+		e := PRF(s, 4)
+		if prev, dup := seen[e]; dup && prev != s {
+			t.Fatalf("PRF collision: %+v and %+v", prev, s)
+		}
+		seen[e] = s
+	}
+}

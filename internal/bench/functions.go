@@ -1,0 +1,157 @@
+// Package bench implements the paper's experimental driver (Section 4):
+// the ten hash functions under comparison, the 144-experiment grid
+// (4 structures × 3 distributions × 3 spreads × 4 execution modes),
+// the affectation loop, and the measurements every table and figure of
+// the paper is built from — B-Time, H-Time, bucket collisions, true
+// collisions, hash uniformity and synthesis scaling.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/gperf"
+	"github.com/sepe-go/sepe/internal/gpt"
+	"github.com/sepe-go/sepe/internal/hashes"
+	"github.com/sepe-go/sepe/internal/infer"
+	"github.com/sepe-go/sepe/internal/keys"
+)
+
+// HashName identifies one of the ten functions of the evaluation.
+type HashName string
+
+// The ten functions of Table 1, in its alphabetical order.
+const (
+	Abseil HashName = "Abseil"
+	Aes    HashName = "Aes"
+	City   HashName = "City"
+	FNV    HashName = "FNV"
+	Gperf  HashName = "Gperf"
+	Gpt    HashName = "Gpt"
+	Naive  HashName = "Naive"
+	OffXor HashName = "OffXor"
+	Pext   HashName = "Pext"
+	STL    HashName = "STL"
+)
+
+// AllHashes lists the ten functions in Table 1's order.
+var AllHashes = []HashName{Abseil, Aes, City, FNV, Gperf, Gpt, Naive, OffXor, Pext, STL}
+
+// SyntheticHashes lists the four SEPE families.
+var SyntheticHashes = []HashName{Aes, Naive, OffXor, Pext}
+
+// Synthetic reports whether the name is a SEPE family.
+func (n HashName) Synthetic() bool {
+	switch n {
+	case Aes, Naive, OffXor, Pext:
+		return true
+	}
+	return false
+}
+
+func (n HashName) family() core.Family {
+	switch n {
+	case Naive:
+		return core.Naive
+	case OffXor:
+		return core.OffXor
+	case Aes:
+		return core.Aes
+	case Pext:
+		return core.Pext
+	default:
+		panic("bench: not a synthetic hash: " + string(n))
+	}
+}
+
+// gperfTrainingKeys is the size of Gperf's training set ("using 1000
+// random keys", Section 4).
+const gperfTrainingKeys = 1000
+
+// gperfSeed fixes the training draw for reproducibility.
+const gperfSeed = 0xFEED
+
+type funcKey struct {
+	name   HashName
+	typ    keys.Type
+	target string
+}
+
+var (
+	funcMu    sync.Mutex
+	funcCache = map[funcKey]hashes.Func{}
+)
+
+// HashFor resolves a function name for a key type on a target.
+// Synthetic functions are synthesized from the type's example keys via
+// the inference front end (the keybuilder → keysynth flow of Figure
+// 5a); Gperf is generated from 1000 uniform training keys; Gpt is the
+// per-type prompted function; the baselines are type-independent.
+func HashFor(name HashName, t keys.Type, tgt core.Target) (hashes.Func, error) {
+	switch name {
+	case STL:
+		return hashes.STL, nil
+	case FNV:
+		return hashes.FNV, nil
+	case City:
+		return hashes.City, nil
+	case Abseil:
+		return hashes.Abseil, nil
+	case Gpt:
+		return gpt.ForType(t), nil
+	}
+	if tgt.Name == "" {
+		tgt = core.TargetX86
+	}
+	key := funcKey{name, t, tgt.Name}
+	funcMu.Lock()
+	defer funcMu.Unlock()
+	if f, ok := funcCache[key]; ok {
+		return f, nil
+	}
+	var f hashes.Func
+	switch name {
+	case Gperf:
+		g := keys.NewGenerator(t, keys.Uniform, gperfSeed)
+		ph, err := gperf.Generate(g.Distinct(gperfTrainingKeys), gperf.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: gperf for %v: %w", t, err)
+		}
+		f = ph.Hash
+	case Aes, Naive, OffXor, Pext:
+		pat, err := infer.Infer(t.Examples())
+		if err != nil {
+			return nil, fmt.Errorf("bench: inferring %v: %w", t, err)
+		}
+		fn, err := core.Synthesize(pat, name.family(), core.Options{Target: tgt})
+		if err != nil {
+			return nil, fmt.Errorf("bench: synthesizing %v/%v: %w", name, t, err)
+		}
+		f = fn.Func()
+	default:
+		return nil, fmt.Errorf("bench: unknown hash %q", name)
+	}
+	funcCache[key] = f
+	return f, nil
+}
+
+// HashesFor resolves every function available on the target (the
+// aarch64 target of RQ4 omits Pext).
+func HashesFor(t keys.Type, tgt core.Target) (map[HashName]hashes.Func, error) {
+	if tgt.Name == "" {
+		tgt = core.TargetX86
+	}
+	out := make(map[HashName]hashes.Func, len(AllHashes))
+	for _, name := range AllHashes {
+		if name == Pext && !tgt.BitExtract {
+			continue
+		}
+		f, err := HashFor(name, t, tgt)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/sepe-go/sepe/internal/container"
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/keys"
+	"github.com/sepe-go/sepe/internal/stats"
+)
+
+// Grid returns the paper's 144 experiment configurations for one key
+// type: 4 structures × 3 distributions × 3 spreads × 4 modes.
+func Grid(t keys.Type) []Config {
+	var out []Config
+	for _, st := range container.Kinds {
+		for _, d := range keys.Distributions {
+			for _, sp := range Spreads {
+				for _, m := range Modes {
+					out = append(out, Config{
+						Key:       t,
+						Structure: st,
+						Dist:      d,
+						Spread:    sp,
+						Mode:      m,
+						Seed:      1,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Measurement pairs a configuration and sample index with its result.
+type Measurement struct {
+	Cfg    Config
+	Hash   HashName
+	Sample int
+	Res    Result
+}
+
+// Options tune a grid run; the zero value reproduces the paper's
+// setup (10 samples × 10 000 affectations) at full cost.
+type Options struct {
+	// Samples per experiment (paper: 10).
+	Samples int
+	// Affectations per sample (paper: 10 000).
+	Affectations int
+	// Target gates the synthesized families (RQ4 uses TargetAarch64).
+	Target core.Target
+	// Filter keeps only matching configs when non-nil.
+	Filter func(Config) bool
+	// Progress, when non-nil, receives a line per (type, hash).
+	Progress func(string)
+}
+
+func (o *Options) defaults() {
+	if o.Samples == 0 {
+		o.Samples = 10
+	}
+	if o.Affectations == 0 {
+		o.Affectations = DefaultAffectations
+	}
+	if o.Target.Name == "" {
+		o.Target = core.TargetX86
+	}
+}
+
+// RunGrid executes the grid for the given key types and hash names,
+// returning every sample's measurement.
+func RunGrid(types []keys.Type, names []HashName, opts Options) ([]Measurement, error) {
+	opts.defaults()
+	var out []Measurement
+	for _, t := range types {
+		for _, name := range names {
+			if name == Pext && !opts.Target.BitExtract {
+				continue
+			}
+			f, err := HashFor(name, t, opts.Target)
+			if err != nil {
+				return nil, err
+			}
+			if opts.Progress != nil {
+				opts.Progress(fmt.Sprintf("%v/%v", t, name))
+			}
+			for _, cfg := range Grid(t) {
+				if opts.Filter != nil && !opts.Filter(cfg) {
+					continue
+				}
+				cfg.Affectations = opts.Affectations
+				for s := 0; s < opts.Samples; s++ {
+					cfg.Seed = uint64(s)*0x9E3779B9 + 1
+					out = append(out, Measurement{Cfg: cfg, Hash: name, Sample: s, Res: Run(cfg, f)})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Aggregate is the per-function summary behind Table 1 and Table 3.
+type Aggregate struct {
+	Hash   HashName
+	BTime  float64 // geometric mean, milliseconds
+	HTime  float64 // geometric mean, milliseconds
+	BColl  float64 // geometric mean bucket collisions
+	TColl  int     // maximum true collisions over the experiments
+	BTimes []float64
+	BColls []float64
+}
+
+// Aggregates groups measurements by hash name and computes the paper's
+// aggregate statistics (geometric means; T-Coll as the collision count
+// of the 10 000-key draw, maximized over configurations so every key
+// type's worst case is visible, as in Table 1's per-function totals).
+func Aggregates(ms []Measurement) []Aggregate {
+	byHash := map[HashName][]Measurement{}
+	var order []HashName
+	for _, m := range ms {
+		if _, ok := byHash[m.Hash]; !ok {
+			order = append(order, m.Hash)
+		}
+		byHash[m.Hash] = append(byHash[m.Hash], m)
+	}
+	var out []Aggregate
+	for _, name := range order {
+		group := byHash[name]
+		agg := Aggregate{Hash: name}
+		var bts, hts, bcs []float64
+		tcoll := map[string]int{}
+		for _, m := range group {
+			bts = append(bts, float64(m.Res.BTime.Nanoseconds())/1e6)
+			hts = append(hts, float64(m.Res.HTime.Nanoseconds())/1e6)
+			bcs = append(bcs, float64(m.Res.BColl)+1) // +1: geomean over zeros
+			key := m.Cfg.Key.Name() + "/" + m.Cfg.Dist.String()
+			if m.Res.TColl > tcoll[key] {
+				tcoll[key] = m.Res.TColl
+			}
+		}
+		agg.BTime = geo(bts)
+		agg.HTime = geo(hts)
+		agg.BColl = geo(bcs) - 1
+		for _, v := range tcoll {
+			agg.TColl += v
+		}
+		agg.BTimes = bts
+		agg.BColls = bcs
+		out = append(out, agg)
+	}
+	return out
+}
+
+func geo(xs []float64) float64 {
+	g, err := stats.GeoMean(xs)
+	if err != nil {
+		return 0
+	}
+	return g
+}

@@ -1,0 +1,61 @@
+package codegen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/keys"
+	"github.com/sepe-go/sepe/internal/rex"
+)
+
+// -update regenerates the golden files:
+//
+//	go test ./internal/codegen -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenEmission pins the emitted Go and C++ for every paper key
+// type and family against checked-in golden files, so accidental
+// changes to the generator's output surface in review.
+func TestGoldenEmission(t *testing.T) {
+	for _, typ := range keys.All {
+		pat, err := rex.ParseAndLower(typ.Regex())
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		for _, fam := range core.Families {
+			p, err := core.BuildPlan(pat, fam, core.Options{})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", typ, fam, err)
+			}
+			goSrc := Go(p, GoOptions{Package: "gen", Name: "Hash"})
+			cppSrc := CPP(p, CPPOptions{Struct: "hash"})
+			check(t, typ.Name()+"_"+fam.String()+".go.golden", goSrc)
+			check(t, typ.Name()+"_"+fam.String()+".cpp.golden", cppSrc)
+		}
+	}
+}
+
+func check(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("%s: emission changed; run with -update if intended.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}

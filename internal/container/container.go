@@ -1,0 +1,244 @@
+// Package container implements the hash-indexed containers the paper's
+// driver exercises: string-keyed equivalents of std::unordered_map,
+// unordered_set, unordered_multimap and unordered_multiset.
+//
+// The implementation mirrors the aspects of libstdc++ that the paper's
+// measurements depend on:
+//
+//   - chained buckets with the bucket chosen as hash % bucket_count
+//     (so even poorly-mixed hashes spread across buckets, the effect
+//     RQ7 investigates);
+//   - prime bucket counts growing roughly geometrically, rehashing
+//     when the load factor would exceed 1;
+//   - bucket introspection, so the driver can count bucket collisions
+//     exactly as the paper does ("we iterate over the buckets logging
+//     the number of keys inside the same bucket").
+//
+// The Indexer hook reproduces RQ7's "low-mixing container": an indexer
+// that discards low-order hash bits before the modulo.
+package container
+
+import "github.com/sepe-go/sepe/internal/hashes"
+
+// Indexer maps a 64-bit hash to a bucket in [0, buckets).
+type Indexer func(hash uint64, buckets int) int
+
+// ModIndexer is the libstdc++ policy: hash % buckets.
+func ModIndexer(hash uint64, buckets int) int {
+	return int(hash % uint64(buckets))
+}
+
+// HighBitsIndexer returns RQ7's low-mixing policy: the low `discard`
+// bits of the hash are dropped before the modulo, so only the
+// 64-discard most significant bits select the bucket.
+func HighBitsIndexer(discard uint) Indexer {
+	return func(hash uint64, buckets int) int {
+		return int((hash >> discard) % uint64(buckets))
+	}
+}
+
+// initialBuckets is the starting bucket count (libstdc++ starts at a
+// small prime).
+const initialBuckets = 13
+
+// entry is one key/value pair in a bucket chain.
+type entry[V any] struct {
+	hash uint64
+	key  string
+	val  V
+}
+
+// table is the shared chained-bucket core.
+type table[V any] struct {
+	hash    hashes.Func
+	index   Indexer
+	buckets [][]entry[V]
+	size    int
+	multi   bool
+}
+
+func newTable[V any](hash hashes.Func, index Indexer, multi bool) *table[V] {
+	if index == nil {
+		index = ModIndexer
+	}
+	return &table[V]{
+		hash:    hash,
+		index:   index,
+		buckets: make([][]entry[V], initialBuckets),
+		multi:   multi,
+	}
+}
+
+func (t *table[V]) bucketOf(h uint64) int { return t.index(h, len(t.buckets)) }
+
+// put inserts key→val. Non-multi tables replace an existing mapping
+// and report whether the key was new; multi tables always append.
+func (t *table[V]) put(key string, val V) bool {
+	h := t.hash(key)
+	b := t.bucketOf(h)
+	if !t.multi {
+		chain := t.buckets[b]
+		for i := range chain {
+			if chain[i].hash == h && chain[i].key == key {
+				chain[i].val = val
+				return false
+			}
+		}
+	}
+	t.buckets[b] = append(t.buckets[b], entry[V]{hash: h, key: key, val: val})
+	t.size++
+	if t.size > len(t.buckets) { // max load factor 1, as libstdc++
+		t.rehash(nextBucketCount(len(t.buckets)))
+	}
+	return true
+}
+
+// get returns the first value mapped to key.
+func (t *table[V]) get(key string) (V, bool) {
+	h := t.hash(key)
+	chain := t.buckets[t.bucketOf(h)]
+	for i := range chain {
+		if chain[i].hash == h && chain[i].key == key {
+			return chain[i].val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// count returns the number of entries with the given key.
+func (t *table[V]) count(key string) int {
+	h := t.hash(key)
+	chain := t.buckets[t.bucketOf(h)]
+	n := 0
+	for i := range chain {
+		if chain[i].hash == h && chain[i].key == key {
+			n++
+		}
+	}
+	return n
+}
+
+// del removes all entries with the given key, returning how many were
+// removed (erase(key) semantics of the unordered containers).
+func (t *table[V]) del(key string) int {
+	h := t.hash(key)
+	b := t.bucketOf(h)
+	chain := t.buckets[b]
+	kept := chain[:0]
+	removed := 0
+	for i := range chain {
+		if chain[i].hash == h && chain[i].key == key {
+			removed++
+			continue
+		}
+		kept = append(kept, chain[i])
+	}
+	if removed > 0 {
+		// Clear the tail so removed values do not pin memory.
+		for i := len(kept); i < len(chain); i++ {
+			chain[i] = entry[V]{}
+		}
+		t.buckets[b] = kept
+		t.size -= removed
+	}
+	return removed
+}
+
+func (t *table[V]) rehash(n int) {
+	old := t.buckets
+	t.buckets = make([][]entry[V], n)
+	for _, chain := range old {
+		for _, e := range chain {
+			b := t.bucketOf(e.hash)
+			t.buckets[b] = append(t.buckets[b], e)
+		}
+	}
+}
+
+// reserve grows the table so that n entries fit without rehashing
+// (std::unordered_map::reserve).
+func (t *table[V]) reserve(n int) {
+	if n <= len(t.buckets) {
+		return
+	}
+	t.rehash(nextPrime(n))
+}
+
+// loadFactor returns size/buckets (std::unordered_map::load_factor).
+func (t *table[V]) loadFactor() float64 {
+	return float64(t.size) / float64(len(t.buckets))
+}
+
+// clear removes every entry, keeping the bucket array.
+func (t *table[V]) clear() {
+	for i := range t.buckets {
+		t.buckets[i] = nil
+	}
+	t.size = 0
+}
+
+// bucketCollisions counts keys sharing a bucket with an earlier key:
+// Σ max(0, len(bucket)−1), the paper's B-Coll measurement.
+func (t *table[V]) bucketCollisions() int {
+	n := 0
+	for _, chain := range t.buckets {
+		if len(chain) > 1 {
+			n += len(chain) - 1
+		}
+	}
+	return n
+}
+
+// maxBucketLen returns the longest chain, a worst-case probe measure.
+func (t *table[V]) maxBucketLen() int {
+	m := 0
+	for _, chain := range t.buckets {
+		if len(chain) > m {
+			m = len(chain)
+		}
+	}
+	return m
+}
+
+func (t *table[V]) forEach(f func(key string, val V)) {
+	for _, chain := range t.buckets {
+		for i := range chain {
+			f(chain[i].key, chain[i].val)
+		}
+	}
+}
+
+// nextBucketCount returns the next prime ≥ 2n+1, the growth policy of
+// libstdc++'s prime rehash policy.
+func nextBucketCount(n int) int {
+	return nextPrime(2*n + 1)
+}
+
+func nextPrime(n int) int {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for !isPrime(n) {
+		n += 2
+	}
+	return n
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,233 @@
+package container
+
+import "github.com/sepe-go/sepe/internal/hashes"
+
+// Kind names the four container shapes the paper's driver runs
+// (Section 4's "Structure" parameter).
+type Kind int
+
+const (
+	// MapKind corresponds to std::unordered_map.
+	MapKind Kind = iota
+	// SetKind corresponds to std::unordered_set.
+	SetKind
+	// MultiMapKind corresponds to std::unordered_multimap.
+	MultiMapKind
+	// MultiSetKind corresponds to std::unordered_multiset.
+	MultiSetKind
+)
+
+// Kinds lists all four in the paper's order.
+var Kinds = []Kind{MapKind, SetKind, MultiMapKind, MultiSetKind}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case MapKind:
+		return "Map"
+	case SetKind:
+		return "Set"
+	case MultiMapKind:
+		return "MultiMap"
+	case MultiSetKind:
+		return "MultiSet"
+	default:
+		return "Kind?"
+	}
+}
+
+// Stats exposes the bucket measurements the experiments record.
+type Stats struct {
+	Size             int
+	Buckets          int
+	BucketCollisions int
+	MaxBucketLen     int
+}
+
+// Container is the uniform driver interface over the four shapes:
+// insert / search / erase with std::unordered_* semantics.
+type Container interface {
+	Insert(key string)
+	Search(key string) bool
+	Erase(key string) int
+	Len() int
+	Stats() Stats
+}
+
+// New builds a container of the given kind over a hash function; a nil
+// indexer selects the libstdc++ modulo policy.
+func New(k Kind, hash hashes.Func, index Indexer) Container {
+	switch k {
+	case MapKind:
+		return NewMap[int](hash, index)
+	case SetKind:
+		return NewSet(hash, index)
+	case MultiMapKind:
+		return NewMultiMap[int](hash, index)
+	case MultiSetKind:
+		return NewMultiSet(hash, index)
+	default:
+		panic("container: unknown kind")
+	}
+}
+
+// Map is the std::unordered_map equivalent.
+type Map[V any] struct{ t *table[V] }
+
+// NewMap returns an empty map using the given hash and indexer.
+func NewMap[V any](hash hashes.Func, index Indexer) *Map[V] {
+	return &Map[V]{t: newTable[V](hash, index, false)}
+}
+
+// Put maps key to val, replacing any existing mapping; it reports
+// whether the key was new.
+func (m *Map[V]) Put(key string, val V) bool { return m.t.put(key, val) }
+
+// Get returns the value mapped to key.
+func (m *Map[V]) Get(key string) (V, bool) { return m.t.get(key) }
+
+// Delete removes the mapping, reporting how many entries went away.
+func (m *Map[V]) Delete(key string) int { return m.t.del(key) }
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int { return m.t.size }
+
+// ForEach visits every entry in unspecified order.
+func (m *Map[V]) ForEach(f func(key string, val V)) { m.t.forEach(f) }
+
+// Stats returns bucket measurements.
+func (m *Map[V]) Stats() Stats { return stats(m.t) }
+
+// Reserve pre-sizes the table for n entries.
+func (m *Map[V]) Reserve(n int) { m.t.reserve(n) }
+
+// LoadFactor returns entries per bucket.
+func (m *Map[V]) LoadFactor() float64 { return m.t.loadFactor() }
+
+// Clear removes every entry, keeping the bucket array.
+func (m *Map[V]) Clear() { m.t.clear() }
+
+// Insert implements Container with a zero value.
+func (m *Map[V]) Insert(key string) { var zero V; m.t.put(key, zero) }
+
+// Search implements Container.
+func (m *Map[V]) Search(key string) bool { _, ok := m.t.get(key); return ok }
+
+// Erase implements Container.
+func (m *Map[V]) Erase(key string) int { return m.t.del(key) }
+
+// Set is the std::unordered_set equivalent.
+type Set struct{ t *table[struct{}] }
+
+// NewSet returns an empty set.
+func NewSet(hash hashes.Func, index Indexer) *Set {
+	return &Set{t: newTable[struct{}](hash, index, false)}
+}
+
+// Insert adds key.
+func (s *Set) Insert(key string) { s.t.put(key, struct{}{}) }
+
+// Add adds key, reporting whether it was new.
+func (s *Set) Add(key string) bool { return s.t.put(key, struct{}{}) }
+
+// Search reports membership.
+func (s *Set) Search(key string) bool { _, ok := s.t.get(key); return ok }
+
+// Erase removes key.
+func (s *Set) Erase(key string) int { return s.t.del(key) }
+
+// Len returns the number of members.
+func (s *Set) Len() int { return s.t.size }
+
+// Stats returns bucket measurements.
+func (s *Set) Stats() Stats { return stats(s.t) }
+
+// Reserve pre-sizes the table for n members.
+func (s *Set) Reserve(n int) { s.t.reserve(n) }
+
+// LoadFactor returns members per bucket.
+func (s *Set) LoadFactor() float64 { return s.t.loadFactor() }
+
+// Clear removes every member, keeping the bucket array.
+func (s *Set) Clear() { s.t.clear() }
+
+// MultiMap is the std::unordered_multimap equivalent: one key may map
+// to several values.
+type MultiMap[V any] struct{ t *table[V] }
+
+// NewMultiMap returns an empty multimap.
+func NewMultiMap[V any](hash hashes.Func, index Indexer) *MultiMap[V] {
+	return &MultiMap[V]{t: newTable[V](hash, index, true)}
+}
+
+// Put adds one key→val entry (duplicates allowed).
+func (m *MultiMap[V]) Put(key string, val V) { m.t.put(key, val) }
+
+// GetAll returns every value mapped to key.
+func (m *MultiMap[V]) GetAll(key string) []V {
+	h := m.t.hash(key)
+	chain := m.t.buckets[m.t.bucketOf(h)]
+	var out []V
+	for i := range chain {
+		if chain[i].hash == h && chain[i].key == key {
+			out = append(out, chain[i].val)
+		}
+	}
+	return out
+}
+
+// Count returns the number of entries for key.
+func (m *MultiMap[V]) Count(key string) int { return m.t.count(key) }
+
+// Delete removes all entries for key.
+func (m *MultiMap[V]) Delete(key string) int { return m.t.del(key) }
+
+// Len returns the total entry count.
+func (m *MultiMap[V]) Len() int { return m.t.size }
+
+// Stats returns bucket measurements.
+func (m *MultiMap[V]) Stats() Stats { return stats(m.t) }
+
+// Insert implements Container.
+func (m *MultiMap[V]) Insert(key string) { var zero V; m.t.put(key, zero) }
+
+// Search implements Container.
+func (m *MultiMap[V]) Search(key string) bool { _, ok := m.t.get(key); return ok }
+
+// Erase implements Container.
+func (m *MultiMap[V]) Erase(key string) int { return m.t.del(key) }
+
+// MultiSet is the std::unordered_multiset equivalent.
+type MultiSet struct{ t *table[struct{}] }
+
+// NewMultiSet returns an empty multiset.
+func NewMultiSet(hash hashes.Func, index Indexer) *MultiSet {
+	return &MultiSet{t: newTable[struct{}](hash, index, true)}
+}
+
+// Insert adds one occurrence of key.
+func (s *MultiSet) Insert(key string) { s.t.put(key, struct{}{}) }
+
+// Count returns the number of occurrences of key.
+func (s *MultiSet) Count(key string) int { return s.t.count(key) }
+
+// Search reports whether key occurs at least once.
+func (s *MultiSet) Search(key string) bool { _, ok := s.t.get(key); return ok }
+
+// Erase removes all occurrences of key.
+func (s *MultiSet) Erase(key string) int { return s.t.del(key) }
+
+// Len returns the total occurrence count.
+func (s *MultiSet) Len() int { return s.t.size }
+
+// Stats returns bucket measurements.
+func (s *MultiSet) Stats() Stats { return stats(s.t) }
+
+func stats[V any](t *table[V]) Stats {
+	return Stats{
+		Size:             t.size,
+		Buckets:          len(t.buckets),
+		BucketCollisions: t.bucketCollisions(),
+		MaxBucketLen:     t.maxBucketLen(),
+	}
+}

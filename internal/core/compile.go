@@ -1,0 +1,351 @@
+package core
+
+import (
+	"math/bits"
+
+	"github.com/sepe-go/sepe/internal/aesround"
+	"github.com/sepe-go/sepe/internal/hashes"
+	"github.com/sepe-go/sepe/internal/pattern"
+)
+
+// Func is a compiled hash function over string keys.
+type Func = hashes.Func
+
+// aesKey0 and aesKey1 are the fixed round keys of the Aes family;
+// arbitrary odd-looking constants, mirroring the seeds SEPE bakes into
+// its generated aesenc calls.
+var (
+	aesKey0 = aesround.State{Lo: 0x8648DBDB64FD7C85, Hi: 0x92F8C5B1ED4313D9}
+	aesKey1 = aesround.State{Lo: 0xD3535D4A3EC4E2C3, Hi: 0xB924A4A8B1CF7B01}
+)
+
+// Compile lowers the plan to an executable closure. The compiler plays
+// the role of SEPE's emitted C++: fixed plans with few loads become
+// straight-line closures (the "unrolled" code of Section 3.2.2),
+// larger or variable plans use the skip-table loop of Section 3.2.1.
+func (p *Plan) Compile() Func {
+	if p.Fallback {
+		return hashes.STL
+	}
+	switch p.Family {
+	case Aes:
+		if p.Fixed {
+			return compileAesFixed(p.Loads)
+		}
+		return compileAesVariable(p)
+	default:
+		if p.Fixed {
+			return compileXorFixed(p.Loads)
+		}
+		return compileXorVariable(p)
+	}
+}
+
+// word performs one load of the plan, including partial loads.
+func word(key string, l *Load) uint64 {
+	if l.Partial != 0 {
+		return hashes.LoadTail(key, l.Offset, l.Partial)
+	}
+	return hashes.LoadU64(key, l.Offset)
+}
+
+// maxEnd returns the number of key bytes the loads read — the minimum
+// key length a fixed plan's closure may be applied to.
+func maxEnd(loads []Load) int {
+	need := 0
+	for i := range loads {
+		end := loads[i].Offset + pattern.WordSize
+		if loads[i].Partial != 0 {
+			end = loads[i].Offset + loads[i].Partial
+		}
+		if end > need {
+			need = end
+		}
+	}
+	return need
+}
+
+// compileXorFixed serves Naive, OffXor and Pext on fixed-length keys:
+// the families differ only in which loads exist and which extraction
+// each load carries. Small load counts get dedicated closures so the
+// hot path is straight-line code, as in the paper's generated
+// functions (Figure 5c's OffXor for IPv4 is the two-load case).
+func compileXorFixed(loads []Load) Func {
+	if f := compilePlainXor(loads); f != nil {
+		return f
+	}
+	if f := compilePextXor(loads); f != nil {
+		return f
+	}
+	need := maxEnd(loads)
+	switch len(loads) {
+	case 0:
+		// Fully-constant format: a single key exists, hash constant.
+		return func(string) uint64 { return 0 }
+	case 1:
+		l0 := loads[0]
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			return l0.extract(word(key, &l0))
+		}
+	case 2:
+		l0, l1 := loads[0], loads[1]
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			return l0.extract(word(key, &l0)) ^ l1.extract(word(key, &l1))
+		}
+	default:
+		ls := append([]Load(nil), loads...)
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			var h uint64
+			for i := range ls {
+				h ^= ls[i].extract(word(key, &ls[i]))
+			}
+			return h
+		}
+	}
+}
+
+// compilePlainXor emits offset-only closures for full-word loads
+// without extraction — the Naive and OffXor families on fixed-length
+// keys. These are the paper's fastest functions (Figure 5c's OffXor),
+// so the closures contain nothing but loads and xors.
+func compilePlainXor(loads []Load) Func {
+	for i := range loads {
+		l := &loads[i]
+		if l.ext != nil || l.Shift != 0 || l.Partial != 0 {
+			return nil
+		}
+	}
+	need := maxEnd(loads)
+	switch len(loads) {
+	case 1:
+		o0 := loads[0].Offset
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			return hashes.LoadU64(key, o0)
+		}
+	case 2:
+		o0, o1 := loads[0].Offset, loads[1].Offset
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			return hashes.LoadU64(key, o0) ^ hashes.LoadU64(key, o1)
+		}
+	case 3:
+		o0, o1, o2 := loads[0].Offset, loads[1].Offset, loads[2].Offset
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			return hashes.LoadU64(key, o0) ^ hashes.LoadU64(key, o1) ^
+				hashes.LoadU64(key, o2)
+		}
+	case 4:
+		o0, o1, o2, o3 := loads[0].Offset, loads[1].Offset, loads[2].Offset, loads[3].Offset
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			return hashes.LoadU64(key, o0) ^ hashes.LoadU64(key, o1) ^
+				hashes.LoadU64(key, o2) ^ hashes.LoadU64(key, o3)
+		}
+	default:
+		offs := make([]int, len(loads))
+		for i, l := range loads {
+			offs[i] = l.Offset
+		}
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			var h uint64
+			for _, o := range offs {
+				h ^= hashes.LoadU64(key, o)
+			}
+			return h
+		}
+	}
+}
+
+// compilePextXor emits closures for one- and two-load Pext plans —
+// the common fixed-format case (formats with ≤ 64 variable bits fit
+// in two overlapping loads). The extraction networks are captured by
+// value so the hot path has no pointer chasing.
+func compilePextXor(loads []Load) Func {
+	for i := range loads {
+		if loads[i].ext == nil || loads[i].Partial != 0 {
+			return nil
+		}
+	}
+	need := maxEnd(loads)
+	switch len(loads) {
+	case 1:
+		o0, s0 := loads[0].Offset, int(loads[0].Shift)
+		e0 := loads[0].ext.Fn()
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			return bits.RotateLeft64(e0(hashes.LoadU64(key, o0)), s0)
+		}
+	case 2:
+		o0, s0 := loads[0].Offset, int(loads[0].Shift)
+		o1, s1 := loads[1].Offset, int(loads[1].Shift)
+		e0, e1 := loads[0].ext.Fn(), loads[1].ext.Fn()
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			return bits.RotateLeft64(e0(hashes.LoadU64(key, o0)), s0) ^
+				bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1)
+		}
+	case 3:
+		o0, s0 := loads[0].Offset, int(loads[0].Shift)
+		o1, s1 := loads[1].Offset, int(loads[1].Shift)
+		o2, s2 := loads[2].Offset, int(loads[2].Shift)
+		e0, e1, e2 := loads[0].ext.Fn(), loads[1].ext.Fn(), loads[2].ext.Fn()
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			return bits.RotateLeft64(e0(hashes.LoadU64(key, o0)), s0) ^
+				bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1) ^
+				bits.RotateLeft64(e2(hashes.LoadU64(key, o2)), s2)
+		}
+	default:
+		return nil
+	}
+}
+
+// compileXorVariable implements the skip-table loop of Figure 8 for
+// the xor-based families, with a byte tail for the unaligned and
+// beyond-MinLen remainder.
+func compileXorVariable(p *Plan) Func {
+	skip := append([]int(nil), p.Skip...)
+	nLoads := p.SkipLoads
+	if p.Family == Pext {
+		loads := append([]Load(nil), p.Loads...)
+		return func(key string) uint64 {
+			var h uint64
+			pos := 0
+			for i := range loads {
+				if loads[i].Offset+pattern.WordSize > len(key) {
+					pos = loads[i].Offset
+					break
+				}
+				h ^= loads[i].extract(hashes.LoadU64(key, loads[i].Offset))
+				pos = loads[i].Offset + pattern.WordSize
+			}
+			return h ^ byteTail(key, pos)
+		}
+	}
+	return func(key string) uint64 {
+		var h uint64
+		pos := skip[0]
+		c := 0
+		for ; c < nLoads && pos+pattern.WordSize <= len(key); c++ {
+			h ^= hashes.LoadU64(key, pos)
+			pos += skip[c+1]
+		}
+		return h ^ byteTail(key, pos)
+	}
+}
+
+// byteTail folds the bytes of key[pos:] into a word — the
+// update_hash_u8 loop of Figure 8. The fold is FNV-1a rather than a
+// plain shift so tails longer than a word keep contributing entropy:
+// variable-length formats can leave arbitrarily many bytes to the
+// tail loop, and a shift-only fold would silently drop all but the
+// last eight.
+func byteTail(key string, pos int) uint64 {
+	if pos >= len(key) {
+		return 0
+	}
+	t := uint64(len(key) - pos)
+	for ; pos < len(key); pos++ {
+		t = (t ^ uint64(key[pos])) * 1099511628211
+	}
+	return t
+}
+
+// compileAesFixed absorbs the plan's loads two at a time into a
+// 128-bit state, applying one AES round per pair; for an odd load the
+// word is replicated into both lanes (the paper notes this replication
+// for short keys, and its cost: Aes's 9 true collisions all come from
+// keys shorter than 16 bytes).
+func compileAesFixed(loads []Load) Func {
+	ls := append([]Load(nil), loads...)
+	need := maxEnd(ls)
+	if len(ls) == 2 {
+		l0, l1 := ls[0], ls[1]
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			st := aesround.State{
+				Lo: word(key, &l0),
+				Hi: word(key, &l1),
+			}
+			st = aesround.Encrypt(st, aesKey0)
+			st = aesround.Encrypt(st, aesKey1)
+			return st.Lo ^ st.Hi
+		}
+	}
+	return func(key string) uint64 {
+		if len(key) < need {
+			return hashes.STL(key)
+		}
+		var st aesround.State
+		for i := 0; i < len(ls); i += 2 {
+			lo := word(key, &ls[i])
+			hi := lo
+			if i+1 < len(ls) {
+				hi = word(key, &ls[i+1])
+			}
+			st.Lo ^= lo
+			st.Hi ^= hi
+			st = aesround.Encrypt(st, aesKey0)
+		}
+		st = aesround.Encrypt(st, aesKey1)
+		return st.Lo ^ st.Hi
+	}
+}
+
+// compileAesVariable is the skip-table loop with AES combining.
+func compileAesVariable(p *Plan) Func {
+	skip := append([]int(nil), p.Skip...)
+	nLoads := p.SkipLoads
+	return func(key string) uint64 {
+		var st aesround.State
+		pos := skip[0]
+		lane := 0
+		c := 0
+		for ; c < nLoads && pos+pattern.WordSize <= len(key); c++ {
+			w := hashes.LoadU64(key, pos)
+			if lane == 0 {
+				st.Lo ^= w
+				lane = 1
+			} else {
+				st.Hi ^= w
+				st = aesround.Encrypt(st, aesKey0)
+				lane = 0
+			}
+			pos += skip[c+1]
+		}
+		st.Hi ^= byteTail(key, pos)
+		st = aesround.Encrypt(st, aesKey0)
+		st = aesround.Encrypt(st, aesKey1)
+		return st.Lo ^ st.Hi
+	}
+}

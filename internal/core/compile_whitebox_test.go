@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/hashes"
+	"github.com/sepe-go/sepe/internal/pext"
+)
+
+// These white-box tests exercise the defensive paths of the plan
+// compiler directly: load shapes the current planners never emit
+// (mixed extraction/partial combinations) must still compile to
+// correct closures, because future planners may produce them.
+
+func TestCompileXorFixedGenericPaths(t *testing.T) {
+	key := "0123456789abcdef"
+	full := ^uint64(0)
+
+	// One partial load (bytes 2..6) with a shift: forces the generic
+	// 1-load path (compilePlainXor rejects shifts, compilePextXor
+	// rejects partials).
+	l1 := Load{Offset: 2, Partial: 5, Mask: full, Shift: 8}
+	f1 := compileXorFixed([]Load{l1})
+	want1 := hashes.LoadTail(key, 2, 5) << 8
+	if got := f1(key); got != want1 {
+		t.Errorf("generic 1-load = %#x, want %#x", got, want1)
+	}
+
+	// Two loads, one extracted and one partial: generic 2-load path.
+	e := pext.Compile(0x0F0F)
+	l2a := Load{Offset: 0, Mask: 0x0F0F, ext: e}
+	l2b := Load{Offset: 8, Partial: 3, Mask: full}
+	f2 := compileXorFixed([]Load{l2a, l2b})
+	want2 := e.Extract(hashes.LoadU64(key, 0)) ^ hashes.LoadTail(key, 8, 3)
+	if got := f2(key); got != want2 {
+		t.Errorf("generic 2-load = %#x, want %#x", got, want2)
+	}
+
+	// Five mixed loads: the generic loop.
+	var loads []Load
+	for i := 0; i < 5; i++ {
+		loads = append(loads, Load{Offset: i, Mask: full, Shift: uint(i)})
+	}
+	f5 := compileXorFixed(loads)
+	var want5 uint64
+	for i := 0; i < 5; i++ {
+		l := loads[i]
+		want5 ^= l.extract(hashes.LoadU64(key, l.Offset))
+	}
+	if got := f5(key); got != want5 {
+		t.Errorf("generic 5-load = %#x, want %#x", got, want5)
+	}
+
+	// Every generic path must also fall back safely on short keys.
+	for _, f := range []Func{f1, f2, f5} {
+		if f("ab") != hashes.STL("ab") {
+			t.Error("generic path short-key guard missing")
+		}
+	}
+}
+
+func TestWordPartialAndFull(t *testing.T) {
+	key := "abcdefghij"
+	lp := Load{Offset: 1, Partial: 4}
+	if got := word(key, &lp); got != hashes.LoadTail(key, 1, 4) {
+		t.Errorf("partial word = %#x", got)
+	}
+	lf := Load{Offset: 2}
+	if got := word(key, &lf); got != hashes.LoadU64(key, 2) {
+		t.Errorf("full word = %#x", got)
+	}
+}
+
+func TestSkipAtDefaultStride(t *testing.T) {
+	if got := skipAt([]int{3, 5}, 1); got != 5 {
+		t.Errorf("skipAt in range = %d", got)
+	}
+	if got := skipAt([]int{3}, 7); got != 8 {
+		t.Errorf("skipAt past end = %d, want the word stride", got)
+	}
+}
+
+func TestWindowMaskBounds(t *testing.T) {
+	if windowMask(64) != ^uint64(0) || windowMask(100) != ^uint64(0) {
+		t.Error("wide windows must saturate")
+	}
+	if windowMask(4) != 0xF {
+		t.Errorf("windowMask(4) = %#x", windowMask(4))
+	}
+	if windowMask(0) != 0 {
+		t.Errorf("windowMask(0) = %#x", windowMask(0))
+	}
+}
+
+func TestBuildShortPlanEdgeCases(t *testing.T) {
+	// Zero-length format: falls back outright.
+	empty := mustPattern(t, `a{0,0}`)
+	p, err := BuildPlan(empty, Naive, Options{AllowShort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Fallback {
+		t.Error("empty format must fall back")
+	}
+	// All-constant short format: Pext's mask would be empty; the plan
+	// keeps every bit instead.
+	konst := mustPattern(t, `ABC`)
+	p2, err := BuildPlan(konst, Pext, Options{AllowShort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Fallback || len(p2.Loads) != 1 {
+		t.Fatalf("short const plan = %+v", p2)
+	}
+	f := p2.Compile()
+	if f("ABC") != f("ABC") {
+		t.Error("short const plan nondeterministic")
+	}
+}

@@ -1,0 +1,635 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/infer"
+	"github.com/sepe-go/sepe/internal/pattern"
+	"github.com/sepe-go/sepe/internal/rex"
+)
+
+// formats used across the tests: name → (regex, sample generator).
+type format struct {
+	name  string
+	expr  string
+	gen   func(i int) string
+	count int
+}
+
+var testFormats = []format{
+	{
+		name: "SSN",
+		expr: `[0-9]{3}-[0-9]{2}-[0-9]{4}`,
+		gen: func(i int) string {
+			return fmt.Sprintf("%03d-%02d-%04d", i%1000, (i/7)%100, (i*13)%10000)
+		},
+	},
+	{
+		name: "IPv4",
+		expr: `([0-9]{3}\.){3}[0-9]{3}`,
+		gen: func(i int) string {
+			return fmt.Sprintf("%03d.%03d.%03d.%03d", i%256, (i/3)%256, (i*7)%256, (i*31)%256)
+		},
+	},
+	{
+		name: "MAC",
+		expr: `([0-9a-f]{2}-){5}[0-9a-f]{2}`,
+		gen: func(i int) string {
+			return fmt.Sprintf("%02x-%02x-%02x-%02x-%02x-%02x",
+				i%256, (i/2)%256, (i*3)%256, (i*5)%256, (i*7)%256, (i*11)%256)
+		},
+	},
+	{
+		name: "INTS",
+		expr: `[0-9]{100}`,
+		gen: func(i int) string {
+			return fmt.Sprintf("%0100d", i*1000003)
+		},
+	},
+	{
+		name: "URL",
+		expr: `https://example\.com/idx/[a-z]{8}\.html`,
+		gen: func(i int) string {
+			var sb strings.Builder
+			sb.WriteString("https://example.com/idx/")
+			for j := 0; j < 8; j++ {
+				sb.WriteByte(byte('a' + (i>>(j*2))%26))
+			}
+			sb.WriteString(".html")
+			return sb.String()
+		},
+	},
+}
+
+func mustPattern(t *testing.T, expr string) *pattern.Pattern {
+	t.Helper()
+	p, err := rex.ParseAndLower(expr)
+	if err != nil {
+		t.Fatalf("lowering %q: %v", expr, err)
+	}
+	return p
+}
+
+func TestFamilyString(t *testing.T) {
+	want := map[Family]string{Naive: "Naive", OffXor: "OffXor", Aes: "Aes", Pext: "Pext"}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), s)
+		}
+	}
+	if Family(9).String() != "Family(9)" {
+		t.Error("unknown family string wrong")
+	}
+}
+
+func TestTargetGating(t *testing.T) {
+	if !TargetX86.Supports(Pext) || !TargetX86.Supports(Aes) {
+		t.Error("x86 must support all families")
+	}
+	if TargetAarch64.Supports(Pext) {
+		t.Error("aarch64 must not support Pext (no bext; RQ4)")
+	}
+	if !TargetAarch64.Supports(Naive) || !TargetAarch64.Supports(Aes) {
+		t.Error("aarch64 must support Naive and Aes")
+	}
+	pat := mustPattern(t, `[0-9]{16}`)
+	if _, err := Synthesize(pat, Pext, Options{Target: TargetAarch64}); err == nil {
+		t.Error("Pext on aarch64 must fail")
+	}
+	all, err := SynthesizeAll(pat, Options{Target: TargetAarch64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := all[Pext]; ok {
+		t.Error("SynthesizeAll on aarch64 must omit Pext")
+	}
+	if len(all) != 3 {
+		t.Errorf("aarch64 families = %d, want 3", len(all))
+	}
+}
+
+func TestSynthesizeNilPattern(t *testing.T) {
+	if _, err := Synthesize(nil, Naive, Options{}); err == nil {
+		t.Error("nil pattern must fail")
+	}
+}
+
+func TestShortKeyFallback(t *testing.T) {
+	pat := mustPattern(t, `[0-9]{4}`)
+	fn, err := Synthesize(pat, Pext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fn.Plan().Fallback {
+		t.Error("4-byte format must fall back by default (paper footnote 5)")
+	}
+	// The fallback must behave exactly like the STL hash.
+	if fn.Hash("1234") == 0 {
+		t.Error("fallback hash suspiciously zero")
+	}
+	forced, err := Synthesize(pat, Pext, Options{AllowShort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Plan().Fallback {
+		t.Error("AllowShort must produce a real plan")
+	}
+	if len(forced.Plan().Loads) != 1 || forced.Plan().Loads[0].Partial != 4 {
+		t.Errorf("short plan loads = %+v, want one partial load of 4", forced.Plan().Loads)
+	}
+}
+
+// TestPextBijectionOnFormat is the paper's central collision claim
+// (Section 4.2): for formats with ≤ 64 relevant bits, Pext is a
+// bijection — zero true collisions over any number of format keys.
+func TestPextBijectionOnFormat(t *testing.T) {
+	for _, f := range testFormats {
+		if f.name == "INTS" || f.name == "MAC" {
+			continue // > 64 relevant bits
+		}
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			pat := mustPattern(t, f.expr)
+			fn, err := Synthesize(pat, Pext, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fn.Plan().HashBits > 64 {
+				t.Skipf("%s has %d relevant bits", f.name, fn.Plan().HashBits)
+			}
+			if !fn.Plan().Bijective() {
+				t.Errorf("plan not marked bijective (bits=%d)", fn.Plan().HashBits)
+			}
+			seen := make(map[uint64]string, 20000)
+			for i := 0; i < 20000; i++ {
+				k := f.gen(i)
+				if !pat.Matches(k) {
+					t.Fatalf("generator emitted off-format key %q", k)
+				}
+				h := fn.Hash(k)
+				if prev, dup := seen[h]; dup && prev != k {
+					t.Fatalf("Pext collision: %q and %q → %#x", prev, k, h)
+				}
+				seen[h] = k
+			}
+		})
+	}
+}
+
+// TestFamiliesDistinguishKeys: every family must distinguish keys that
+// differ in a single variable byte.
+func TestFamiliesDistinguishKeys(t *testing.T) {
+	for _, f := range testFormats {
+		pat := mustPattern(t, f.expr)
+		fns, err := SynthesizeAll(pat, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := f.gen(1)
+		for fam, fn := range fns {
+			collisions := 0
+			for i := 2; i < 200; i++ {
+				k := f.gen(i)
+				if k == base {
+					continue
+				}
+				if fn.Hash(k) == fn.Hash(base) {
+					collisions++
+				}
+			}
+			if collisions > 0 {
+				t.Errorf("%s/%v: %d collisions against base key", f.name, fam, collisions)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, f := range testFormats {
+		pat := mustPattern(t, f.expr)
+		fns, err := SynthesizeAll(pat, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fam, fn := range fns {
+			for i := 0; i < 50; i++ {
+				k := f.gen(i)
+				if fn.Hash(k) != fn.Hash(k) {
+					t.Fatalf("%s/%v: nondeterministic on %q", f.name, fam, k)
+				}
+			}
+		}
+	}
+}
+
+func TestSSNPlanMatchesPaperFigure12(t *testing.T) {
+	// SSN in the paper's Figure 12 format uses two loads at 0 and 3;
+	// the second mask covers only the bytes the first load missed, and
+	// the second extraction is shifted to the top of the word.
+	pat, err := infer.Infer([]string{"000-00-0000", "555-55-5555", "999-99-9999"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := Synthesize(pat, Pext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fn.Plan()
+	if len(p.Loads) != 2 {
+		t.Fatalf("loads = %d, want 2", len(p.Loads))
+	}
+	if p.Loads[0].Offset != 0 || p.Loads[1].Offset != 3 {
+		t.Errorf("load offsets = %d,%d, want 0,3", p.Loads[0].Offset, p.Loads[1].Offset)
+	}
+	// First load: digits at bytes 0,1,2,4,5,7 → mask 0x0f000f0f000f0f0f.
+	if p.Loads[0].Mask != 0x0f000f0f000f0f0f {
+		t.Errorf("mask0 = %#016x, want 0x0f000f0f000f0f0f", p.Loads[0].Mask)
+	}
+	// Second load at 3 covers bytes 3..10; bytes 8,9,10 are new digits
+	// → word bytes 5,6,7 → mask 0x0f0f0f0000000000 (paper's mk1).
+	if p.Loads[1].Mask != 0x0f0f0f0000000000 {
+		t.Errorf("mask1 = %#016x, want 0x0f0f0f0000000000", p.Loads[1].Mask)
+	}
+	// 9 digits → 36 bits; second extraction has 12 bits → shift 52,
+	// exactly the paper's "hashable1 << 52".
+	if p.HashBits != 36 {
+		t.Errorf("HashBits = %d, want 36", p.HashBits)
+	}
+	if p.Loads[1].Shift != 52 {
+		t.Errorf("shift1 = %d, want 52", p.Loads[1].Shift)
+	}
+	if !p.Bijective() {
+		t.Error("SSN Pext plan must be a bijection")
+	}
+}
+
+func TestPextUsesFullRange(t *testing.T) {
+	// Section 3.2.3 step 3: the top extraction is pushed against bit
+	// 63, so hashes of keys differing in the last digits differ in
+	// their most significant bits (RQ7's low-mixing resistance).
+	pat := mustPattern(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	fn, err := Synthesize(pat, Pext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := fn.Hash("123-45-6789")
+	h2 := fn.Hash("123-45-6788")
+	if h1>>32 == h2>>32 {
+		t.Errorf("last-digit change invisible in high bits: %#x vs %#x", h1, h2)
+	}
+}
+
+func TestNaiveLoadsEverything(t *testing.T) {
+	pat := mustPattern(t, `([0-9]{3}\.){3}[0-9]{3}`) // 15 bytes
+	fn, err := Synthesize(pat, Naive, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fn.Plan()
+	if len(p.Loads) != 2 || p.Loads[0].Offset != 0 || p.Loads[1].Offset != 7 {
+		t.Errorf("Naive loads = %+v, want offsets 0 and 7", p.Loads)
+	}
+	// Figure 5c's OffXor for IPv4: h0 = load(0), h1 = load(7), h0^h1.
+	want := func(k string) uint64 {
+		var lo, hi uint64
+		for i := 7; i >= 0; i-- {
+			lo = lo<<8 | uint64(k[i])
+			hi = hi<<8 | uint64(k[7+i])
+		}
+		return lo ^ hi
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("%03d.%03d.%03d.%03d", i, i*2%256, i*3%256, i*5%256)
+		if got := fn.Hash(k); got != want(k) {
+			t.Errorf("Naive(%q) = %#x, want %#x", k, got, want(k))
+		}
+	}
+}
+
+func TestOffXorSkipsConstantWords(t *testing.T) {
+	// 8 variable + 16 constant + 8 variable bytes: OffXor must load
+	// only two words while Naive loads four.
+	expr := `[0-9]{8}AAAAAAAABBBBBBBB[0-9]{8}`
+	pat := mustPattern(t, expr)
+	offxor, err := Synthesize(pat, OffXor, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Synthesize(pat, Naive, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(offxor.Plan().Loads); got != 2 {
+		t.Errorf("OffXor loads = %d, want 2", got)
+	}
+	if got := len(naive.Plan().Loads); got != 4 {
+		t.Errorf("Naive loads = %d, want 4", got)
+	}
+	// Both must still distinguish keys that differ in variable bytes.
+	k1 := "01234567AAAAAAAABBBBBBBB76543210"
+	k2 := "01234567AAAAAAAABBBBBBBB76543211"
+	if offxor.Hash(k1) == offxor.Hash(k2) {
+		t.Error("OffXor ignores trailing variable byte")
+	}
+}
+
+func TestPextMasksDisjointAcrossLoads(t *testing.T) {
+	// Property: the byte spans of Pext loads never extract the same
+	// key byte twice, for a variety of formats.
+	for _, f := range testFormats {
+		pat := mustPattern(t, f.expr)
+		fn, err := Synthesize(pat, Pext, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := fn.Plan()
+		if !p.Fixed {
+			continue
+		}
+		covered := make(map[int]bool)
+		total := 0
+		for _, l := range p.Loads {
+			for i := 0; i < 8; i++ {
+				byteMask := byte(l.Mask >> (8 * i))
+				if byteMask == 0 {
+					continue
+				}
+				pos := l.Offset + i
+				if covered[pos] {
+					t.Errorf("%s: byte %d extracted twice", f.name, pos)
+				}
+				covered[pos] = true
+				total += bits.OnesCount8(byteMask)
+			}
+		}
+		if total != p.HashBits {
+			t.Errorf("%s: HashBits = %d, mask bits = %d", f.name, p.HashBits, total)
+		}
+		if total != pat.VarBitCount() {
+			t.Errorf("%s: extracted %d bits, pattern has %d variable bits",
+				f.name, total, pat.VarBitCount())
+		}
+	}
+}
+
+func TestPextShiftsDisjointWhenFits(t *testing.T) {
+	// When HashBits ≤ 64, the shifted extraction windows must not
+	// overlap (that is what makes the function a bijection).
+	for _, f := range testFormats {
+		pat := mustPattern(t, f.expr)
+		fn, err := Synthesize(pat, Pext, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := fn.Plan()
+		if !p.Fixed || p.HashBits > 64 || p.Fallback {
+			continue
+		}
+		var occupied uint64
+		for _, l := range p.Loads {
+			n := l.Extractor().Bits()
+			window := (uint64(1)<<uint(n) - 1) << l.Shift
+			if n == 64 {
+				window = ^uint64(0)
+			}
+			if occupied&window != 0 {
+				t.Errorf("%s: overlapping shift windows", f.name)
+			}
+			occupied |= window
+		}
+	}
+}
+
+func TestVariableLengthPlan(t *testing.T) {
+	// Constant prefix + variable-length digit tail → skip-table plan.
+	pat := mustPattern(t, `cache-entry-[0-9]{8,16}`)
+	for _, fam := range []Family{Naive, OffXor, Pext} {
+		fn, err := Synthesize(pat, fam, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+		p := fn.Plan()
+		if p.Fixed {
+			t.Fatalf("%v: plan must be variable-length", fam)
+		}
+		// All lengths must hash without panicking and distinguish the
+		// varying digits.
+		seen := make(map[uint64]string)
+		for n := 8; n <= 16; n++ {
+			for i := 0; i < 50; i++ {
+				k := "cache-entry-" + fmt.Sprintf("%0*d", n, i)
+				h := fn.Hash(k)
+				if prev, dup := seen[h]; dup && prev != k {
+					t.Errorf("%v: %q and %q collide", fam, prev, k)
+				}
+				seen[h] = k
+			}
+		}
+	}
+}
+
+func TestVariableAes(t *testing.T) {
+	pat := mustPattern(t, `session:[a-z]{16,32}`)
+	fn, err := Synthesize(pat, Aes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]string)
+	for n := 16; n <= 32; n++ {
+		for i := 0; i < 30; i++ {
+			k := "session:" + strings.Repeat(string(rune('a'+i%26)), n-1) + string(rune('a'+(i*7)%26))
+			if len(k) != 8+n {
+				t.Fatal("bad test key")
+			}
+			h := fn.Hash(k)
+			if prev, dup := seen[h]; dup && prev != k {
+				t.Errorf("Aes collision: %q vs %q", prev, k)
+			}
+			seen[h] = k
+		}
+	}
+}
+
+func TestAesMixesBetterThanOffXor(t *testing.T) {
+	// The Aes family exists for distribution: over ascending keys, its
+	// low bits must look uniform while OffXor's low bits mirror the
+	// key's low digits. Measure distinct values of hash>>56 (the top
+	// byte) across 4096 ascending SSNs.
+	pat := mustPattern(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	aes, err := Synthesize(pat, Aes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offxor, err := Synthesize(pat, OffXor, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := func(fn *Fn) int {
+		set := make(map[byte]bool)
+		for i := 0; i < 4096; i++ {
+			k := fmt.Sprintf("%03d-%02d-%04d", i/100000, (i/10000)%10, i%10000)
+			set[byte(fn.Hash(k)>>56)] = true
+		}
+		return len(set)
+	}
+	da, do := distinct(aes), distinct(offxor)
+	if da < 200 {
+		t.Errorf("Aes top byte takes only %d values over ascending keys", da)
+	}
+	if do >= da {
+		t.Errorf("OffXor top byte (%d values) should be less uniform than Aes (%d)", do, da)
+	}
+}
+
+func TestFnAccessors(t *testing.T) {
+	pat := mustPattern(t, `[0-9]{16}`)
+	fn, err := Synthesize(pat, Pext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fn.Family() != Pext {
+		t.Error("Family accessor wrong")
+	}
+	if fn.Pattern() != pat {
+		t.Error("Pattern accessor wrong")
+	}
+	if fn.Func()("0123456789012345") != fn.Hash("0123456789012345") {
+		t.Error("Func and Hash disagree")
+	}
+	if !strings.Contains(fn.String(), "Pext") {
+		t.Errorf("String = %q", fn.String())
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	short := mustPattern(t, `[0-9]{4}`)
+	fb, _ := Synthesize(short, Naive, Options{})
+	if !strings.Contains(fb.String(), "fallback") {
+		t.Errorf("fallback String = %q", fb.String())
+	}
+	vr := mustPattern(t, `[0-9]{8,12}`)
+	vfn, _ := Synthesize(vr, OffXor, Options{})
+	if !strings.Contains(vfn.String(), "variable") {
+		t.Errorf("variable String = %q", vfn.String())
+	}
+}
+
+func TestAllConstantFormat(t *testing.T) {
+	pat := mustPattern(t, `ABCDEFGHIJ`)
+	fn, err := Synthesize(pat, OffXor, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one key inhabits the format; any constant hash is correct.
+	if fn.Hash("ABCDEFGHIJ") != fn.Hash("ABCDEFGHIJ") {
+		t.Error("constant format must hash deterministically")
+	}
+	if len(fn.Plan().Loads) != 0 {
+		t.Errorf("constant format loads = %d, want 0", len(fn.Plan().Loads))
+	}
+}
+
+func TestManyLoadsGenericPath(t *testing.T) {
+	// 100-digit INTS exercise the >4-load generic loop.
+	pat := mustPattern(t, `[0-9]{100}`)
+	for _, fam := range []Family{Naive, OffXor, Pext, Aes} {
+		fn, err := Synthesize(pat, fam, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fam != Aes && len(fn.Plan().Loads) < 12 {
+			t.Errorf("%v: loads = %d, want ≥ 12", fam, len(fn.Plan().Loads))
+		}
+		seen := make(map[uint64]string)
+		for i := 0; i < 3000; i++ {
+			k := fmt.Sprintf("%0100d", i*7919)
+			h := fn.Hash(k)
+			if prev, dup := seen[h]; dup && prev != k {
+				t.Errorf("%v: INTS collision %q vs %q", fam, prev, k)
+			}
+			seen[h] = k
+		}
+	}
+}
+
+func TestAesShortKeyReplication(t *testing.T) {
+	// A single-load format exercises the replication path the paper
+	// blames for Aes's 9 true collisions; here, replication of a
+	// single word into both lanes must still distinguish all keys of
+	// an 8-byte format (the word is a bijection of the key).
+	pat := mustPattern(t, `[0-9]{8}`)
+	fn, err := Synthesize(pat, Aes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]string)
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("%08d", i)
+		h := fn.Hash(k)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Aes collision on 8-byte keys: %q vs %q", prev, k)
+		}
+		seen[h] = k
+	}
+}
+
+func BenchmarkSynthesizedSSN(b *testing.B) {
+	pat, err := rex.ParseAndLower(`[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := "123-45-6789"
+	for _, fam := range Families {
+		fn, err := Synthesize(pat, fam, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fam.String(), func(b *testing.B) {
+			var acc uint64
+			for i := 0; i < b.N; i++ {
+				acc += fn.Hash(key)
+			}
+			benchSink = acc
+		})
+	}
+}
+
+var benchSink uint64
+
+// TestPaperFigure4HandwrittenHash reproduces the handwritten SSN hash
+// of the paper's Example 2.3 / Figure 4 (two overlapping loads, shift
+// one by four bits, add) and checks the property the paper claims for
+// it: a bijection of 11-byte SSN strings onto 64-bit integers — the
+// same guarantee our synthesized Pext function provides mechanically.
+func TestPaperFigure4HandwrittenHash(t *testing.T) {
+	handwritten := func(key string) uint64 {
+		var h1, h2 uint64
+		for i := 7; i >= 0; i-- {
+			h1 = h1<<8 | uint64(key[i])
+			h2 = h2<<8 | uint64(key[3+i])
+		}
+		return h1 + h2<<4
+	}
+	pat := mustPattern(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	pext, err := Synthesize(pat, Pext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenHand := make(map[uint64]string, 50000)
+	seenPext := make(map[uint64]string, 50000)
+	for i := 0; i < 50000; i++ {
+		k := fmt.Sprintf("%03d-%02d-%04d", i%1000, (i/1000)%100, i%10000)
+		hh, hp := handwritten(k), pext.Hash(k)
+		if prev, dup := seenHand[hh]; dup && prev != k {
+			t.Fatalf("handwritten hash collides: %q vs %q", prev, k)
+		}
+		if prev, dup := seenPext[hp]; dup && prev != k {
+			t.Fatalf("synthesized Pext collides: %q vs %q", prev, k)
+		}
+		seenHand[hh] = k
+		seenPext[hp] = k
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"math/bits"
+
+	"github.com/sepe-go/sepe/internal/pext"
+)
+
+// ErrNotInvertible reports a plan without a bijectivity proof.
+var ErrNotInvertible = errors.New("core: plan is not a bijection on its format")
+
+// Invert reconstructs the unique format key that hashes to h under a
+// bijective plan (a fixed-length Pext plan with at most 64 variable
+// bits). It is the constructive counterpart of Bijective: the hash is
+// the key, re-encoded — precisely the learned-index observation the
+// paper builds on ("the key itself can be used as an offset").
+//
+// The second result reports whether h is the image of some format key;
+// values outside the image (stray bits in unused positions, or
+// variable bits whose byte would violate the format) return false.
+func (p *Plan) Invert(h uint64) (string, bool) {
+	if !p.Bijective() {
+		return "", false
+	}
+	// Start from the format's constant bytes.
+	buf := make([]byte, p.KeyLen)
+	for i, b := range p.Pattern.Bytes {
+		buf[i] = b.Value
+	}
+	var used uint64
+	for _, l := range p.Loads {
+		n := l.Extractor().Bits()
+		window := windowMask(n) << l.Shift
+		used |= window
+		// Undo the packing rotation, then scatter the extraction back
+		// to its in-word bit positions.
+		extracted := bits.RotateLeft64(h&window, -int(l.Shift))
+		word := pext.Deposit64(extracted, l.Mask)
+		for i := 0; i < 8; i++ {
+			m := byte(l.Mask >> (8 * i))
+			if m == 0 {
+				continue
+			}
+			pos := l.Offset + i
+			buf[pos] = buf[pos]&^m | byte(word>>(8*i))&m
+		}
+	}
+	if h&^used != 0 {
+		return "", false // bits outside every extraction window
+	}
+	key := string(buf)
+	if !p.Pattern.Matches(key) {
+		return "", false // the variable bits spell an off-format byte
+	}
+	return key, true
+}
+
+func windowMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// Invert on a synthesized function delegates to its plan.
+func (f *Fn) Invert(h uint64) (string, bool) { return f.plan.Invert(h) }

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestInvertRoundTripSSN(t *testing.T) {
+	pat := mustPattern(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	fn, err := Synthesize(pat, Pext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("%03d-%02d-%04d", i%1000, (i*3)%100, (i*7)%10000)
+		h := fn.Hash(k)
+		back, ok := fn.Invert(h)
+		if !ok {
+			t.Fatalf("Invert(%#x) failed for %q", h, k)
+		}
+		if back != k {
+			t.Fatalf("Invert(Hash(%q)) = %q", k, back)
+		}
+	}
+}
+
+func TestInvertRoundTripProperty(t *testing.T) {
+	pat := mustPattern(t, `([0-9]{3}\.){3}[0-9]{3}`)
+	fn, err := Synthesize(pat, Pext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c, d uint16) bool {
+		k := fmt.Sprintf("%03d.%03d.%03d.%03d", a%1000, b%1000, c%1000, d%1000)
+		back, ok := fn.Invert(fn.Hash(k))
+		return ok && back == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertRejectsNonImage(t *testing.T) {
+	pat := mustPattern(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	fn, err := Synthesize(pat, Pext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 36 relevant bits: low 24 bits + top 12. A bit in the dead zone
+	// (bits 24..51) is outside every extraction window.
+	if _, ok := fn.Invert(uint64(1) << 40); ok {
+		t.Error("hash with dead-zone bits must be rejected")
+	}
+}
+
+func TestInvertRejectsNonBijective(t *testing.T) {
+	pat := mustPattern(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	fn, err := Synthesize(pat, OffXor, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fn.Invert(0); ok {
+		t.Error("OffXor must not be invertible")
+	}
+	long := mustPattern(t, `[0-9]{100}`)
+	ints, err := Synthesize(long, Pext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ints.Invert(0); ok {
+		t.Error("400-bit format must not be invertible")
+	}
+}
+
+func TestInvertIsInjection(t *testing.T) {
+	// Distinct valid hashes invert to distinct keys.
+	pat := mustPattern(t, `[0-9]{8}`)
+	fn, err := Synthesize(pat, Pext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]uint64)
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("%08d", i)
+		h := fn.Hash(k)
+		back, ok := fn.Invert(h)
+		if !ok || back != k {
+			t.Fatalf("round trip failed for %q", k)
+		}
+		if prev, dup := seen[back]; dup && prev != h {
+			t.Fatalf("two hashes invert to %q", back)
+		}
+		seen[back] = h
+	}
+}

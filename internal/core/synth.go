@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/sepe-go/sepe/internal/pattern"
+)
+
+// Fn is a synthesized hash function: the compiled closure plus the
+// plan it was compiled from, which documents the function and feeds
+// the source-code generator.
+type Fn struct {
+	plan *Plan
+	hash Func
+}
+
+// Synthesize builds a specialized hash function of the given family
+// for the key format pat. Every plan passes the translation-validation
+// checker (VerifyPlan) before compilation, so planner bugs fail here
+// rather than ship as silently weaker hash functions.
+func Synthesize(pat *pattern.Pattern, fam Family, opts Options) (*Fn, error) {
+	plan, err := BuildPlan(pat, fam, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyPlan(plan); err != nil {
+		return nil, err
+	}
+	return &Fn{plan: plan, hash: plan.Compile()}, nil
+}
+
+// SynthesizeAll builds one function per family the target supports.
+func SynthesizeAll(pat *pattern.Pattern, opts Options) (map[Family]*Fn, error) {
+	tgt := opts.Target
+	if tgt.Name == "" {
+		tgt = TargetX86
+	}
+	out := make(map[Family]*Fn, len(Families))
+	for _, fam := range Families {
+		if !tgt.Supports(fam) {
+			continue
+		}
+		fn, err := Synthesize(pat, fam, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: synthesizing %v: %w", fam, err)
+		}
+		out[fam] = fn
+	}
+	return out, nil
+}
+
+// Hash applies the synthesized function to key. Behaviour is only
+// specified for keys matching the pattern the function was synthesized
+// for; other keys still hash deterministically but may collide more.
+func (f *Fn) Hash(key string) uint64 { return f.hash(key) }
+
+// Func returns the compiled closure, for registering in hash tables.
+func (f *Fn) Func() Func { return f.hash }
+
+// Plan returns the synthesis plan.
+func (f *Fn) Plan() *Plan { return f.plan }
+
+// Family returns the function's family.
+func (f *Fn) Family() Family { return f.plan.Family }
+
+// Pattern returns the key format the function is specialized to.
+func (f *Fn) Pattern() *pattern.Pattern { return f.plan.Pattern }
+
+// String summarizes the function.
+func (f *Fn) String() string {
+	p := f.plan
+	switch {
+	case p.Fallback:
+		return fmt.Sprintf("%v[fallback→STL, %s]", p.Family, p.Pattern.Regex())
+	case p.Fixed:
+		return fmt.Sprintf("%v[fixed len=%d loads=%d bits=%d]",
+			p.Family, p.KeyLen, len(p.Loads), p.HashBits)
+	default:
+		return fmt.Sprintf("%v[variable len=[%d,%d] skip=%v]",
+			p.Family, p.Pattern.MinLen, p.Pattern.MaxLen, p.Skip)
+	}
+}

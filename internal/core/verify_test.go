@@ -1,0 +1,134 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/pext"
+)
+
+// mustPlan builds a verified plan; the corruption tests then break it
+// in targeted ways and require VerifyPlan to object.
+func mustPlan(t *testing.T, expr string, fam Family) *Plan {
+	t.Helper()
+	p, err := BuildPlan(mustPattern(t, expr), fam, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPlan(p); err != nil {
+		t.Fatalf("fresh plan fails verification: %v", err)
+	}
+	return p
+}
+
+func wantVerifyError(t *testing.T, p *Plan, fragment string) {
+	t.Helper()
+	err := VerifyPlan(p)
+	if err == nil {
+		t.Fatalf("corrupted plan passed verification (wanted %q)", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("verify error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestVerifyCatchesOutOfBoundsLoad(t *testing.T) {
+	p := mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, OffXor)
+	p.Loads[1].Offset = 7 // 7+8 > 11
+	wantVerifyError(t, p, "outside key")
+}
+
+func TestVerifyCatchesDroppedCoverage(t *testing.T) {
+	p := mustPlan(t, `[0-9]{16}`, OffXor)
+	p.Loads = p.Loads[:1] // drop the second load: bytes 8..15 uncovered
+	wantVerifyError(t, p, "not covered")
+}
+
+func TestVerifyCatchesConstantBitSelection(t *testing.T) {
+	p := mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, Pext)
+	// Widen the first mask into the '-' separator byte (byte 3).
+	p.Loads[0].Mask |= 0xFF << 24
+	wantVerifyError(t, p, "constant bits")
+}
+
+func TestVerifyCatchesDoubleExtraction(t *testing.T) {
+	p := mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, Pext)
+	// Make the second load re-extract bytes the first already covers:
+	// load 1 is at offset 3, so selecting its word bytes 1,2 re-reads
+	// key bytes 4,5 (digits owned by load 0).
+	p.Loads[1].Mask |= 0x0F0F << 8
+	wantVerifyError(t, p, "twice")
+}
+
+func TestVerifyCatchesWrongHashBits(t *testing.T) {
+	p := mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, Pext)
+	p.HashBits = 40
+	wantVerifyError(t, p, "HashBits")
+}
+
+func TestVerifyCatchesOverlappingWindows(t *testing.T) {
+	p := mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, Pext)
+	p.Loads[1].Shift = 0 // collide with load 0's window
+	wantVerifyError(t, p, "overlapping rotation windows")
+}
+
+func TestVerifyCatchesBadSkipTable(t *testing.T) {
+	p := mustPlan(t, `cache-entry-[0-9]{8,16}`, OffXor)
+	p.Skip[1] = 0
+	wantVerifyError(t, p, "stride")
+
+	p2 := mustPlan(t, `cache-entry-[0-9]{8,16}`, OffXor)
+	p2.Skip = p2.Skip[:1]
+	p2.SkipLoads = 3
+	wantVerifyError(t, p2, "skip table")
+
+	p3 := mustPlan(t, `cache-entry-[0-9]{8,16}`, OffXor)
+	p3.Skip[0] = -2
+	wantVerifyError(t, p3, "negative")
+}
+
+func TestVerifyFallbackAlwaysPasses(t *testing.T) {
+	p, err := BuildPlan(mustPattern(t, `[0-9]{4}`), Pext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Fallback {
+		t.Fatal("expected fallback")
+	}
+	if err := VerifyPlan(p); err != nil {
+		t.Errorf("fallback plan must verify: %v", err)
+	}
+}
+
+func TestVerifyAllPaperFormatsAllFamilies(t *testing.T) {
+	exprs := []string{
+		`[0-9]{3}-[0-9]{2}-[0-9]{4}`,
+		`[0-9]{3}\.[0-9]{3}\.[0-9]{3}-[0-9]{2}`,
+		`([0-9a-f]{2}-){5}[0-9a-f]{2}`,
+		`([0-9]{3}\.){3}[0-9]{3}`,
+		`([0-9a-f]{4}:){7}[0-9a-f]{4}`,
+		`[0-9]{100}`,
+		`https://www\.example\.com[a-z0-9]{20}\.html`,
+		`user-[0-9]{8,24}`,
+	}
+	for _, expr := range exprs {
+		for _, fam := range Families {
+			p, err := BuildPlan(mustPattern(t, expr), fam, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyPlan(p); err != nil {
+				t.Errorf("%s/%v: %v", expr, fam, err)
+			}
+		}
+	}
+}
+
+func TestVerifySyntheticCorruptMask(t *testing.T) {
+	// A hand-built plan whose extractor disagrees with its mask is
+	// still caught through the bit accounting.
+	p := mustPlan(t, `[0-9]{16}`, Pext)
+	p.Loads[0].Mask = 0x0F0F // far fewer bits than the pattern's 64
+	p.Loads[0].ext = pext.Compile(0x0F0F)
+	wantVerifyError(t, p, "variable bits")
+}

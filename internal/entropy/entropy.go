@@ -1,0 +1,177 @@
+// Package entropy implements the comparison point the paper's related
+// work singles out as closest to SEPE: Hentschel et al.'s
+// entropy-learned hashing (SIGMOD 2022). Instead of inferring a format
+// lattice, entropy-learned hashing observes a sample of keys, measures
+// the Shannon entropy of every byte position, and then hashes only a
+// subset of high-entropy positions with an ordinary hash function.
+//
+// The contrast with SEPE (and the reason the paper builds a compiler
+// instead): entropy selection needs no code generation and works with
+// any hash, but it can only *skip* whole bytes — it cannot compress
+// the constant bits inside partially-varying bytes the way Pext does,
+// and its choice is statistical rather than exact, so false skips are
+// possible when the sample under-represents a position.
+//
+// The package provides the profile analysis, the position selection,
+// and a partial-key wrapper around any hash function, plus the
+// benchmark hook that lets sepe-go compare the two approaches.
+package entropy
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/sepe-go/sepe/internal/hashes"
+)
+
+// ErrNoSample is returned when profiling an empty sample.
+var ErrNoSample = errors.New("entropy: empty sample")
+
+// Profile holds per-position byte entropies measured from a sample.
+type Profile struct {
+	// Bits[i] is the Shannon entropy, in bits (0..8), of byte i over
+	// the sample. Positions beyond some keys' length are profiled
+	// over the keys long enough to have them.
+	Bits []float64
+	// MinLen and MaxLen are the observed key length bounds.
+	MinLen, MaxLen int
+	sampleSize     int
+}
+
+// Analyze profiles a sample of keys.
+func Analyze(sample []string) (*Profile, error) {
+	if len(sample) == 0 {
+		return nil, ErrNoSample
+	}
+	minLen, maxLen := len(sample[0]), len(sample[0])
+	for _, k := range sample[1:] {
+		if len(k) < minLen {
+			minLen = len(k)
+		}
+		if len(k) > maxLen {
+			maxLen = len(k)
+		}
+	}
+	p := &Profile{
+		Bits:       make([]float64, maxLen),
+		MinLen:     minLen,
+		MaxLen:     maxLen,
+		sampleSize: len(sample),
+	}
+	counts := make([][256]int, maxLen)
+	totals := make([]int, maxLen)
+	for _, k := range sample {
+		for i := 0; i < len(k); i++ {
+			counts[i][k[i]]++
+			totals[i]++
+		}
+	}
+	for i := range p.Bits {
+		p.Bits[i] = shannon(&counts[i], totals[i])
+	}
+	return p, nil
+}
+
+func shannon(counts *[256]int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		f := float64(c) / float64(total)
+		h -= f * math.Log2(f)
+	}
+	return h
+}
+
+// TotalBits returns the summed entropy of all positions — an estimate
+// of the key distribution's entropy, assuming position independence.
+func (p *Profile) TotalBits() float64 {
+	t := 0.0
+	for _, b := range p.Bits {
+		t += b
+	}
+	return t
+}
+
+// Select returns the byte positions to hash: the fewest highest-
+// entropy positions whose summed entropy reaches targetBits, in
+// ascending position order. Hentschel et al. choose windows sized to
+// the desired collision bound; targetBits plays that role (64 is the
+// natural choice for 64-bit hashes — beyond that, extra positions
+// cannot reduce collisions).
+func (p *Profile) Select(targetBits float64) []int {
+	type pos struct {
+		i int
+		h float64
+	}
+	ordered := make([]pos, 0, len(p.Bits))
+	for i, h := range p.Bits {
+		if h > 0 && i < p.MinLen {
+			// Positions past MinLen are unusable: absent in some keys.
+			ordered = append(ordered, pos{i, h})
+		}
+	}
+	sort.Slice(ordered, func(a, b int) bool {
+		if ordered[a].h != ordered[b].h {
+			return ordered[a].h > ordered[b].h
+		}
+		return ordered[a].i < ordered[b].i
+	})
+	var chosen []int
+	got := 0.0
+	for _, q := range ordered {
+		if got >= targetBits {
+			break
+		}
+		chosen = append(chosen, q.i)
+		got += q.h
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// PartialHash returns a hash function that feeds only the selected
+// positions (plus the key length) to the base hash — the
+// entropy-learned construction. Keys shorter than a selected position
+// fall back to hashing the whole key.
+func PartialHash(base hashes.Func, positions []int) hashes.Func {
+	ps := append([]int(nil), positions...)
+	maxPos := -1
+	for _, p := range ps {
+		if p > maxPos {
+			maxPos = p
+		}
+	}
+	return func(key string) uint64 {
+		if len(key) <= maxPos {
+			return base(key)
+		}
+		buf := make([]byte, 0, len(ps)+1)
+		for _, p := range ps {
+			buf = append(buf, key[p])
+		}
+		buf = append(buf, byte(len(key)))
+		return base(string(buf))
+	}
+}
+
+// Learned bundles the full pipeline: profile a sample, select
+// positions up to targetBits, and wrap base.
+func Learned(sample []string, targetBits float64, base hashes.Func) (hashes.Func, []int, error) {
+	p, err := Analyze(sample)
+	if err != nil {
+		return nil, nil, err
+	}
+	ps := p.Select(targetBits)
+	if len(ps) == 0 {
+		// Degenerate sample (single key or all-constant): hash whole
+		// keys.
+		return base, nil, nil
+	}
+	return PartialHash(base, ps), ps, nil
+}

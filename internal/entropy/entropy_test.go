@@ -1,0 +1,216 @@
+package entropy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/hashes"
+	"github.com/sepe-go/sepe/internal/keys"
+)
+
+func TestAnalyzeEmpty(t *testing.T) {
+	if _, err := Analyze(nil); !errors.Is(err, ErrNoSample) {
+		t.Errorf("err = %v, want ErrNoSample", err)
+	}
+}
+
+func TestAnalyzeEntropyValues(t *testing.T) {
+	// Position 0 constant (0 bits), position 1 uniform over two
+	// values (1 bit), position 2 uniform over four values (2 bits).
+	var sample []string
+	for i := 0; i < 400; i++ {
+		sample = append(sample, string([]byte{'A', byte('0' + i%2), byte('a' + i%4)}))
+	}
+	p, err := Analyze(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Bits[0]) > 1e-9 {
+		t.Errorf("constant position entropy = %v", p.Bits[0])
+	}
+	if math.Abs(p.Bits[1]-1) > 1e-9 {
+		t.Errorf("binary position entropy = %v, want 1", p.Bits[1])
+	}
+	if math.Abs(p.Bits[2]-2) > 1e-9 {
+		t.Errorf("quaternary position entropy = %v, want 2", p.Bits[2])
+	}
+	if math.Abs(p.TotalBits()-3) > 1e-9 {
+		t.Errorf("TotalBits = %v, want 3", p.TotalBits())
+	}
+}
+
+func TestAnalyzeSSNSeparatorsZeroEntropy(t *testing.T) {
+	g := keys.NewGenerator(keys.SSN, keys.Uniform, 1)
+	sample := make([]string, 2000)
+	for i := range sample {
+		sample[i] = g.Next()
+	}
+	p, err := Analyze(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bits[3] != 0 || p.Bits[6] != 0 {
+		t.Errorf("separator entropy = %v, %v, want 0", p.Bits[3], p.Bits[6])
+	}
+	// Digit positions approach log2(10) ≈ 3.32 bits.
+	for _, i := range []int{0, 1, 2, 4, 5, 7, 8, 9, 10} {
+		if p.Bits[i] < 3.0 {
+			t.Errorf("digit position %d entropy = %v, want ≈3.32", i, p.Bits[i])
+		}
+	}
+}
+
+func TestSelectPrefersHighEntropy(t *testing.T) {
+	var sample []string
+	for i := 0; i < 500; i++ {
+		// pos0: constant; pos1: 2 values; pos2: 16 values; pos3: 256ish.
+		sample = append(sample, string([]byte{
+			'K', byte('0' + i%2), byte(i % 16 * 7), byte(i % 251),
+		}))
+	}
+	p, err := Analyze(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.Select(4)
+	// Highest entropy first: position 3 (≈8 bits) alone covers 4 bits.
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("Select(4) = %v, want [3]", got)
+	}
+	all := p.Select(1000)
+	if len(all) != 3 {
+		t.Errorf("Select(1000) = %v, want the three varying positions", all)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i] <= all[i-1] {
+			t.Error("selection must be in ascending position order")
+		}
+	}
+}
+
+func TestSelectIgnoresPositionsPastMinLen(t *testing.T) {
+	sample := []string{"abX", "abY", "ab"} // position 2 absent in one key
+	p, err := Analyze(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range p.Select(100) {
+		if i >= 2 {
+			t.Errorf("position %d past MinLen selected", i)
+		}
+	}
+}
+
+func TestPartialHashUsesOnlySelectedPositions(t *testing.T) {
+	f := PartialHash(hashes.STL, []int{0, 2})
+	if f("AxByy") != f("AzByy") {
+		t.Error("unselected position must not affect the hash")
+	}
+	if f("AxByy") == f("CxByy") {
+		t.Error("selected position must affect the hash")
+	}
+	// Length always contributes.
+	if f("AxB") == f("AxBZ") {
+		t.Error("length must affect the hash")
+	}
+}
+
+func TestPartialHashShortKeyFallback(t *testing.T) {
+	f := PartialHash(hashes.STL, []int{10})
+	if f("short") != hashes.STL("short") {
+		t.Error("short keys must fall back to the base hash")
+	}
+}
+
+func TestLearnedOnSSNs(t *testing.T) {
+	g := keys.NewGenerator(keys.SSN, keys.Uniform, 2)
+	sample := make([]string, 3000)
+	for i := range sample {
+		sample[i] = g.Next()
+	}
+	f, ps, err := Learned(sample, 64, hashes.STL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All nine digit positions are needed to reach 64 bits (9 × 3.32
+	// ≈ 30 bits is everything available), and no separators.
+	for _, p := range ps {
+		if p == 3 || p == 6 {
+			t.Errorf("separator position %d selected", p)
+		}
+	}
+	if len(ps) != 9 {
+		t.Errorf("selected %d positions, want all 9 digit positions", len(ps))
+	}
+	// Collision-free on 20000 fresh uniform SSNs (the full entropy is
+	// retained).
+	seen := make(map[uint64]string)
+	fresh := keys.NewGenerator(keys.SSN, keys.Uniform, 3)
+	for i := 0; i < 20000; i++ {
+		k := fresh.Next()
+		h := f(k)
+		if prev, dup := seen[h]; dup && prev != k {
+			t.Fatalf("collision: %q vs %q", prev, k)
+		}
+		seen[h] = k
+	}
+}
+
+func TestLearnedDegenerateSample(t *testing.T) {
+	f, ps, err := Learned([]string{"same", "same"}, 64, hashes.STL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps != nil {
+		t.Errorf("constant sample selected positions %v", ps)
+	}
+	if f("same") != hashes.STL("same") {
+		t.Error("degenerate profile must return the base hash")
+	}
+}
+
+// BenchmarkEntropyVsSepe compares the two skip-the-constants
+// mechanisms on URL1-shaped keys: entropy-learned partial hashing
+// (byte gathering + STL over the gathered bytes) versus the inlined
+// loads of a synthesized OffXor function — the architectural
+// difference the paper's related-work section highlights.
+func BenchmarkEntropyVsSepe(b *testing.B) {
+	g := keys.NewGenerator(keys.URL1, keys.Uniform, 4)
+	sample := make([]string, 2000)
+	for i := range sample {
+		sample[i] = g.Next()
+	}
+	learned, _, err := Learned(sample, 64, hashes.STL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := keys.NewGenerator(keys.URL1, keys.Uniform, 5).Next()
+	b.Run("entropy-learned", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc += learned(key)
+		}
+		sink = acc
+	})
+	b.Run("stl-whole-key", func(b *testing.B) {
+		var acc uint64
+		for i := 0; i < b.N; i++ {
+			acc += hashes.STL(key)
+		}
+		sink = acc
+	})
+}
+
+var sink uint64
+
+func ExampleAnalyze() {
+	sample := []string{"user-0001", "user-0002", "user-0003"}
+	p, _ := Analyze(sample)
+	fmt.Printf("constant prefix entropy: %.1f bits\n", p.Bits[0])
+	fmt.Printf("varying digit entropy > 0: %v\n", p.Bits[8] > 0)
+	// Output:
+	// constant prefix entropy: 0.0 bits
+	// varying digit entropy > 0: true
+}

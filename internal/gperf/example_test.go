@@ -1,0 +1,25 @@
+package gperf_test
+
+import (
+	"fmt"
+
+	"github.com/sepe-go/sepe/internal/gperf"
+)
+
+// Generate builds a perfect hash for a fixed keyword set — gperf's
+// classic use case. On its training set the function is collision-free
+// and lookups need one hash plus one comparison.
+func ExampleGenerate() {
+	keywords := []string{"if", "else", "for", "while", "return"}
+	p, err := gperf.Generate(keywords, gperf.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("perfect:", p.Perfect)
+	fmt.Println("knows 'while':", p.Lookup("while"))
+	fmt.Println("knows 'until':", p.Lookup("until"))
+	// Output:
+	// perfect: true
+	// knows 'while': true
+	// knows 'until': false
+}

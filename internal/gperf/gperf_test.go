@@ -1,0 +1,235 @@
+package gperf
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestGenerateEmpty(t *testing.T) {
+	if _, err := Generate(nil, Options{}); !errors.Is(err, ErrNoKeywords) {
+		t.Errorf("err = %v, want ErrNoKeywords", err)
+	}
+	if _, err := Generate([]string{""}, Options{}); !errors.Is(err, ErrNoKeywords) {
+		t.Errorf("empty-string keyword: err = %v, want ErrNoKeywords", err)
+	}
+}
+
+func TestPerfectOnSmallKeywordSet(t *testing.T) {
+	// The classic gperf use case: language keywords.
+	keywords := []string{
+		"break", "case", "chan", "const", "continue", "default", "defer",
+		"else", "fallthrough", "for", "func", "go", "goto", "if", "import",
+		"interface", "map", "package", "range", "return", "select",
+		"struct", "switch", "type", "var",
+	}
+	p, err := Generate(keywords, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Perfect {
+		t.Fatalf("generator not perfect on %d keywords (%d collisions)",
+			len(keywords), p.Collisions)
+	}
+	seen := make(map[uint64]string)
+	for _, k := range keywords {
+		h := p.Hash(k)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("collision: %q and %q → %d", prev, k, h)
+		}
+		seen[h] = k
+	}
+}
+
+func TestLookup(t *testing.T) {
+	keywords := []string{"alpha", "beta", "gamma", "delta"}
+	p, err := Generate(keywords, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keywords {
+		if !p.Lookup(k) {
+			t.Errorf("Lookup(%q) = false", k)
+		}
+	}
+	for _, k := range []string{"epsilon", "alphaa", "alph", ""} {
+		if p.Lookup(k) {
+			t.Errorf("Lookup(%q) = true", k)
+		}
+	}
+}
+
+func TestDeterministicHash(t *testing.T) {
+	p, err := Generate([]string{"one", "two", "three"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"one", "unseen", "zzz"} {
+		if p.Hash(k) != p.Hash(k) {
+			t.Errorf("Hash(%q) nondeterministic", k)
+		}
+	}
+	if p.Hash("") != 0 {
+		t.Error("empty key must hash to 0")
+	}
+}
+
+func TestDuplicateKeywordsIgnored(t *testing.T) {
+	p, err := Generate([]string{"dup", "dup", "other"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Perfect {
+		t.Error("duplicates must not count as collisions")
+	}
+}
+
+func TestPerfectOn1000RandomTrainingKeys(t *testing.T) {
+	// The paper's configuration: 1000 random keys of a fixed format.
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%03d-%02d-%04d", i%1000, (i*7)%100, (i*31)%10000)
+	}
+	p, err := Generate(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A char-sum hash (gperf's shape) cannot distinguish keys whose
+	// selected characters form the same multiset, so the collision
+	// floor is #keys − #distinct signatures. The search must land
+	// close to that floor.
+	sigs := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		sigs[signature(k, p.Positions)] = struct{}{}
+	}
+	floor := len(keys) - len(sigs)
+	// With the default 4096-round budget the search lands within a few
+	// percent of the floor; at 65536 rounds it reaches the floor
+	// exactly (observed: 37/37), at the cost of ~15 s and a larger
+	// table — the time/size trade-off real gperf exposes via -j/-m.
+	if p.Collisions > floor+len(keys)/10 {
+		t.Errorf("training collisions = %d, want ≤ floor %d + 10%%", p.Collisions, floor)
+	}
+}
+
+func TestSearchReachesFloorWithBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long search")
+	}
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%03d-%02d-%04d", i%1000, (i*7)%100, (i*31)%10000)
+	}
+	p, err := Generate(keys, Options{MaxIterations: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := make(map[string]struct{}, len(keys))
+	for _, k := range keys {
+		sigs[signature(k, p.Positions)] = struct{}{}
+	}
+	floor := len(keys) - len(sigs)
+	if p.Collisions != floor {
+		t.Errorf("collisions = %d, want exact floor %d", p.Collisions, floor)
+	}
+}
+
+func TestUnseenKeysCollideMassively(t *testing.T) {
+	// The paper's central observation about Gperf: a function trained
+	// on 1000 keys maps 10000 workload keys into its small range,
+	// colliding massively (T-Coll 55k in Table 1).
+	train := make([]string, 1000)
+	for i := range train {
+		train[i] = fmt.Sprintf("%03d-%02d-%04d", (i*13)%1000, (i*7)%100, (i*31)%10000)
+	}
+	p, err := Generate(train, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]bool)
+	collisions := 0
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("%03d-%02d-%04d", i%1000, (i/10)%100, i%10000)
+		h := p.Hash(k)
+		if seen[h] {
+			collisions++
+		}
+		seen[h] = true
+	}
+	if collisions < 5000 {
+		t.Errorf("unseen-key collisions = %d, want the paper's massive-collision shape (> 5000)",
+			collisions)
+	}
+}
+
+func TestHashRangeIsSmall(t *testing.T) {
+	// The generated function's range is tiny compared to 2^64 — the
+	// reason it cannot serve as a general hash.
+	train := make([]string, 500)
+	for i := range train {
+		train[i] = fmt.Sprintf("k%06d", i*37)
+	}
+	p, err := Generate(train, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Range() > 1<<24 {
+		t.Errorf("hash range = %d, implausibly large for gperf", p.Range())
+	}
+}
+
+func TestPositionsDiscriminate(t *testing.T) {
+	// Keys differing only at position 5: the selector must include it
+	// (or the last position resolving to it).
+	keys := []string{"aaaaaXa", "aaaaaYa", "aaaaaZa"}
+	p, err := Generate(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Perfect {
+		t.Fatalf("must be perfect on 3 distinguishable keys; positions=%v", p.Positions)
+	}
+}
+
+func TestLengthOnlyDiscrimination(t *testing.T) {
+	// Keys of the same character but different lengths: length alone
+	// discriminates, positions add nothing.
+	keys := []string{"a", "aa", "aaa", "aaaa"}
+	p, err := Generate(keys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Perfect {
+		t.Error("length must discriminate same-char keys")
+	}
+}
+
+func TestFuncAdapter(t *testing.T) {
+	p, err := Generate([]string{"x", "y"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.Func()
+	if f("x") != p.Hash("x") {
+		t.Error("Func() disagrees with Hash")
+	}
+}
+
+func BenchmarkGperfHash(b *testing.B) {
+	train := make([]string, 1000)
+	for i := range train {
+		train[i] = fmt.Sprintf("%03d-%02d-%04d", i%1000, (i*7)%100, (i*31)%10000)
+	}
+	p, err := Generate(train, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var acc uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc += p.Hash("123-45-6789")
+	}
+	benchSink = acc
+}
+
+var benchSink uint64

@@ -1,0 +1,175 @@
+// Package gpt provides the paper's "Gpt" baseline: hash functions in
+// the style that ChatGPT 3.5 produced when prompted per key type with
+// the recipe of Section 4 ("unrolled for loop … the constant character
+// is always the same and in the same position … do not use std::hash").
+//
+// The functions mirror the behavioural fingerprint the paper reports:
+//
+//   - most key types get an unrolled polynomial (31·h + c) over the
+//     non-constant characters — serviceable but unremarkable;
+//   - the MAC function parses the hex pairs into a 48-bit integer and
+//     finalizes it with a strong mixer, the one case where the paper
+//     found Gpt statistically uniform;
+//   - the IPv4 function is the weak one (the paper attributes 7 857 of
+//     Gpt's 7 865 collisions to IPv4): it sums octet values, which is
+//     invariant under octet permutation.
+package gpt
+
+import (
+	"github.com/sepe-go/sepe/internal/hashes"
+	"github.com/sepe-go/sepe/internal/keys"
+)
+
+// ForType returns the Gpt hash for a key type.
+func ForType(t keys.Type) hashes.Func {
+	switch t {
+	case keys.SSN:
+		return SSN
+	case keys.CPF:
+		return CPF
+	case keys.MAC:
+		return MAC
+	case keys.IPv4:
+		return IPv4
+	case keys.IPv6:
+		return IPv6
+	case keys.INTS:
+		return INTS
+	case keys.URL1:
+		return URL1
+	case keys.URL2:
+		return URL2
+	default:
+		return Generic
+	}
+}
+
+// SSN hashes \d{3}-\d{2}-\d{4} with an unrolled 31-polynomial over the
+// nine digits, skipping the dashes.
+func SSN(key string) uint64 {
+	if len(key) != 11 {
+		return Generic(key)
+	}
+	var h uint64
+	h = h*31 + uint64(key[0])
+	h = h*31 + uint64(key[1])
+	h = h*31 + uint64(key[2])
+	h = h*31 + uint64(key[4])
+	h = h*31 + uint64(key[5])
+	h = h*31 + uint64(key[7])
+	h = h*31 + uint64(key[8])
+	h = h*31 + uint64(key[9])
+	h = h*31 + uint64(key[10])
+	return h
+}
+
+// CPF hashes \d{3}.\d{3}.\d{3}-\d{2}, skipping the separators.
+func CPF(key string) uint64 {
+	if len(key) != 14 {
+		return Generic(key)
+	}
+	var h uint64
+	for _, i := range [11]int{0, 1, 2, 4, 5, 6, 8, 9, 10, 12, 13} {
+		h = h*31 + uint64(key[i])
+	}
+	return h
+}
+
+// MAC parses the six hex pairs into a 48-bit integer and finalizes
+// with a SplitMix64-style mixer — the Gpt function the paper found
+// statistically uniform.
+func MAC(key string) uint64 {
+	if len(key) != 17 {
+		return Generic(key)
+	}
+	var v uint64
+	for i := 0; i < 17; i += 3 {
+		v = v<<8 | hexPair(key[i], key[i+1])
+	}
+	v = (v ^ v>>30) * 0xBF58476D1CE4E5B9
+	v = (v ^ v>>27) * 0x94D049BB133111EB
+	return v ^ v>>31
+}
+
+func hexPair(a, b byte) uint64 { return hexVal(a)<<4 | hexVal(b) }
+
+func hexVal(c byte) uint64 {
+	switch {
+	case c >= '0' && c <= '9':
+		return uint64(c - '0')
+	case c >= 'a' && c <= 'f':
+		return uint64(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return uint64(c-'A') + 10
+	default:
+		return 0
+	}
+}
+
+// IPv4 is the weak Gpt function: it parses the four zero-padded octet
+// fields and sums them, so any permutation of the octets collides —
+// the source of Gpt's 7 857 IPv4 collisions in Table 1.
+func IPv4(key string) uint64 {
+	if len(key) != 15 {
+		return Generic(key)
+	}
+	octet := func(i int) uint64 {
+		return uint64(key[i]-'0')*100 + uint64(key[i+1]-'0')*10 + uint64(key[i+2]-'0')
+	}
+	return octet(0) + octet(4) + octet(8) + octet(12)
+}
+
+// IPv6 hashes the eight hex quads with a shifted xor: better than
+// IPv4's sum, but the 16-bit quads still only fill 64 bits once before
+// wrapping.
+func IPv6(key string) uint64 {
+	if len(key) != 39 {
+		return Generic(key)
+	}
+	var h uint64
+	shift := uint(0)
+	for i := 0; i < 39; i += 5 {
+		quad := hexVal(key[i])<<12 | hexVal(key[i+1])<<8 |
+			hexVal(key[i+2])<<4 | hexVal(key[i+3])
+		h ^= quad << shift
+		shift = (shift + 16) % 64
+	}
+	return h
+}
+
+// INTS hashes the 100 digits with the 31-polynomial.
+func INTS(key string) uint64 {
+	var h uint64
+	for i := 0; i < len(key); i++ {
+		h = h*31 + uint64(key[i])
+	}
+	return h
+}
+
+// URL1 skips the 23-character constant prefix and the ".html" suffix.
+func URL1(key string) uint64 { return urlTail(key, 23) }
+
+// URL2 skips the 36-character constant prefix and the ".html" suffix.
+func URL2(key string) uint64 { return urlTail(key, 36) }
+
+func urlTail(key string, prefix int) uint64 {
+	if len(key) < prefix+5 {
+		return Generic(key)
+	}
+	var h uint64
+	for i := prefix; i < len(key)-5; i++ {
+		h = h*31 + uint64(key[i])
+	}
+	return h
+}
+
+// Generic is the fallback for keys that do not match the prompted
+// format: the plain 31-polynomial over all bytes (what ChatGPT writes
+// when given no format constraints).
+func Generic(key string) uint64 {
+	var h uint64
+	for i := 0; i < len(key); i++ {
+		h = h*31 + uint64(key[i])
+	}
+	return h
+}

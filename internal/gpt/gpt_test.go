@@ -1,0 +1,150 @@
+package gpt
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/keys"
+)
+
+func TestForTypeCoversAllKeyTypes(t *testing.T) {
+	for _, typ := range keys.All {
+		f := ForType(typ)
+		if f == nil {
+			t.Fatalf("ForType(%v) = nil", typ)
+		}
+		g := keys.NewGenerator(typ, keys.Uniform, 3)
+		for i := 0; i < 50; i++ {
+			k := g.Next()
+			if f(k) != f(k) {
+				t.Fatalf("%v: nondeterministic on %q", typ, k)
+			}
+		}
+	}
+}
+
+func TestSSNSkipsDashes(t *testing.T) {
+	// Keys differing only in separator positions (impossible within
+	// the format, but demonstrating the skip) hash identically.
+	if SSN("123-45-6789") != SSN("123:45:6789") {
+		t.Error("SSN must ignore the separator positions")
+	}
+	if SSN("123-45-6789") == SSN("123-45-6788") {
+		t.Error("SSN must use the digits")
+	}
+}
+
+func TestCPFUsesAllDigits(t *testing.T) {
+	base := "123.456.789-01"
+	h := CPF(base)
+	for _, i := range []int{0, 1, 2, 4, 5, 6, 8, 9, 10, 12, 13} {
+		mutated := base[:i] + "0" + base[i+1:]
+		if mutated == base {
+			mutated = base[:i] + "9" + base[i+1:]
+		}
+		if CPF(mutated) == h {
+			t.Errorf("digit %d ignored", i)
+		}
+	}
+}
+
+func TestMACIsBijectiveOnAddresses(t *testing.T) {
+	// The 48-bit parse plus a bijective finalizer: distinct MACs must
+	// never collide.
+	g := keys.NewGenerator(keys.MAC, keys.Uniform, 5)
+	seen := make(map[uint64]string)
+	for i := 0; i < 20000; i++ {
+		k := g.Next()
+		h := MAC(k)
+		if prev, dup := seen[h]; dup && prev != k {
+			t.Fatalf("MAC collision: %q vs %q", prev, k)
+		}
+		seen[h] = k
+	}
+}
+
+func TestMACUniformTopBits(t *testing.T) {
+	// The paper found Gpt's MAC function statistically uniform; check
+	// the top byte spreads even over ascending addresses.
+	set := make(map[byte]bool)
+	g := keys.NewGenerator(keys.MAC, keys.Inc, 1)
+	for i := 0; i < 4096; i++ {
+		set[byte(MAC(g.Next())>>56)] = true
+	}
+	if len(set) < 250 {
+		t.Errorf("top byte takes %d values, want ≈256", len(set))
+	}
+}
+
+func TestIPv4PermutationWeakness(t *testing.T) {
+	// The documented defect: permuting octets collides.
+	if IPv4("192.168.001.002") != IPv4("168.192.002.001") {
+		t.Error("octet permutations must collide (the paper's Gpt defect)")
+	}
+	if IPv4("192.168.001.002") == IPv4("192.168.001.003") {
+		t.Error("distinct addresses with distinct sums must not collide")
+	}
+}
+
+func TestIPv4CollisionVolume(t *testing.T) {
+	// Quantify the weakness: over 10 000 uniform IPv4 keys the sum
+	// ranges over ≈ 4·255 values only, so thousands of keys collide
+	// (Table 1 attributes 7 857 collisions to IPv4).
+	g := keys.NewGenerator(keys.IPv4, keys.Uniform, 9)
+	seen := make(map[uint64]bool)
+	collisions := 0
+	for i := 0; i < 10000; i++ {
+		h := IPv4(g.Next())
+		if seen[h] {
+			collisions++
+		}
+		seen[h] = true
+	}
+	if collisions < 5000 {
+		t.Errorf("IPv4 collisions = %d, want the paper's massive shape (> 5000)", collisions)
+	}
+}
+
+func TestURLSkipsConstantParts(t *testing.T) {
+	a := "https://www.example.com" + "abcdefghij0123456789" + ".html"
+	b := "XXXXXXXXXXXXXXXXXXXXXXX" + "abcdefghij0123456789" + ".htmX"
+	if URL1(a) != URL1(b) {
+		t.Error("URL1 must ignore prefix and suffix")
+	}
+	c := "https://www.example.com" + "abcdefghij012345678X" + ".html"
+	if URL1(a) == URL1(c) {
+		t.Error("URL1 must use the variable segment")
+	}
+}
+
+func TestFallbackOnWrongLength(t *testing.T) {
+	// Off-format keys must still hash (via Generic), not panic.
+	for _, f := range []func(string) uint64{SSN, CPF, MAC, IPv4, IPv6, URL1, URL2} {
+		if f("short") != Generic("short") {
+			t.Error("off-format key must use the generic path")
+		}
+		_ = f("")
+	}
+}
+
+func TestIPv6UsesEveryQuad(t *testing.T) {
+	base := "0123:4567:89ab:cdef:0123:4567:89ab:cdef"
+	h := IPv6(base)
+	for i := 0; i < len(base); i += 5 {
+		mutated := base[:i] + "f" + base[i+1:]
+		if mutated == base {
+			mutated = base[:i] + "0" + base[i+1:]
+		}
+		if IPv6(mutated) == h {
+			t.Errorf("quad at %d ignored", i)
+		}
+	}
+}
+
+func TestHexVal(t *testing.T) {
+	cases := map[byte]uint64{'0': 0, '9': 9, 'a': 10, 'f': 15, 'A': 10, 'F': 15, 'z': 0}
+	for c, want := range cases {
+		if got := hexVal(c); got != want {
+			t.Errorf("hexVal(%q) = %d, want %d", c, got, want)
+		}
+	}
+}

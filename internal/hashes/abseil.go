@@ -1,0 +1,93 @@
+package hashes
+
+import "math/bits"
+
+// This file implements the "Abseil" baseline: Abseil's low-level hash
+// for strings, a wyhash-derived design. The structure (salted 128-bit
+// multiply-mix over 16-byte chunks with a wide 64-byte fast loop)
+// follows absl/hash/internal/low_level_hash.cc.
+
+// abslSalt holds the salt constants of Abseil's low-level hash (which
+// in turn are wyhash's default secret).
+var abslSalt = [5]uint64{
+	0xa0761d6478bd642f,
+	0xe7037ed1a0b428db,
+	0x8ebc6af09c88c6e3,
+	0x589965cc75374cc3,
+	0x1d8e4e27c47d124f,
+}
+
+// abslMix is the 128-bit multiply fold: hi ^ lo of a*b.
+func abslMix(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi ^ lo
+}
+
+// abslSeed matches the role of absl's per-process seed; fixed here for
+// reproducibility of the experiments.
+const abslSeed = 0x9E3779B97F4A7C15
+
+// Abseil computes the low-level hash of key.
+func Abseil(key string) uint64 { return AbseilSeeded(key, abslSeed) }
+
+// AbseilSeeded is Abseil with an explicit seed.
+func AbseilSeeded(key string, seed uint64) uint64 {
+	n := len(key)
+	state := seed ^ abslSalt[0]
+	pos := 0
+	remaining := n
+
+	// Wide loop: 64 bytes per iteration over two duplicated states.
+	if remaining > 64 {
+		dup0, dup1 := state, state
+		for remaining > 64 {
+			a := LoadU64(key, pos)
+			b := LoadU64(key, pos+8)
+			c := LoadU64(key, pos+16)
+			d := LoadU64(key, pos+24)
+			e := LoadU64(key, pos+32)
+			f := LoadU64(key, pos+40)
+			g := LoadU64(key, pos+48)
+			h := LoadU64(key, pos+56)
+
+			cs0 := abslMix(a^abslSalt[1], b^state)
+			cs1 := abslMix(c^abslSalt[2], d^state)
+			state = cs0 ^ cs1
+
+			ds0 := abslMix(e^abslSalt[3], f^dup0)
+			ds1 := abslMix(g^abslSalt[4], h^dup1)
+			dup0 = ds0
+			dup1 = ds1
+
+			pos += 64
+			remaining -= 64
+		}
+		state ^= dup0 ^ dup1
+	}
+
+	// 16-byte chunks.
+	for remaining > 16 {
+		a := LoadU64(key, pos)
+		b := LoadU64(key, pos+8)
+		state = abslMix(a^abslSalt[1], b^state)
+		pos += 16
+		remaining -= 16
+	}
+
+	// Final 0..16 bytes.
+	var a, b uint64
+	switch {
+	case remaining > 8:
+		a = LoadU64(key, pos)
+		b = LoadU64(key, n-8)
+	case remaining > 3:
+		a = LoadU32(key, pos)
+		b = LoadU32(key, n-4)
+	case remaining > 0:
+		a = uint64(key[pos])<<16 | uint64(key[pos+(remaining>>1)])<<8 |
+			uint64(key[n-1])
+	}
+	w := abslMix(a^abslSalt[1], b^state)
+	z := abslSalt[1] ^ uint64(n)
+	return abslMix(w, z)
+}

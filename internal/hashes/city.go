@@ -1,0 +1,161 @@
+package hashes
+
+import "math/bits"
+
+// This file ports Google's CityHash64 (Pike & Alakuijala), the "City"
+// baseline of the paper. The structure and constants follow the
+// public-domain city.cc used by Abseil.
+
+const (
+	cityK0 = 0xc3a5c85c97cb3127
+	cityK1 = 0xb492b66fbe98f273
+	cityK2 = 0x9ae16a3b2f90404f
+)
+
+func cityRotate(v uint64, shift uint) uint64 {
+	if shift == 0 {
+		return v
+	}
+	return bits.RotateLeft64(v, -int(shift))
+}
+
+// hash128to64 folds a 128-bit value into 64 bits (Murmur-inspired).
+func hash128to64(u, v uint64) uint64 {
+	const kMul = 0x9ddfea08eb382d69
+	a := (u ^ v) * kMul
+	a ^= a >> 47
+	b := (v ^ a) * kMul
+	b ^= b >> 47
+	b *= kMul
+	return b
+}
+
+func cityHashLen16(u, v uint64) uint64 { return hash128to64(u, v) }
+
+func cityHashLen16Mul(u, v, mul uint64) uint64 {
+	a := (u ^ v) * mul
+	a ^= a >> 47
+	b := (v ^ a) * mul
+	b ^= b >> 47
+	b *= mul
+	return b
+}
+
+func cityHashLen0to16(s string) uint64 {
+	n := len(s)
+	if n >= 8 {
+		mul := cityK2 + uint64(n)*2
+		a := LoadU64(s, 0) + cityK2
+		b := LoadU64(s, n-8)
+		c := cityRotate(b, 37)*mul + a
+		d := (cityRotate(a, 25) + b) * mul
+		return cityHashLen16Mul(c, d, mul)
+	}
+	if n >= 4 {
+		mul := cityK2 + uint64(n)*2
+		a := LoadU32(s, 0)
+		return cityHashLen16Mul(uint64(n)+a<<3, LoadU32(s, n-4), mul)
+	}
+	if n > 0 {
+		a := uint64(s[0])
+		b := uint64(s[n>>1])
+		c := uint64(s[n-1])
+		y := a + b<<8
+		z := uint64(n) + c<<2
+		return shiftMix(y*cityK2^z*cityK0) * cityK2
+	}
+	return cityK2
+}
+
+func cityHashLen17to32(s string) uint64 {
+	n := len(s)
+	mul := cityK2 + uint64(n)*2
+	a := LoadU64(s, 0) * cityK1
+	b := LoadU64(s, 8)
+	c := LoadU64(s, n-8) * mul
+	d := LoadU64(s, n-16) * cityK2
+	return cityHashLen16Mul(
+		cityRotate(a+b, 43)+cityRotate(c, 30)+d,
+		a+cityRotate(b+cityK2, 18)+c,
+		mul)
+}
+
+func cityHashLen33to64(s string) uint64 {
+	n := len(s)
+	mul := cityK2 + uint64(n)*2
+	a := LoadU64(s, 0) * cityK2
+	b := LoadU64(s, 8)
+	c := LoadU64(s, n-8) * mul
+	d := LoadU64(s, n-16) * cityK2
+	y := cityRotate(a+b, 43) + cityRotate(c, 30) + d
+	z := cityHashLen16Mul(y, a+cityRotate(b+cityK2, 18)+c, mul)
+	e := LoadU64(s, 16) * mul
+	f := LoadU64(s, 24)
+	g := (y + LoadU64(s, n-32)) * mul
+	h := (z + LoadU64(s, n-24)) * mul
+	return cityHashLen16Mul(
+		cityRotate(e+f, 43)+cityRotate(g, 30)+h,
+		e+cityRotate(f+a, 18)+g,
+		mul)
+}
+
+// weakHashLen32WithSeeds hashes 32 bytes with two seeds, returning two
+// 64-bit values.
+func weakHashLen32Raw(w, x, y, z, a, b uint64) (uint64, uint64) {
+	a += w
+	b = cityRotate(b+a+z, 21)
+	c := a
+	a += x
+	a += y
+	b += cityRotate(a, 44)
+	return a + z, b + c
+}
+
+func weakHashLen32WithSeeds(s string, i int, a, b uint64) (uint64, uint64) {
+	return weakHashLen32Raw(
+		LoadU64(s, i), LoadU64(s, i+8), LoadU64(s, i+16), LoadU64(s, i+24), a, b)
+}
+
+// City computes CityHash64 of key.
+func City(key string) uint64 {
+	n := len(key)
+	if n <= 32 {
+		if n <= 16 {
+			return cityHashLen0to16(key)
+		}
+		return cityHashLen17to32(key)
+	}
+	if n <= 64 {
+		return cityHashLen33to64(key)
+	}
+
+	// For long strings: a 56-byte-seeded state walked over the input
+	// in 64-byte chunks.
+	x := LoadU64(key, n-40)
+	y := LoadU64(key, n-16) + LoadU64(key, n-56)
+	z := cityHashLen16(LoadU64(key, n-48)+uint64(n), LoadU64(key, n-24))
+	v1, v2 := weakHashLen32WithSeeds(key, n-64, uint64(n), z)
+	w1, w2 := weakHashLen32WithSeeds(key, n-32, y+cityK1, x)
+	x = x*cityK1 + LoadU64(key, 0)
+
+	rem := (n - 1) &^ 63
+	pos := 0
+	for {
+		x = cityRotate(x+y+v1+LoadU64(key, pos+8), 37) * cityK1
+		y = cityRotate(y+v2+LoadU64(key, pos+48), 42) * cityK1
+		x ^= w2
+		y += v1 + LoadU64(key, pos+40)
+		z = cityRotate(z+w1, 33) * cityK1
+		v1, v2 = weakHashLen32WithSeeds(key, pos, v2*cityK1, x+w1)
+		w1, w2 = weakHashLen32WithSeeds(key, pos+32, z+w2, y+LoadU64(key, pos+16))
+		z, x = x, z
+		pos += 64
+		rem -= 64
+		if rem == 0 {
+			break
+		}
+	}
+	return cityHashLen16(
+		cityHashLen16(v1, w1)+shiftMix(y)*cityK1+z,
+		cityHashLen16(v2, w2)+x)
+}

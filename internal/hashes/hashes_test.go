@@ -1,0 +1,251 @@
+package hashes
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var allFuncs = []struct {
+	name string
+	f    Func
+}{
+	{"STL", STL},
+	{"FNV", FNV},
+	{"City", City},
+	{"Abseil", Abseil},
+	{"Polymur", Polymur},
+}
+
+func TestLoadU64(t *testing.T) {
+	s := "\x01\x02\x03\x04\x05\x06\x07\x08\x09"
+	if got := LoadU64(s, 0); got != 0x0807060504030201 {
+		t.Errorf("LoadU64 = %#x", got)
+	}
+	if got := LoadU64(s, 1); got != 0x0908070605040302 {
+		t.Errorf("LoadU64 offset 1 = %#x", got)
+	}
+}
+
+func TestLoadU32(t *testing.T) {
+	if got := LoadU32("\x0A\x0B\x0C\x0D", 0); got != 0x0D0C0B0A {
+		t.Errorf("LoadU32 = %#x", got)
+	}
+}
+
+func TestLoadTail(t *testing.T) {
+	s := "\x01\x02\x03"
+	if got := LoadTail(s, 0, 3); got != 0x030201 {
+		t.Errorf("LoadTail(3) = %#x", got)
+	}
+	if got := LoadTail(s, 1, 2); got != 0x0302 {
+		t.Errorf("LoadTail(1,2) = %#x", got)
+	}
+	if got := LoadTail(s, 0, 0); got != 0 {
+		t.Errorf("LoadTail(0) = %#x", got)
+	}
+}
+
+func TestFNVKnownVectors(t *testing.T) {
+	// Published FNV-1a 64-bit test vectors.
+	tests := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xcbf29ce484222325},
+		{"a", 0xaf63dc4c8601ec8c},
+		{"foobar", 0x85944171f73967e8},
+	}
+	for _, tt := range tests {
+		if got := FNV(tt.in); got != tt.want {
+			t.Errorf("FNV(%q) = %#x, want %#x", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSTLStructure(t *testing.T) {
+	// The empty string hashes to the pure seed path.
+	want := shiftMix(shiftMix(uint64(stlSeed)) * stlMul)
+	if got := STL(""); got != want {
+		t.Errorf("STL(\"\") = %#x, want %#x", got, want)
+	}
+	// Exactly 8 bytes must take one loop iteration and no tail.
+	key := "abcdefgh"
+	n := uint64(len(key)) // runtime value: the product wraps mod 2^64
+	h := uint64(stlSeed) ^ n*stlMul
+	h ^= shiftMix(LoadU64(key, 0)*stlMul) * stlMul
+	h *= stlMul
+	h = shiftMix(shiftMix(h) * stlMul)
+	if got := STL(key); got != h {
+		t.Errorf("STL(8 bytes) = %#x, want %#x", got, h)
+	}
+}
+
+func TestSTLTailMatters(t *testing.T) {
+	// Keys differing only in the unaligned tail must differ.
+	if STL("aaaaaaaaX") == STL("aaaaaaaaY") {
+		t.Error("tail byte ignored")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, hf := range allFuncs {
+		f := func(s string) bool { return hf.f(s) == hf.f(s) }
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", hf.name, err)
+		}
+	}
+}
+
+func TestLengthSensitivity(t *testing.T) {
+	// Prefix extension must change the hash (overwhelmingly likely).
+	for _, hf := range allFuncs {
+		diffs := 0
+		for i := 0; i < 64; i++ {
+			s := strings.Repeat("a", i)
+			if hf.f(s) != hf.f(s+"a") {
+				diffs++
+			}
+		}
+		if diffs < 63 {
+			t.Errorf("%s: only %d/64 prefix extensions changed the hash", hf.name, diffs)
+		}
+	}
+}
+
+func TestAllLengthsCovered(t *testing.T) {
+	// Exercise every dispatch boundary: 0..130 bytes must not panic
+	// and must produce (almost always) distinct values.
+	for _, hf := range allFuncs {
+		seen := make(map[uint64]int)
+		for n := 0; n <= 130; n++ {
+			key := strings.Repeat("k", n)
+			h := hf.f(key)
+			if prev, dup := seen[h]; dup {
+				t.Errorf("%s: lengths %d and %d collide", hf.name, prev, n)
+			}
+			seen[h] = n
+		}
+	}
+}
+
+func TestCityDispatchBoundaries(t *testing.T) {
+	// Check the exact boundary lengths of City's dispatch tree.
+	for _, n := range []int{0, 1, 3, 4, 7, 8, 16, 17, 32, 33, 64, 65, 127, 128, 129, 192} {
+		key := strings.Repeat("x", n)
+		h1 := City(key)
+		h2 := City(key)
+		if h1 != h2 {
+			t.Errorf("City unstable at len %d", n)
+		}
+		if n > 0 {
+			mutated := "y" + key[1:]
+			if City(mutated) == h1 {
+				t.Errorf("City ignores first byte at len %d", n)
+			}
+		}
+	}
+}
+
+func TestCityLongTailSensitivity(t *testing.T) {
+	base := strings.Repeat("q", 200)
+	h := City(base)
+	for i := 0; i < 200; i += 13 {
+		mutated := base[:i] + "z" + base[i+1:]
+		if City(mutated) == h {
+			t.Errorf("City ignores byte %d of a 200-byte key", i)
+		}
+	}
+}
+
+func TestAbseilChunkBoundaries(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 8, 9, 15, 16, 17, 31, 33, 63, 64, 65, 128, 200} {
+		key := strings.Repeat("b", n)
+		if Abseil(key) != Abseil(key) {
+			t.Errorf("Abseil unstable at len %d", n)
+		}
+		if n > 1 {
+			mutated := key[:n-1] + "c"
+			if Abseil(mutated) == Abseil(key) {
+				t.Errorf("Abseil ignores last byte at len %d", n)
+			}
+		}
+	}
+}
+
+func TestSeededVariants(t *testing.T) {
+	if STLSeeded("hello", 1) == STLSeeded("hello", 2) {
+		t.Error("STL seed ignored")
+	}
+	if AbseilSeeded("hello", 1) == AbseilSeeded("hello", 2) {
+		t.Error("Abseil seed ignored")
+	}
+}
+
+func TestAvalancheQuality(t *testing.T) {
+	// For the general-purpose functions, flipping one input bit should
+	// flip roughly half the output bits. Tolerate a generous band.
+	for _, hf := range allFuncs {
+		key := []byte("the quick brown fox jumps!!!")
+		base := hf.f(string(key))
+		total, samples := 0, 0
+		for i := 0; i < len(key); i++ {
+			for bit := 0; bit < 8; bit += 3 {
+				key[i] ^= 1 << bit
+				total += popcount(base ^ hf.f(string(key)))
+				samples++
+				key[i] ^= 1 << bit
+			}
+		}
+		avg := float64(total) / float64(samples)
+		if avg < 20 || avg > 44 {
+			t.Errorf("%s: average avalanche %.1f bits, want ≈32", hf.name, avg)
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestDistributionOverBuckets(t *testing.T) {
+	// 64-bucket χ² on 20000 formatted keys must stay near uniform for
+	// the general-purpose functions.
+	for _, hf := range allFuncs {
+		var counts [64]int
+		for i := 0; i < 20000; i++ {
+			key := fmt.Sprintf("%03d-%02d-%04d", i%1000, i%100, i%10000)
+			counts[hf.f(key)%64]++
+		}
+		expected := 20000.0 / 64
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		// 63 dof: p=0.001 critical value ≈ 103.4; allow headroom.
+		if chi2 > 150 {
+			t.Errorf("%s: χ² = %.1f over SSN-style keys", hf.name, chi2)
+		}
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	key := "123-45-6789"
+	for _, hf := range allFuncs {
+		b.Run(hf.name, func(b *testing.B) {
+			var acc uint64
+			for i := 0; i < b.N; i++ {
+				acc += hf.f(key)
+			}
+			benchSink = acc
+		})
+	}
+}
+
+var benchSink uint64

@@ -1,0 +1,48 @@
+// Package hashes implements the general-purpose baseline hash
+// functions the paper compares SEPE against: the libstdc++ murmur
+// variant ("STL", Figure 1 of the paper), the libstdc++ FNV-1a
+// ("FNV"), Google's CityHash64 ("City"), and an Abseil-style
+// low-level hash ("Abseil"). A Polymur-style length-dispatching
+// function illustrates the manual specialization of Figure 2.
+//
+// All functions take string keys and produce 64-bit hashes, matching
+// the std::hash<std::string> interface the paper's driver exercises.
+package hashes
+
+// Func is the common shape of every hash function in this repository:
+// a map from string keys to 64-bit hash codes.
+type Func func(key string) uint64
+
+// LoadU64 reads 8 bytes of s at offset i, little-endian, mirroring the
+// unaligned loads of the paper's generated code. The caller guarantees
+// i+8 <= len(s).
+func LoadU64(s string, i int) uint64 {
+	_ = s[i+7] // one bounds check for all eight bytes
+	return uint64(s[i]) |
+		uint64(s[i+1])<<8 |
+		uint64(s[i+2])<<16 |
+		uint64(s[i+3])<<24 |
+		uint64(s[i+4])<<32 |
+		uint64(s[i+5])<<40 |
+		uint64(s[i+6])<<48 |
+		uint64(s[i+7])<<56
+}
+
+// LoadU32 reads 4 bytes little-endian.
+func LoadU32(s string, i int) uint64 {
+	_ = s[i+3]
+	return uint64(s[i]) |
+		uint64(s[i+1])<<8 |
+		uint64(s[i+2])<<16 |
+		uint64(s[i+3])<<24
+}
+
+// LoadTail reads the n (< 8) bytes of s starting at i into the low
+// bytes of a word, little-endian — the paper's load_bytes helper.
+func LoadTail(s string, i, n int) uint64 {
+	var v uint64
+	for j := n - 1; j >= 0; j-- {
+		v = v<<8 | uint64(s[i+j])
+	}
+	return v
+}

@@ -1,0 +1,107 @@
+package hashes
+
+import "math/bits"
+
+// This file implements a Polymur-style universal polynomial hash over
+// the Mersenne field GF(2^61 − 1), with the three length-specialized
+// entry paths the paper's Figure 2 highlights (≤ 7 bytes, 8–49 bytes,
+// ≥ 50 bytes). It reproduces the *structure* the paper discusses —
+// manual length specialization inside a general-purpose hash — and the
+// algebra of Polymur (degree-bounded polynomial evaluation in a
+// 61-bit Mersenne prime field), without claiming bit-compatibility
+// with Polymur 2.0's exact constants and seeding.
+
+// polyP is the Mersenne prime 2^61 − 1.
+const polyP = (uint64(1) << 61) - 1
+
+// Fixed, arbitrary field parameters (fractional parts of √2, √3, √5
+// reduced into the field, forced odd).
+const (
+	polyK  = 0x6a09e667f3bcc908 % polyP
+	polyK2 = 0xbb67ae8584caa73b % polyP
+	polyK7 = 0x3c6ef372fe94f82b % polyP
+	polyS  = 0xa54ff53a5f1d36f1
+)
+
+// polyRed reduces a 128-bit product (hi, lo) into a value < 2^62 that
+// is congruent mod 2^61 − 1: (lo & p) + (hi·8 + lo>>61), using
+// 2^61 ≡ 1, 2^64 ≡ 8.
+func polyRed(hi, lo uint64) uint64 {
+	return (lo & polyP) + (hi<<3 | lo>>61)
+}
+
+// polyExtraRed finishes the reduction to < 2^61 + 1 range suitable for
+// further multiplication.
+func polyExtraRed(x uint64) uint64 {
+	return (x & polyP) + x>>61
+}
+
+// polyMul multiplies two field elements mod 2^61 − 1, keeping the
+// result below 2^61 + 8 so that arbitrary chains of additions of
+// sub-2^57 message chunks followed by further multiplications never
+// overflow the reduction's headroom.
+func polyMul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return polyExtraRed(polyRed(hi, lo))
+}
+
+// Polymur hashes key with the length-specialized polynomial hash.
+func Polymur(key string) uint64 { return PolymurTweaked(key, 0) }
+
+// PolymurTweaked is Polymur with a tweak mixed into the polynomial
+// accumulator (Polymur's API shape).
+func PolymurTweaked(key string, tweak uint64) uint64 {
+	n := len(key)
+	var acc uint64
+	switch {
+	case n <= 7:
+		// Short specialization: the whole key is one field element;
+		// a single multiply suffices (Figure 2's POLYMUR_LIKELY path).
+		m := LoadTail(key, 0, n)
+		acc = polyMul(polyK+m, polyK2+uint64(n)+tweak%polyP)
+	case n < 50:
+		// Medium specialization: 7-byte chunks keep every message
+		// element strictly below 2^56 < p, so Horner steps never
+		// overflow the reduction headroom.
+		acc = polyExtraRed(polyK7 + tweak%polyP)
+		i := 0
+		for ; i+7 <= n; i += 7 {
+			m := LoadTail(key, i, 7)
+			acc = polyMul(acc+m, polyK)
+		}
+		if i < n {
+			m := LoadTail(key, i, n-i)
+			acc = polyMul(acc+m+uint64(n-i)<<56%polyP, polyK2)
+		}
+		acc += uint64(n)
+	default:
+		// Long specialization: two interleaved polynomial lanes
+		// halve the dependency chain, merged at the end — the
+		// practical-for-long-inputs path of Figure 2.
+		lane0 := polyExtraRed(polyK + tweak%polyP)
+		lane1 := polyExtraRed(polyK2 + uint64(n))
+		i := 0
+		for ; i+14 <= n; i += 14 {
+			m0 := LoadTail(key, i, 7)
+			m1 := LoadTail(key, i+7, 7)
+			lane0 = polyMul(lane0+m0, polyK)
+			lane1 = polyMul(lane1+m1, polyK7)
+		}
+		for ; i+7 <= n; i += 7 {
+			lane0 = polyMul(lane0+LoadTail(key, i, 7), polyK)
+		}
+		if i < n {
+			lane0 = polyMul(lane0+LoadTail(key, i, n-i), polyK2)
+		}
+		acc = polyMul(lane0+lane1, polyK)
+	}
+	// Final avalanche outside the field (the field value has 61 bits;
+	// the mixer spreads them over 64).
+	h := polyExtraRed(acc) ^ polyS
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	return h
+}

@@ -1,0 +1,141 @@
+package hashes
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyRedIsCongruent(t *testing.T) {
+	// polyRed(hi, lo) ≡ (hi·2^64 + lo) mod 2^61−1, checked against
+	// arithmetic with explicit 128-bit remaindering.
+	f := func(a, b uint64) bool {
+		a &= 1<<62 - 1
+		b &= 1<<62 - 1
+		hi, lo := bits.Mul64(a, b)
+		got := polyExtraRed(polyExtraRed(polyRed(hi, lo))) % polyP
+		want := mod128(hi, lo, polyP)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// mod128 computes (hi·2^64 + lo) mod m by binary long division.
+func mod128(hi, lo, m uint64) uint64 {
+	var r uint64
+	for i := 127; i >= 0; i-- {
+		var bit uint64
+		if i >= 64 {
+			bit = hi >> (i - 64) & 1
+		} else {
+			bit = lo >> i & 1
+		}
+		r = r<<1 | bit
+		if r >= m {
+			r -= m
+		}
+		// r < m ≤ 2^61-1 so r<<1 cannot overflow.
+	}
+	return r
+}
+
+func TestPolyMulBounded(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a &= 1<<62 - 1
+		b &= 1<<62 - 1
+		return polyMul(a, b) < 1<<63
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolymurLengthPaths(t *testing.T) {
+	// Exercise every dispatch boundary; all lengths must hash and
+	// distinguish a final-byte mutation.
+	for _, n := range []int{0, 1, 6, 7, 8, 14, 15, 49, 50, 51, 100, 200} {
+		key := strings.Repeat("p", n)
+		if Polymur(key) != Polymur(key) {
+			t.Errorf("len %d unstable", n)
+		}
+		if n > 0 {
+			mutated := key[:n-1] + "q"
+			if Polymur(mutated) == Polymur(key) {
+				t.Errorf("len %d: last byte ignored", n)
+			}
+		}
+	}
+}
+
+func TestPolymurShortPathBijective(t *testing.T) {
+	// On ≤7-byte keys the polynomial is injective for fixed length
+	// (a single multiply by an invertible element plus additions), so
+	// no two 6-digit keys may collide.
+	seen := map[uint64]string{}
+	for i := 0; i < 100000; i++ {
+		k := fmt.Sprintf("%06d", i)
+		h := Polymur(k)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("short-path collision: %q vs %q", prev, k)
+		}
+		seen[h] = k
+	}
+}
+
+func TestPolymurTweakSeparatesStreams(t *testing.T) {
+	same := 0
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if PolymurTweaked(k, 1) == PolymurTweaked(k, 2) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 keys ignore the tweak", same)
+	}
+}
+
+func TestPolymurCollisionFreeOnWorkload(t *testing.T) {
+	seen := map[uint64]string{}
+	for i := 0; i < 50000; i++ {
+		k := fmt.Sprintf("%03d-%02d-%04d/%08x", i%1000, i%100, i%10000, i*2654435761)
+		h := Polymur(k)
+		if prev, dup := seen[h]; dup && prev != k {
+			t.Fatalf("collision: %q vs %q", prev, k)
+		}
+		seen[h] = k
+	}
+}
+
+func TestPolymurAvalanche(t *testing.T) {
+	key := []byte("the quick brown fox jumps over!!")
+	base := Polymur(string(key))
+	total, samples := 0, 0
+	for i := 0; i < len(key); i++ {
+		key[i] ^= 0x10
+		total += popcount(base ^ Polymur(string(key)))
+		samples++
+		key[i] ^= 0x10
+	}
+	avg := float64(total) / float64(samples)
+	if avg < 24 || avg > 40 {
+		t.Errorf("avalanche %.1f bits, want ≈32", avg)
+	}
+}
+
+func BenchmarkPolymurByLength(b *testing.B) {
+	for _, n := range []int{7, 24, 64} {
+		key := strings.Repeat("z", n)
+		b.Run(fmt.Sprintf("len%d", n), func(b *testing.B) {
+			var acc uint64
+			for i := 0; i < b.N; i++ {
+				acc += Polymur(key)
+			}
+			benchSink = acc
+		})
+	}
+}

@@ -1,0 +1,54 @@
+package hashes
+
+// This file ports the two hash functions of libstdc++'s
+// libsupc++/hash_bytes.cc — the "STL" and "FNV" baselines of the
+// paper — preserving their exact arithmetic.
+
+// stlMul is the multiplier of the murmur variant in Figure 1:
+// (0xc6a4a793 << 32) + 0x5bd1e995.
+const stlMul = 0xc6a4a793<<32 + 0x5bd1e995
+
+// stlSeed is libstdc++'s default seed (0xc70f6907).
+const stlSeed = 0xc70f6907
+
+// shiftMix is libstdc++'s shift_mix: v ^ (v >> 47).
+func shiftMix(v uint64) uint64 { return v ^ v>>47 }
+
+// STL hashes key exactly as libstdc++'s _Hash_bytes (the murmur
+// variant of the paper's Figure 1) with the library's default seed.
+func STL(key string) uint64 { return STLSeeded(key, stlSeed) }
+
+// STLSeeded is STL with an explicit seed.
+func STLSeeded(key string, seed uint64) uint64 {
+	n := len(key)
+	alignedLen := n &^ 7
+	hash := seed ^ uint64(n)*stlMul
+	for i := 0; i < alignedLen; i += 8 {
+		data := shiftMix(LoadU64(key, i)*stlMul) * stlMul
+		hash ^= data
+		hash *= stlMul
+	}
+	if n&7 != 0 {
+		data := LoadTail(key, alignedLen, n&7)
+		hash ^= data
+		hash *= stlMul
+	}
+	hash = shiftMix(hash) * stlMul
+	hash = shiftMix(hash)
+	return hash
+}
+
+// FNV hashes key with the 64-bit FNV-1a algorithm as implemented in
+// libstdc++ (_Fnv_hash_bytes).
+func FNV(key string) uint64 {
+	const (
+		offsetBasis = 14695981039346656037
+		prime       = 1099511628211
+	)
+	hash := uint64(offsetBasis)
+	for i := 0; i < len(key); i++ {
+		hash ^= uint64(key[i])
+		hash *= prime
+	}
+	return hash
+}

@@ -1,0 +1,146 @@
+package hashes
+
+// This file implements the "specialization zoo" of classic string
+// hashes that Section 2.1 of the paper references: the Stack Overflow
+// comparison (Earls & Khan) that found the libstdc++ murmur variant
+// outperforming FNV-1a, FNV-1, DJB2a, DJB2, SDBM, SuperFastHash,
+// CRC32 and LoseLose. They serve as additional baselines and as the
+// subjects of the BenchmarkZoo reproduction of that informal
+// experiment.
+
+// DJB2 is Bernstein's hash: h = h*33 + c, seed 5381.
+func DJB2(key string) uint64 {
+	h := uint64(5381)
+	for i := 0; i < len(key); i++ {
+		h = h*33 + uint64(key[i])
+	}
+	return h
+}
+
+// DJB2a is the xor variant: h = h*33 ^ c.
+func DJB2a(key string) uint64 {
+	h := uint64(5381)
+	for i := 0; i < len(key); i++ {
+		h = h*33 ^ uint64(key[i])
+	}
+	return h
+}
+
+// SDBM is the sdbm database hash: h = c + (h<<6) + (h<<16) - h.
+func SDBM(key string) uint64 {
+	var h uint64
+	for i := 0; i < len(key); i++ {
+		h = uint64(key[i]) + h<<6 + h<<16 - h
+	}
+	return h
+}
+
+// FNV1 is 64-bit FNV-1 (multiply before xor; FNV-1a is in stl.go).
+func FNV1(key string) uint64 {
+	const (
+		offsetBasis = 14695981039346656037
+		prime       = 1099511628211
+	)
+	h := uint64(offsetBasis)
+	for i := 0; i < len(key); i++ {
+		h *= prime
+		h ^= uint64(key[i])
+	}
+	return h
+}
+
+// LoseLose is the K&R first-edition checksum — the deliberately bad
+// baseline of the comparison.
+func LoseLose(key string) uint64 {
+	var h uint64
+	for i := 0; i < len(key); i++ {
+		h += uint64(key[i])
+	}
+	return h
+}
+
+// crcTable is the CRC-32 (IEEE 802.3, reflected) lookup table, built
+// at init from the polynomial.
+var crcTable [256]uint32
+
+func init() {
+	const poly = 0xEDB88320
+	for i := range crcTable {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = c>>1 ^ poly
+			} else {
+				c >>= 1
+			}
+		}
+		crcTable[i] = c
+	}
+}
+
+// CRC32 is the IEEE CRC-32, widened to 64 bits by duplication into the
+// upper half (the comparison used it as a 32-bit hash; containers here
+// expect 64).
+func CRC32(key string) uint64 {
+	c := ^uint32(0)
+	for i := 0; i < len(key); i++ {
+		c = crcTable[byte(c)^key[i]] ^ c>>8
+	}
+	c = ^c
+	return uint64(c) | uint64(c)<<32
+}
+
+// SuperFastHash is Hsieh's SuperFastHash, widened like CRC32.
+func SuperFastHash(key string) uint64 {
+	n := len(key)
+	if n == 0 {
+		return 0
+	}
+	h := uint32(n)
+	i := 0
+	for ; n >= 4; n -= 4 {
+		h += get16(key, i)
+		tmp := get16(key, i+2)<<11 ^ h
+		h = h<<16 ^ tmp
+		h += h >> 11
+		i += 4
+	}
+	switch n {
+	case 3:
+		h += get16(key, i)
+		h ^= h << 16
+		h ^= uint32(key[i+2]) << 18
+		h += h >> 11
+	case 2:
+		h += get16(key, i)
+		h ^= h << 11
+		h += h >> 17
+	case 1:
+		h += uint32(key[i])
+		h ^= h << 10
+		h += h >> 1
+	}
+	h ^= h << 3
+	h += h >> 5
+	h ^= h << 4
+	h += h >> 17
+	h ^= h << 25
+	h += h >> 6
+	return uint64(h) | uint64(h)<<32
+}
+
+func get16(s string, i int) uint32 {
+	return uint32(s[i]) | uint32(s[i+1])<<8
+}
+
+// Zoo lists the classic hashes by name, for benchmarks and tools.
+var Zoo = map[string]Func{
+	"DJB2":          DJB2,
+	"DJB2a":         DJB2a,
+	"SDBM":          SDBM,
+	"FNV1":          FNV1,
+	"FNV1a":         FNV,
+	"LoseLose":      LoseLose,
+	"CRC32":         CRC32,
+	"SuperFastHash": SuperFastHash,
+}

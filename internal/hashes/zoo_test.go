@@ -1,0 +1,143 @@
+package hashes
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestZooDeterministic(t *testing.T) {
+	for name, f := range Zoo {
+		for _, k := range []string{"", "a", "hello world", strings.Repeat("x", 100)} {
+			if f(k) != f(k) {
+				t.Errorf("%s nondeterministic on %q", name, k)
+			}
+		}
+	}
+}
+
+func TestDJB2KnownValues(t *testing.T) {
+	// h("") = 5381; h("a") = 5381*33 + 97 = 177670.
+	if DJB2("") != 5381 {
+		t.Errorf("DJB2(\"\") = %d", DJB2(""))
+	}
+	if DJB2("a") != 177670 {
+		t.Errorf("DJB2(\"a\") = %d, want 177670", DJB2("a"))
+	}
+}
+
+func TestDJB2aDiffersFromDJB2(t *testing.T) {
+	if DJB2("hello") == DJB2a("hello") {
+		t.Error("DJB2 and DJB2a must differ")
+	}
+}
+
+func TestFNV1DiffersFromFNV1a(t *testing.T) {
+	if FNV1("hello") == FNV("hello") {
+		t.Error("FNV-1 and FNV-1a must differ")
+	}
+	// FNV-1 of "" is the offset basis.
+	if FNV1("") != 14695981039346656037 {
+		t.Errorf("FNV1(\"\") = %d", FNV1(""))
+	}
+}
+
+func TestLoseLoseIsPermutationInvariant(t *testing.T) {
+	// The defining weakness: anagram collisions.
+	if LoseLose("abc") != LoseLose("cba") {
+		t.Error("LoseLose must collide on anagrams")
+	}
+	if LoseLose("abc") == LoseLose("abd") {
+		t.Error("LoseLose must distinguish different sums")
+	}
+}
+
+func TestCRC32KnownVectors(t *testing.T) {
+	// Standard IEEE check value: CRC32("123456789") = 0xCBF43926.
+	if got := uint32(CRC32("123456789")); got != 0xCBF43926 {
+		t.Errorf("CRC32(123456789) = %#x, want 0xCBF43926", got)
+	}
+	if got := uint32(CRC32("")); got != 0 {
+		t.Errorf("CRC32(\"\") = %#x, want 0", got)
+	}
+}
+
+func TestSDBMDistinguishes(t *testing.T) {
+	seen := map[uint64]string{}
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("key-%06d", i)
+		h := SDBM(k)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("SDBM collision: %q vs %q", prev, k)
+		}
+		seen[h] = k
+	}
+}
+
+func TestSuperFastHashAllLengths(t *testing.T) {
+	seen := map[uint64]int{}
+	for n := 0; n <= 64; n++ {
+		h := SuperFastHash(strings.Repeat("q", n) + "end"[:min(3, n%4)])
+		_ = h
+	}
+	// Tail-path sensitivity: every byte of short keys matters.
+	for n := 1; n <= 4; n++ {
+		base := strings.Repeat("a", n)
+		h := SuperFastHash(base)
+		mutated := base[:n-1] + "b"
+		if SuperFastHash(mutated) == h {
+			t.Errorf("len %d: last byte ignored", n)
+		}
+	}
+	_ = seen
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestZooAnagramWeaknesses documents which of the classic functions
+// collide under anagrams — the structural weakness the specialized
+// formats exploit positional loads to avoid.
+func TestZooAnagramWeaknesses(t *testing.T) {
+	weak := map[string]bool{"LoseLose": true}
+	for name, f := range Zoo {
+		collides := f("listen") == f("silent")
+		if collides != weak[name] {
+			t.Errorf("%s anagram collision = %v, want %v", name, collides, weak[name])
+		}
+	}
+}
+
+// BenchmarkZoo reproduces the informal Stack Overflow comparison of
+// Section 2.1: the libstdc++ murmur variant (STL) against the classic
+// functions, on an SSN-shaped workload.
+func BenchmarkZoo(b *testing.B) {
+	key := "123-45-6789"
+	fns := []struct {
+		name string
+		f    Func
+	}{
+		{"STL-murmur", STL},
+		{"FNV1a", FNV},
+		{"FNV1", FNV1},
+		{"DJB2", DJB2},
+		{"DJB2a", DJB2a},
+		{"SDBM", SDBM},
+		{"SuperFastHash", SuperFastHash},
+		{"CRC32", CRC32},
+		{"LoseLose", LoseLose},
+	}
+	for _, fn := range fns {
+		b.Run(fn.name, func(b *testing.B) {
+			var acc uint64
+			for i := 0; i < b.N; i++ {
+				acc += fn.f(key)
+			}
+			benchSink = acc
+		})
+	}
+}

@@ -1,0 +1,38 @@
+package infer_test
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sepe-go/sepe/internal/infer"
+)
+
+// Infer joins example keys over the quad-semilattice and prints the
+// resulting format — the paper's keybuilder.
+func ExampleInfer() {
+	// A good example set exercises every digit quad at every position
+	// (the paper's Example 3.6): all 0s and all 5s suffice.
+	pat, err := infer.Infer([]string{
+		"0000-00-00T00:00",
+		"5555-55-55T55:55",
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(pat.Regex())
+	fmt.Println("fixed length:", pat.FixedLen())
+	// Output:
+	// [0-9]{4}-[0-9]{2}-[0-9]{2}T[0-9]{2}:[0-9]{2}
+	// fixed length: true
+}
+
+func ExampleInferLines() {
+	keys := "00:00:00:00:00:00\nff:ff:ff:ff:ff:ff\n"
+	pat, err := infer.InferLines(strings.NewReader(keys))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("length:", pat.MaxLen, "variable bits:", pat.VarBitCount())
+	// Output:
+	// length: 17 variable bits: 96
+}

@@ -1,0 +1,80 @@
+// Package infer derives key-format patterns from example keys
+// (Section 3.1 of the paper; the keybuilder tool).
+//
+// The inference is the pointwise join, over the quad-semilattice, of
+// the quadized example keys. The resulting lattice word is regrouped
+// into per-byte Known/Value masks to form a pattern.Pattern; the
+// pattern's Regex method then prints the regular expression that the
+// paper's keybuilder pipes into keysynth.
+package infer
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/sepe-go/sepe/internal/pattern"
+	"github.com/sepe-go/sepe/internal/quad"
+)
+
+// ErrNoKeys is returned when inference is attempted on an empty set.
+var ErrNoKeys = errors.New("infer: no example keys")
+
+// MaxKeyLen bounds the accepted key length; it matches the largest key
+// size exercised by the paper's synthesis-complexity experiment (2^14).
+const MaxKeyLen = 1 << 14
+
+// Infer joins the example keys into a Pattern. The pattern's length
+// bounds span the shortest and longest example; positions present only
+// in longer examples are marked free, because the join treats missing
+// bit pairs as ⊤.
+func Infer(keys []string) (*pattern.Pattern, error) {
+	if len(keys) == 0 {
+		return nil, ErrNoKeys
+	}
+	minLen, maxLen := len(keys[0]), len(keys[0])
+	for _, k := range keys[1:] {
+		if len(k) < minLen {
+			minLen = len(k)
+		}
+		if len(k) > maxLen {
+			maxLen = len(k)
+		}
+	}
+	if maxLen > MaxKeyLen {
+		return nil, fmt.Errorf("infer: key of %d bytes exceeds the %d-byte limit", maxLen, MaxKeyLen)
+	}
+	join := quad.JoinStrings(keys)
+	masks, values := join.Bytes()
+	bytes := make([]pattern.Byte, maxLen)
+	for i := range bytes {
+		bytes[i] = pattern.Byte{Known: masks[i], Value: values[i]}
+	}
+	p := &pattern.Pattern{Bytes: bytes, MinLen: minLen, MaxLen: maxLen}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("infer: internal inconsistency: %w", err)
+	}
+	return p, nil
+}
+
+// InferLines reads newline-separated keys from r and infers their
+// pattern. Empty lines are skipped; a trailing newline is optional.
+// This is the exact interface of the paper's
+// "keybuilder < file_with_keys.txt" usage.
+func InferLines(r io.Reader) (*pattern.Pattern, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxKeyLen+1)
+	var keys []string
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		keys = append(keys, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("infer: reading keys: %w", err)
+	}
+	return Infer(keys)
+}

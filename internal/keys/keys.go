@@ -1,0 +1,407 @@
+// Package keys generates the benchmark workloads of the paper's
+// Section 4: eight key formats (SSN, CPF, MAC, IPv4, IPv6, INTS and
+// two URL shapes) drawn from three distributions (incremental, normal,
+// uniform).
+//
+// Each format is a template of literal separators and character-class
+// slots. A key is the mixed-radix expansion of a position in the
+// format's key space, so the incremental distribution is exact
+// ascending ASCII order ('000-00-0000', '000-00-0001', …, as RQ3
+// prescribes), the uniform distribution draws every slot uniformly,
+// and the normal distribution expands a clipped gaussian fraction of
+// the key space most-significant-slot first.
+package keys
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sepe-go/sepe/internal/rng"
+)
+
+// Type identifies one of the paper's eight key formats.
+type Type int
+
+const (
+	// SSN is the US social security number format \d{3}-\d{2}-\d{4}.
+	SSN Type = iota
+	// CPF is the Brazilian taxpayer format \d{3}\.\d{3}\.\d{3}-\d{2}.
+	CPF
+	// MAC is the colon-free MAC format ([0-9a-f]{2}-){5}[0-9a-f]{2}.
+	MAC
+	// IPv4 is the zero-padded dotted-quad format ([0-9]{3}\.){3}[0-9]{3}.
+	IPv4
+	// IPv6 is the full-form address ([0-9a-f]{4}:){7}[0-9a-f]{4}.
+	IPv6
+	// INTS is a 100-digit integer [0-9]{100}.
+	INTS
+	// URL1 is a 23-character constant URL plus [a-z0-9]{20}\.html.
+	URL1
+	// URL2 is a 36-character constant URL plus [a-z0-9]{20}\.html.
+	URL2
+)
+
+// All lists the eight formats in the paper's order.
+var All = []Type{SSN, CPF, MAC, IPv4, IPv6, INTS, URL1, URL2}
+
+// Character classes, in ascending ASCII order (so mixed-radix
+// expansion produces ascending keys).
+const (
+	digits = "0123456789"
+	lhex   = "0123456789abcdef"
+	lalnum = "0123456789abcdefghijklmnopqrstuvwxyz"
+)
+
+// seg is one template segment: a literal, or n slots over a class.
+type seg struct {
+	lit   string
+	class string
+	n     int
+}
+
+type spec struct {
+	name  string
+	regex string
+	segs  []seg
+}
+
+func digitsSeg(n int) seg { return seg{class: digits, n: n} }
+
+var specs = map[Type]spec{
+	SSN: {
+		name:  "SSN",
+		regex: `[0-9]{3}-[0-9]{2}-[0-9]{4}`,
+		segs:  []seg{digitsSeg(3), {lit: "-"}, digitsSeg(2), {lit: "-"}, digitsSeg(4)},
+	},
+	CPF: {
+		name:  "CPF",
+		regex: `[0-9]{3}\.[0-9]{3}\.[0-9]{3}-[0-9]{2}`,
+		segs: []seg{
+			digitsSeg(3), {lit: "."}, digitsSeg(3), {lit: "."},
+			digitsSeg(3), {lit: "-"}, digitsSeg(2),
+		},
+	},
+	MAC: {
+		name:  "MAC",
+		regex: `([0-9a-f]{2}-){5}[0-9a-f]{2}`,
+		segs: []seg{
+			{class: lhex, n: 2}, {lit: "-"}, {class: lhex, n: 2}, {lit: "-"},
+			{class: lhex, n: 2}, {lit: "-"}, {class: lhex, n: 2}, {lit: "-"},
+			{class: lhex, n: 2}, {lit: "-"}, {class: lhex, n: 2},
+		},
+	},
+	IPv4: {
+		name:  "IPv4",
+		regex: `([0-9]{3}\.){3}[0-9]{3}`,
+		segs: []seg{
+			digitsSeg(3), {lit: "."}, digitsSeg(3), {lit: "."},
+			digitsSeg(3), {lit: "."}, digitsSeg(3),
+		},
+	},
+	IPv6: {
+		name:  "IPv6",
+		regex: `([0-9a-f]{4}:){7}[0-9a-f]{4}`,
+		segs: []seg{
+			{class: lhex, n: 4}, {lit: ":"}, {class: lhex, n: 4}, {lit: ":"},
+			{class: lhex, n: 4}, {lit: ":"}, {class: lhex, n: 4}, {lit: ":"},
+			{class: lhex, n: 4}, {lit: ":"}, {class: lhex, n: 4}, {lit: ":"},
+			{class: lhex, n: 4}, {lit: ":"}, {class: lhex, n: 4},
+		},
+	},
+	INTS: {
+		name:  "INTS",
+		regex: `[0-9]{100}`,
+		segs:  []seg{digitsSeg(100)},
+	},
+	URL1: {
+		name:  "URL1",
+		regex: `https://www\.example\.com[a-z0-9]{20}\.html`,
+		segs: []seg{
+			{lit: "https://www.example.com"}, // 23 constant characters
+			{class: lalnum, n: 20},
+			{lit: ".html"},
+		},
+	},
+	URL2: {
+		name:  "URL2",
+		regex: `https://subdomain\.example-site\.com/a[a-z0-9]{20}\.html`,
+		segs: []seg{
+			{lit: "https://subdomain.example-site.com/a"}, // 36 constant characters
+			{class: lalnum, n: 20},
+			{lit: ".html"},
+		},
+	},
+}
+
+// Name returns the paper's name for the format.
+func (t Type) Name() string { return specs[t].name }
+
+// Regex returns the format's regular expression in the paper's
+// notation (restricted to the dialect of package rex).
+func (t Type) Regex() string { return specs[t].regex }
+
+// Length returns the fixed key length in bytes.
+func (t Type) Length() int {
+	n := 0
+	for _, s := range specs[t].segs {
+		if s.lit != "" {
+			n += len(s.lit)
+		} else {
+			n += s.n
+		}
+	}
+	return n
+}
+
+// Slots returns the number of variable character positions.
+func (t Type) Slots() int {
+	n := 0
+	for _, s := range specs[t].segs {
+		if s.lit == "" {
+			n += s.n
+		}
+	}
+	return n
+}
+
+// String implements fmt.Stringer.
+func (t Type) String() string { return t.Name() }
+
+// slots materializes the per-position classes (nil for literals).
+func (t Type) slotClasses() []string {
+	var out []string
+	for _, s := range specs[t].segs {
+		if s.lit != "" {
+			for range s.lit {
+				out = append(out, "")
+			}
+			continue
+		}
+		for i := 0; i < s.n; i++ {
+			out = append(out, s.class)
+		}
+	}
+	return out
+}
+
+func (t Type) literalAt(i int) byte {
+	pos := 0
+	for _, s := range specs[t].segs {
+		if s.lit != "" {
+			if i < pos+len(s.lit) {
+				return s.lit[i-pos]
+			}
+			pos += len(s.lit)
+			continue
+		}
+		pos += s.n
+	}
+	panic("keys: literalAt out of range")
+}
+
+// FromIndex returns the idx-th key of the format in ascending ASCII
+// order, wrapping modulo the key space: the variable slots form a
+// mixed-radix number, least significant slot last.
+func (t Type) FromIndex(idx uint64) string {
+	classes := t.slotClasses()
+	buf := make([]byte, len(classes))
+	for i := len(classes) - 1; i >= 0; i-- {
+		c := classes[i]
+		if c == "" {
+			buf[i] = t.literalAt(i)
+			continue
+		}
+		base := uint64(len(c))
+		buf[i] = c[idx%base]
+		idx /= base
+	}
+	return string(buf)
+}
+
+// Examples returns a small "good set of examples" in the sense of the
+// paper's Example 3.6: for every slot, both extremes of its class
+// occur, so the quad join discovers exactly the class's constant bits.
+func (t Type) Examples() []string {
+	classes := t.slotClasses()
+	lo := make([]byte, len(classes))
+	hi := make([]byte, len(classes))
+	mid := make([]byte, len(classes))
+	for i, c := range classes {
+		if c == "" {
+			lit := t.literalAt(i)
+			lo[i], hi[i], mid[i] = lit, lit, lit
+			continue
+		}
+		lo[i] = c[0]
+		hi[i] = c[len(c)-1]
+		mid[i] = c[len(c)/2]
+	}
+	return []string{string(lo), string(hi), string(mid)}
+}
+
+// Distribution selects how keys are drawn (Section 4's driver).
+type Distribution int
+
+const (
+	// Inc draws keys in ascending order: 0, 1, 2, …
+	Inc Distribution = iota
+	// Normal draws keys normally distributed over the ordered key
+	// space (mean at the centre, σ = 0.15 of the space).
+	Normal
+	// Uniform draws every slot uniformly at random.
+	Uniform
+)
+
+// Distributions lists all three.
+var Distributions = []Distribution{Inc, Normal, Uniform}
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Inc:
+		return "Inc"
+	case Normal:
+		return "Normal"
+	case Uniform:
+		return "Uniform"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Generator draws keys of one format from one distribution,
+// deterministically for a given seed.
+type Generator struct {
+	typ     Type
+	dist    Distribution
+	classes []string
+	rand    *rng.Rand
+	counter uint64
+}
+
+// NewGenerator returns a seeded generator.
+func NewGenerator(t Type, d Distribution, seed uint64) *Generator {
+	return &Generator{
+		typ:     t,
+		dist:    d,
+		classes: t.slotClasses(),
+		rand:    rng.New(seed ^ uint64(t)<<32 ^ uint64(d)<<56),
+	}
+}
+
+// Next draws the next key.
+func (g *Generator) Next() string {
+	switch g.dist {
+	case Inc:
+		k := g.typ.FromIndex(g.counter)
+		g.counter++
+		return k
+	case Uniform:
+		buf := make([]byte, len(g.classes))
+		for i, c := range g.classes {
+			if c == "" {
+				buf[i] = g.typ.literalAt(i)
+				continue
+			}
+			buf[i] = c[g.rand.Intn(len(c))]
+		}
+		return string(buf)
+	case Normal:
+		// A gaussian fraction of the key space, expanded most
+		// significant slot first. Fractions carry 52 bits, so slots
+		// beyond that depth take the class minimum; the distribution
+		// over the ordered space is what matters for the experiments.
+		f := 0.5 + 0.15*g.rand.NormFloat64()
+		if f < 0 {
+			f = 0
+		}
+		if f >= 1 {
+			f = 0x1.fffffffffffffp-1
+		}
+		buf := make([]byte, len(g.classes))
+		for i, c := range g.classes {
+			if c == "" {
+				buf[i] = g.typ.literalAt(i)
+				continue
+			}
+			f *= float64(len(c))
+			d := int(f)
+			if d >= len(c) {
+				d = len(c) - 1
+			}
+			f -= float64(d)
+			buf[i] = c[d]
+		}
+		return string(buf)
+	default:
+		panic(fmt.Sprintf("keys: unknown distribution %d", g.dist))
+	}
+}
+
+// Distinct draws n distinct keys. For distributions that can repeat
+// (normal in particular), colliding draws are retried with a uniform
+// low-order perturbation so the call always terminates; the overall
+// shape of the distribution is preserved.
+func (g *Generator) Distinct(n int) []string {
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	attempts := 0
+	for len(out) < n {
+		k := g.Next()
+		if _, dup := seen[k]; dup {
+			attempts++
+			if attempts > 4 {
+				k = g.perturb(k)
+			}
+			if _, stillDup := seen[k]; stillDup {
+				continue
+			}
+		}
+		attempts = 0
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}
+
+// perturb rewrites the last few variable slots uniformly.
+func (g *Generator) perturb(k string) string {
+	buf := []byte(k)
+	changed := 0
+	for i := len(buf) - 1; i >= 0 && changed < 6; i-- {
+		c := g.classes[i]
+		if c == "" {
+			continue
+		}
+		buf[i] = c[g.rand.Intn(len(c))]
+		changed++
+	}
+	return string(buf)
+}
+
+// Reset rewinds the generator to its initial state.
+func (g *Generator) Reset(seed uint64) {
+	g.rand = rng.New(seed ^ uint64(g.typ)<<32 ^ uint64(g.dist)<<56)
+	g.counter = 0
+}
+
+// Valid reports whether k belongs to the format (every slot within its
+// class, literals in place, exact length).
+func (t Type) Valid(k string) bool {
+	classes := t.slotClasses()
+	if len(k) != len(classes) {
+		return false
+	}
+	for i, c := range classes {
+		if c == "" {
+			if k[i] != t.literalAt(i) {
+				return false
+			}
+			continue
+		}
+		if !strings.Contains(c, string(k[i])) {
+			return false
+		}
+	}
+	return true
+}

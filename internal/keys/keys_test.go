@@ -1,0 +1,322 @@
+package keys
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/infer"
+	"github.com/sepe-go/sepe/internal/rex"
+)
+
+func TestLengths(t *testing.T) {
+	want := map[Type]int{
+		SSN:  11,
+		CPF:  14,
+		MAC:  17,
+		IPv4: 15,
+		IPv6: 39,
+		INTS: 100,
+		URL1: 23 + 20 + 5,
+		URL2: 36 + 20 + 5,
+	}
+	for typ, n := range want {
+		if got := typ.Length(); got != n {
+			t.Errorf("%v.Length() = %d, want %d", typ, got, n)
+		}
+	}
+}
+
+func TestSlots(t *testing.T) {
+	want := map[Type]int{
+		SSN: 9, CPF: 11, MAC: 12, IPv4: 12, IPv6: 32, INTS: 100,
+		URL1: 20, URL2: 20,
+	}
+	for typ, n := range want {
+		if got := typ.Slots(); got != n {
+			t.Errorf("%v.Slots() = %d, want %d", typ, got, n)
+		}
+	}
+}
+
+func TestFromIndexAscending(t *testing.T) {
+	// RQ3: "the keys would be, in ascending order: '000-00-0000',
+	// '000-00-0001', '000-00-0002', …".
+	if got := SSN.FromIndex(0); got != "000-00-0000" {
+		t.Errorf("SSN[0] = %q", got)
+	}
+	if got := SSN.FromIndex(1); got != "000-00-0001" {
+		t.Errorf("SSN[1] = %q", got)
+	}
+	if got := SSN.FromIndex(10000); got != "000-01-0000" {
+		t.Errorf("SSN[10000] = %q", got)
+	}
+	// Order must match string order.
+	prev := ""
+	for i := uint64(0); i < 2000; i++ {
+		k := SSN.FromIndex(i)
+		if prev != "" && !(prev < k) {
+			t.Fatalf("order violated: %q !< %q", prev, k)
+		}
+		prev = k
+	}
+}
+
+func TestFromIndexValid(t *testing.T) {
+	for _, typ := range All {
+		for i := uint64(0); i < 500; i += 7 {
+			k := typ.FromIndex(i * 977)
+			if !typ.Valid(k) {
+				t.Errorf("%v.FromIndex(%d) = %q invalid", typ, i*977, k)
+			}
+			if len(k) != typ.Length() {
+				t.Errorf("%v key length %d, want %d", typ, len(k), typ.Length())
+			}
+		}
+	}
+}
+
+func TestFromIndexWraps(t *testing.T) {
+	// SSN space is 10^9; index 10^9 wraps to the zero key.
+	if SSN.FromIndex(1_000_000_000) != SSN.FromIndex(0) {
+		t.Error("index must wrap modulo the key space")
+	}
+}
+
+func TestGeneratorsMatchRegex(t *testing.T) {
+	// Every generated key must match the format's declared regex.
+	for _, typ := range All {
+		pat, err := rex.ParseAndLower(typ.Regex())
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		for _, dist := range Distributions {
+			g := NewGenerator(typ, dist, 42)
+			for i := 0; i < 300; i++ {
+				k := g.Next()
+				if !typ.Valid(k) {
+					t.Fatalf("%v/%v: invalid key %q", typ, dist, k)
+				}
+				if !pat.Matches(k) {
+					t.Fatalf("%v/%v: key %q does not match %q", typ, dist, k, typ.Regex())
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, dist := range Distributions {
+		a := NewGenerator(MAC, dist, 7)
+		b := NewGenerator(MAC, dist, 7)
+		for i := 0; i < 100; i++ {
+			if a.Next() != b.Next() {
+				t.Fatalf("%v: same seed, different streams", dist)
+			}
+		}
+		c := NewGenerator(MAC, dist, 8)
+		if dist != Inc {
+			diff := false
+			a.Reset(7)
+			for i := 0; i < 20; i++ {
+				if a.Next() != c.Next() {
+					diff = true
+				}
+			}
+			if !diff {
+				t.Errorf("%v: different seeds, same stream", dist)
+			}
+		}
+	}
+}
+
+func TestIncIsSequential(t *testing.T) {
+	g := NewGenerator(IPv4, Inc, 1)
+	for i := uint64(0); i < 100; i++ {
+		if got, want := g.Next(), IPv4.FromIndex(i); got != want {
+			t.Fatalf("Inc key %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestNormalIsCentred(t *testing.T) {
+	// Normal keys cluster around the middle of the key space: the
+	// first variable slot should be the middle digit region far more
+	// often than the extremes.
+	g := NewGenerator(INTS, Normal, 3)
+	counts := make(map[byte]int)
+	for i := 0; i < 10000; i++ {
+		counts[g.Next()[0]]++
+	}
+	mid := counts['4'] + counts['5']
+	ext := counts['0'] + counts['9']
+	if mid <= ext*3 {
+		t.Errorf("normal distribution not centred: mid=%d extremes=%d", mid, ext)
+	}
+}
+
+func TestNormalOrderStatistics(t *testing.T) {
+	// The median normal key should be near the space's midpoint.
+	g := NewGenerator(SSN, Normal, 9)
+	keysDrawn := make([]string, 5001)
+	for i := range keysDrawn {
+		keysDrawn[i] = g.Next()
+	}
+	sort.Strings(keysDrawn)
+	median := keysDrawn[len(keysDrawn)/2]
+	if median < "400-00-0000" || median > "600-00-0000" {
+		t.Errorf("median normal SSN = %q, want near 500-00-0000", median)
+	}
+}
+
+func TestUniformSpreads(t *testing.T) {
+	// Uniform keys: the first slot must take every digit roughly
+	// equally (χ² sanity check).
+	g := NewGenerator(SSN, Uniform, 5)
+	var counts [10]int
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next()[0]-'0']++
+	}
+	for d, c := range counts {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("digit %d frequency %d, want ≈%d", d, c, n/10)
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	for _, dist := range Distributions {
+		g := NewGenerator(SSN, dist, 11)
+		ks := g.Distinct(2000)
+		if len(ks) != 2000 {
+			t.Fatalf("%v: got %d keys", dist, len(ks))
+		}
+		seen := make(map[string]struct{}, len(ks))
+		for _, k := range ks {
+			if _, dup := seen[k]; dup {
+				t.Fatalf("%v: duplicate key %q", dist, k)
+			}
+			if !SSN.Valid(k) {
+				t.Fatalf("%v: invalid key %q", dist, k)
+			}
+			seen[k] = struct{}{}
+		}
+	}
+}
+
+func TestDistinctNormalSmallSpace(t *testing.T) {
+	// Even a tight normal distribution must deliver distinct keys.
+	g := NewGenerator(SSN, Normal, 13)
+	ks := g.Distinct(10000)
+	seen := make(map[string]struct{}, len(ks))
+	for _, k := range ks {
+		if _, dup := seen[k]; dup {
+			t.Fatalf("duplicate %q", k)
+		}
+		seen[k] = struct{}{}
+	}
+}
+
+func TestExamplesAreGoodForInference(t *testing.T) {
+	// The Examples() set must let keybuilder-style inference recover a
+	// pattern that (a) matches every generated key and (b) keeps the
+	// separators constant.
+	for _, typ := range All {
+		ex := typ.Examples()
+		pat, err := infer.Infer(ex)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if !pat.FixedLen() || pat.MaxLen != typ.Length() {
+			t.Errorf("%v: inferred bounds [%d,%d]", typ, pat.MinLen, pat.MaxLen)
+		}
+		g := NewGenerator(typ, Uniform, 21)
+		for i := 0; i < 200; i++ {
+			if k := g.Next(); !pat.Matches(k) {
+				t.Fatalf("%v: inferred pattern rejects %q", typ, k)
+			}
+		}
+		// Literal positions must be inferred constant.
+		classes := typ.slotClasses()
+		for i, c := range classes {
+			if c == "" && !pat.Bytes[i].Const() {
+				t.Errorf("%v: separator at %d not constant", typ, i)
+			}
+		}
+	}
+}
+
+func TestURLConstantPrefixLengths(t *testing.T) {
+	// The paper specifies 23 and 36 constant characters.
+	if got := len("https://www.example.com"); got != 23 {
+		t.Errorf("URL1 prefix = %d chars, want 23", got)
+	}
+	if got := len("https://subdomain.example-site.com/a"); got != 36 {
+		t.Errorf("URL2 prefix = %d chars, want 36", got)
+	}
+	u := NewGenerator(URL1, Uniform, 1).Next()
+	if !strings.HasPrefix(u, "https://www.example.com") || !strings.HasSuffix(u, ".html") {
+		t.Errorf("URL1 key = %q", u)
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Inc.String() != "Inc" || Normal.String() != "Normal" || Uniform.String() != "Uniform" {
+		t.Error("distribution names wrong")
+	}
+	if Distribution(9).String() != "Distribution(9)" {
+		t.Error("unknown distribution name wrong")
+	}
+}
+
+func BenchmarkGeneratorUniform(b *testing.B) {
+	g := NewGenerator(IPv6, Uniform, 1)
+	for i := 0; i < b.N; i++ {
+		sinkStr = g.Next()
+	}
+}
+
+var sinkStr string
+
+// TestIncOrderingAllTypes: for every key type, FromIndex is strictly
+// increasing in ASCII order over a sampled index window — the property
+// RQ3's incremental distribution relies on.
+func TestIncOrderingAllTypes(t *testing.T) {
+	for _, typ := range All {
+		prev := ""
+		for i := uint64(0); i < 500; i++ {
+			k := typ.FromIndex(i)
+			if prev != "" && !(prev < k) {
+				t.Fatalf("%v: order violated at %d: %q !< %q", typ, i, prev, k)
+			}
+			prev = k
+		}
+	}
+}
+
+func TestTypeStringAndRegexNonEmpty(t *testing.T) {
+	for _, typ := range All {
+		if typ.String() == "" || typ.Regex() == "" {
+			t.Errorf("type %d has empty metadata", int(typ))
+		}
+		if typ.Slots() <= 0 || typ.Length() <= 0 {
+			t.Errorf("%v: bad dimensions", typ)
+		}
+	}
+}
+
+func TestValidRejectsWrongSeparatorsAndClasses(t *testing.T) {
+	if SSN.Valid("123.45-6789") {
+		t.Error("wrong separator accepted")
+	}
+	if SSN.Valid("12a-45-6789") {
+		t.Error("non-digit accepted")
+	}
+	if MAC.Valid("0A-1b-2c-3d-4e-5f") {
+		t.Error("uppercase hex accepted (generator uses lower hex)")
+	}
+	if URL1.Valid("http://www.example.comabcdefghij0123456789.html") {
+		t.Error("wrong prefix accepted")
+	}
+}

@@ -1,0 +1,394 @@
+// Package pattern defines the key-format intermediate representation
+// shared by SEPE's two front ends (example inference and regular
+// expressions) and its code generator.
+//
+// A Pattern records, for every byte position of a key, which bits are
+// known to be constant across all keys of the format and what value
+// those bits take. It also records the admissible key lengths. The
+// analyses in this package answer the three questions that drive the
+// specializations of Section 3.2 of the paper:
+//
+//   - is the length fixed? (length constraint → unrolled loads)
+//   - where are the constant words? (const constraint → skip table)
+//   - which bits vary inside each word? (range constraint → pext masks)
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WordSize is the machine word the generator targets, in bytes. SEPE
+// generates 64-bit loads; the paper's "minimum addressable word".
+const WordSize = 8
+
+// Byte describes one byte position of a key format.
+type Byte struct {
+	// Known is the mask of bits whose value is fixed at this
+	// position for every key of the format.
+	Known byte
+	// Value holds the fixed bits; Value &^ Known is always zero.
+	Value byte
+}
+
+// Const reports whether every bit of the position is fixed.
+func (b Byte) Const() bool { return b.Known == 0xFF }
+
+// Free reports whether nothing is known about the position.
+func (b Byte) Free() bool { return b.Known == 0 }
+
+// VarBits returns the mask of bits that vary at this position.
+func (b Byte) VarBits() byte { return ^b.Known }
+
+// Matches reports whether the concrete byte c is admissible here.
+func (b Byte) Matches(c byte) bool { return c&b.Known == b.Value }
+
+// Pattern is the format of a family of keys.
+type Pattern struct {
+	// Bytes has MaxLen entries. Positions at index ≥ MinLen describe
+	// bytes that are present only in the longer keys of the family.
+	Bytes []Byte
+	// MinLen and MaxLen bound the key length in bytes. Fixed-length
+	// formats have MinLen == MaxLen.
+	MinLen, MaxLen int
+}
+
+// New returns a Pattern over the given per-byte descriptions with a
+// fixed length of len(bytes).
+func New(bytes []Byte) *Pattern {
+	return &Pattern{Bytes: bytes, MinLen: len(bytes), MaxLen: len(bytes)}
+}
+
+// Validate checks the internal consistency of the pattern.
+func (p *Pattern) Validate() error {
+	if p.MinLen < 0 || p.MaxLen < p.MinLen {
+		return fmt.Errorf("pattern: bad length bounds [%d, %d]", p.MinLen, p.MaxLen)
+	}
+	if len(p.Bytes) != p.MaxLen {
+		return fmt.Errorf("pattern: %d byte entries for MaxLen %d", len(p.Bytes), p.MaxLen)
+	}
+	for i, b := range p.Bytes {
+		if b.Value&^b.Known != 0 {
+			return fmt.Errorf("pattern: byte %d has value bits %#02x outside known mask %#02x",
+				i, b.Value, b.Known)
+		}
+	}
+	return nil
+}
+
+// FixedLen reports whether all keys of the format have the same length.
+func (p *Pattern) FixedLen() bool { return p.MinLen == p.MaxLen }
+
+// Matches reports whether the concrete key s belongs to the format.
+func (p *Pattern) Matches(s string) bool {
+	if len(s) < p.MinLen || len(s) > p.MaxLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !p.Bytes[i].Matches(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// VarBitCount returns the total number of varying bits over the first
+// MinLen bytes (the portion guaranteed to be present in every key).
+func (p *Pattern) VarBitCount() int {
+	n := 0
+	for i := 0; i < p.MinLen; i++ {
+		n += popcount8(p.Bytes[i].VarBits())
+	}
+	return n
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// Run is a maximal run of consecutive fully-constant byte positions.
+type Run struct {
+	Off, Len int
+}
+
+// ConstRuns returns the maximal constant runs within the first MinLen
+// bytes, in ascending offset order. Only those bytes can be skipped
+// unconditionally: positions past MinLen may be absent.
+func (p *Pattern) ConstRuns() []Run {
+	var runs []Run
+	i := 0
+	for i < p.MinLen {
+		if !p.Bytes[i].Const() {
+			i++
+			continue
+		}
+		j := i
+		for j < p.MinLen && p.Bytes[j].Const() {
+			j++
+		}
+		runs = append(runs, Run{Off: i, Len: j - i})
+		i = j
+	}
+	return runs
+}
+
+// VarRuns returns the complement of ConstRuns: the maximal runs of
+// positions that are not fully constant, within the first MinLen bytes.
+func (p *Pattern) VarRuns() []Run {
+	var runs []Run
+	i := 0
+	for i < p.MinLen {
+		if p.Bytes[i].Const() {
+			i++
+			continue
+		}
+		j := i
+		for j < p.MinLen && !p.Bytes[j].Const() {
+			j++
+		}
+		runs = append(runs, Run{Off: i, Len: j - i})
+		i = j
+	}
+	return runs
+}
+
+// SkipTable computes the skip table of Section 3.2.1 for variable-
+// length keys: skip[0] is the byte offset of the first word load and
+// skip[c] the distance from load c-1 to load c. Word loads cover every
+// byte that is not part of a constant run of length ≥ WordSize; runs
+// shorter than a word are cheaper to hash than to skip. The second
+// result is the number of word loads (the paper's sk_len).
+func (p *Pattern) SkipTable() (skip []int, loads int) {
+	offs := p.LoadOffsets(false)
+	if len(offs) == 0 {
+		return []int{p.MinLen}, 0
+	}
+	skip = make([]int, 0, len(offs)+1)
+	skip = append(skip, offs[0])
+	for i := 1; i < len(offs); i++ {
+		skip = append(skip, offs[i]-offs[i-1])
+	}
+	// Final entry advances past the last word so the byte-tail loop
+	// resumes at the first unprocessed position.
+	skip = append(skip, WordSize)
+	return skip, len(offs)
+}
+
+// LoadOffsets returns the byte offsets of the 64-bit loads that cover
+// every variable byte of the first MinLen positions.
+//
+// With overlap (fixed-length formats), loads are a greedy interval
+// cover of the variable bytes: each load starts at the next uncovered
+// variable byte, clamped so it never reads past the key (Section
+// 3.2.2: "the last load of a non-constant sequence of n bits always
+// starts at position n − 8"). Clamping can sweep constant bytes into a
+// load; the Pext family masks them away and they are harmless for the
+// others. Greedy covering also lets one word serve several short
+// variable runs separated by single-byte constants — IPv6's eight
+// 4-hex-digit groups need five loads, not eight.
+//
+// Without overlap (variable-length skip tables), loads advance in
+// whole words from each uncovered variable byte, because the runtime
+// loop of Figure 8 advances ptr by whole skip-table strides and may
+// not re-read bytes.
+func (p *Pattern) LoadOffsets(overlap bool) []int {
+	if p.MinLen == 0 {
+		return nil
+	}
+	var offs []int
+	if !overlap {
+		pos := 0
+		for pos < p.MinLen {
+			if p.Bytes[pos].Const() {
+				pos++
+				continue
+			}
+			off := pos
+			if off+WordSize > p.MinLen {
+				off = p.MinLen - WordSize
+			}
+			if off < 0 {
+				off = 0
+			}
+			if len(offs) > 0 && off <= offs[len(offs)-1] {
+				break // clamped into the previous load: end covered
+			}
+			offs = append(offs, off)
+			pos = off + WordSize
+		}
+		return offs
+	}
+	if p.MinLen < WordSize {
+		return nil // caller must special-case short keys
+	}
+	pos := 0
+	for pos < p.MinLen {
+		if p.Bytes[pos].Const() {
+			pos++
+			continue
+		}
+		off := pos
+		if off > p.MinLen-WordSize {
+			off = p.MinLen - WordSize
+		}
+		offs = append(offs, off)
+		pos = off + WordSize
+	}
+	return offs
+}
+
+// WordMask returns the pext mask for an 8-byte little-endian load at
+// byte offset off: bit 8i+j of the mask is set iff bit j of key byte
+// off+i varies. Bytes past MinLen contribute no bits (they may be
+// absent or are handled by the byte tail).
+func (p *Pattern) WordMask(off int) uint64 {
+	var m uint64
+	for i := 0; i < WordSize; i++ {
+		pos := off + i
+		if pos < 0 || pos >= p.MinLen {
+			continue
+		}
+		m |= uint64(p.Bytes[pos].VarBits()) << (8 * i)
+	}
+	return m
+}
+
+// WordValue returns the constant bits of the word at off, positioned as
+// WordMask positions the variable ones. Useful for verifying loads in
+// tests and for emitting self-checking code.
+func (p *Pattern) WordValue(off int) uint64 {
+	var v uint64
+	for i := 0; i < WordSize; i++ {
+		pos := off + i
+		if pos < 0 || pos >= p.MinLen {
+			continue
+		}
+		v |= uint64(p.Bytes[pos].Value) << (8 * i)
+	}
+	return v
+}
+
+// Regex renders the pattern as a regular expression in the restricted
+// dialect of package rex, with run-length compression ("[0-9]{3}").
+// The rendering is canonical: inferring a pattern, printing it, and
+// re-parsing the print yields an equivalent pattern (tested in the
+// integration suite).
+func (p *Pattern) Regex() string {
+	var sb strings.Builder
+	i := 0
+	for i < p.MaxLen {
+		atom := byteAtom(p.Bytes[i])
+		j := i + 1
+		for j < p.MaxLen && byteAtom(p.Bytes[j]) == atom {
+			j++
+		}
+		n := j - i
+		// Optional positions (≥ MinLen) are rendered with {min,max}.
+		if j > p.MinLen {
+			mandatory := p.MinLen - i
+			if mandatory < 0 {
+				mandatory = 0
+			}
+			writeAtom(&sb, atom, mandatory, n)
+		} else {
+			writeAtom(&sb, atom, n, n)
+		}
+		i = j
+	}
+	return sb.String()
+}
+
+func writeAtom(sb *strings.Builder, atom string, min, max int) {
+	sb.WriteString(atom)
+	switch {
+	case min == max && max == 1:
+	case min == max:
+		fmt.Fprintf(sb, "{%d}", max)
+	default:
+		fmt.Fprintf(sb, "{%d,%d}", min, max)
+	}
+}
+
+// byteAtom renders one byte description as a regex atom. Constant
+// bytes become (escaped) literals; a handful of masks that correspond
+// to well-known ASCII families get their idiomatic classes; everything
+// else is rendered as an explicit character class enumerating the
+// admissible bytes (in escaped ranges).
+func byteAtom(b Byte) string {
+	if b.Const() {
+		return escapeLiteral(b.Value)
+	}
+	if b.Free() {
+		return "."
+	}
+	if b.Known == 0xF0 && b.Value == 0x30 {
+		// The quad join of the ASCII digits. The class is printed as
+		// [0-9] for readability; re-lowering [0-9] through package rex
+		// widens it back to the same Known/Value masks, so the round
+		// trip is exact at the IR level even though the printed class
+		// is narrower than the mask (which also admits ':'..'?').
+		return "[0-9]"
+	}
+	return classOf(b)
+}
+
+// classOf enumerates the bytes admitted by b and renders them as a
+// character class of ranges.
+func classOf(b Byte) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	c := 0
+	for c < 256 {
+		if !b.Matches(byte(c)) {
+			c++
+			continue
+		}
+		start := c
+		for c < 256 && b.Matches(byte(c)) {
+			c++
+		}
+		end := c - 1
+		sb.WriteString(escapeClass(byte(start)))
+		if end > start {
+			if end > start+1 {
+				sb.WriteByte('-')
+			}
+			sb.WriteString(escapeClass(byte(end)))
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+const regexMeta = `\.+*?()[]{}|^$`
+
+func escapeLiteral(c byte) string {
+	if strings.IndexByte(regexMeta, c) >= 0 {
+		return "\\" + string(c)
+	}
+	if c < 0x20 || c > 0x7E {
+		return fmt.Sprintf(`\x%02x`, c)
+	}
+	return string(c)
+}
+
+func escapeClass(c byte) string {
+	switch c {
+	case '\\', ']', '-', '^':
+		return "\\" + string(c)
+	}
+	if c < 0x20 || c > 0x7E {
+		return fmt.Sprintf(`\x%02x`, c)
+	}
+	return string(c)
+}
+
+// String summarizes the pattern for diagnostics.
+func (p *Pattern) String() string {
+	return fmt.Sprintf("pattern{len=[%d,%d] varbits=%d regex=%s}",
+		p.MinLen, p.MaxLen, p.VarBitCount(), p.Regex())
+}

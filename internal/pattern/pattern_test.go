@@ -1,0 +1,417 @@
+package pattern
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fixed builds a fixed-length pattern from a template string where 'c'
+// marks a fully constant byte (value 'x'), 'd' a digit byte (upper
+// nibble known, 0x30), and '.' a free byte.
+func fixed(t *testing.T, template string) *Pattern {
+	t.Helper()
+	bytes := make([]Byte, len(template))
+	for i, c := range template {
+		switch c {
+		case 'c':
+			bytes[i] = Byte{Known: 0xFF, Value: 'x'}
+		case 'd':
+			bytes[i] = Byte{Known: 0xF0, Value: 0x30}
+		case '.':
+			bytes[i] = Byte{}
+		default:
+			t.Fatalf("bad template byte %q", c)
+		}
+	}
+	p := New(bytes)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("template %q: %v", template, err)
+	}
+	return p
+}
+
+func TestByteBasics(t *testing.T) {
+	c := Byte{Known: 0xFF, Value: 'a'}
+	if !c.Const() || c.Free() {
+		t.Error("constant byte misclassified")
+	}
+	if !c.Matches('a') || c.Matches('b') {
+		t.Error("constant byte Matches wrong")
+	}
+	d := Byte{Known: 0xF0, Value: 0x30}
+	if d.Const() || d.Free() {
+		t.Error("digit byte misclassified")
+	}
+	if !d.Matches('0') || !d.Matches('9') || d.Matches('a') {
+		t.Error("digit byte Matches wrong")
+	}
+	if d.VarBits() != 0x0F {
+		t.Errorf("digit VarBits = %#02x, want 0x0F", d.VarBits())
+	}
+	var f Byte
+	if !f.Free() || !f.Matches(0xFF) || !f.Matches(0) {
+		t.Error("free byte misclassified")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Pattern{Bytes: []Byte{{Known: 0x0F, Value: 0x30}}, MinLen: 1, MaxLen: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("value bits outside mask must fail validation")
+	}
+	bad2 := &Pattern{Bytes: make([]Byte, 3), MinLen: 2, MaxLen: 2}
+	if err := bad2.Validate(); err == nil {
+		t.Error("byte count mismatch must fail validation")
+	}
+	bad3 := &Pattern{MinLen: 3, MaxLen: 1}
+	if err := bad3.Validate(); err == nil {
+		t.Error("inverted bounds must fail validation")
+	}
+}
+
+func TestMatchesLengthBounds(t *testing.T) {
+	p := fixed(t, "ddd")
+	p.MinLen = 2 // "dd" or "ddd"
+	if !p.Matches("12") || !p.Matches("123") {
+		t.Error("length-range pattern must accept both lengths")
+	}
+	if p.Matches("1") || p.Matches("1234") {
+		t.Error("length-range pattern must reject out-of-range lengths")
+	}
+	if p.Matches("12a") {
+		t.Error("pattern must reject non-matching byte")
+	}
+}
+
+func TestVarBitCount(t *testing.T) {
+	p := fixed(t, "cdc.")
+	// c: 0 bits, d: 4 bits, c: 0 bits, '.': 8 bits.
+	if got := p.VarBitCount(); got != 12 {
+		t.Errorf("VarBitCount = %d, want 12", got)
+	}
+}
+
+func TestConstAndVarRuns(t *testing.T) {
+	p := fixed(t, "ccddccc.d")
+	wantConst := []Run{{0, 2}, {4, 3}}
+	wantVar := []Run{{2, 2}, {7, 2}}
+	if got := p.ConstRuns(); !reflect.DeepEqual(got, wantConst) {
+		t.Errorf("ConstRuns = %v, want %v", got, wantConst)
+	}
+	if got := p.VarRuns(); !reflect.DeepEqual(got, wantVar) {
+		t.Errorf("VarRuns = %v, want %v", got, wantVar)
+	}
+}
+
+func TestRunsPartitionKey(t *testing.T) {
+	// Const runs and var runs tile [0, MinLen) exactly, for arbitrary
+	// const/var layouts.
+	f := func(layout []bool) bool {
+		bytes := make([]Byte, len(layout))
+		for i, isConst := range layout {
+			if isConst {
+				bytes[i] = Byte{Known: 0xFF, Value: 1}
+			}
+		}
+		p := New(bytes)
+		covered := make([]int, len(layout))
+		for _, r := range p.ConstRuns() {
+			for i := r.Off; i < r.Off+r.Len; i++ {
+				covered[i]++
+			}
+		}
+		for _, r := range p.VarRuns() {
+			for i := r.Off; i < r.Off+r.Len; i++ {
+				covered[i]++
+			}
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadOffsetsCoverVariableBytes(t *testing.T) {
+	// Every variable byte must be covered by at least one load, with
+	// and without overlap, for any layout of length ≥ 8.
+	f := func(layout []bool) bool {
+		if len(layout) < WordSize {
+			return true
+		}
+		bytes := make([]Byte, len(layout))
+		for i, isConst := range layout {
+			if isConst {
+				bytes[i] = Byte{Known: 0xFF, Value: 1}
+			}
+		}
+		p := New(bytes)
+		for _, overlap := range []bool{true, false} {
+			offs := p.LoadOffsets(overlap)
+			covered := make([]bool, len(layout))
+			for _, o := range offs {
+				if overlap && (o < 0 || o+WordSize > len(layout)) {
+					return false // overlapping loads must stay in bounds
+				}
+				for i := o; i < o+WordSize && i < len(layout); i++ {
+					if i >= 0 {
+						covered[i] = true
+					}
+				}
+			}
+			for i, b := range p.Bytes {
+				if !b.Const() && !covered[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadOffsetsSSN(t *testing.T) {
+	// "ddd-dd-dddd": 11 bytes, no constant run reaches a word, so the
+	// whole key is covered by two overlapping loads at 0 and 3
+	// (Example 2.3 / Figure 10 use exactly ptr and ptr+3).
+	p := fixed(t, "dddcddcdddd")
+	got := p.LoadOffsets(true)
+	want := []int{0, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SSN load offsets = %v, want %v", got, want)
+	}
+}
+
+func TestLoadOffsetsSkipsConstantWords(t *testing.T) {
+	// 8 variable + 16 constant + 8 variable: the middle words are
+	// never loaded.
+	p := fixed(t, "ddddddddccccccccccccccccdddddddd")
+	got := p.LoadOffsets(true)
+	want := []int{0, 24}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("load offsets = %v, want %v", got, want)
+	}
+}
+
+func TestLoadOffsetsTailOverlap(t *testing.T) {
+	// 13 variable bytes: loads at 0 and 13-8=5 (Section 3.2.2: last
+	// load starts at n-8).
+	p := fixed(t, "ddddddddddddd")
+	got := p.LoadOffsets(true)
+	want := []int{0, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("load offsets = %v, want %v", got, want)
+	}
+}
+
+func TestLoadOffsetsEmptyAndAllConst(t *testing.T) {
+	if got := New(nil).LoadOffsets(true); got != nil {
+		t.Errorf("empty pattern loads = %v, want nil", got)
+	}
+	p := fixed(t, "cccccccccccc")
+	if got := p.LoadOffsets(true); len(got) != 0 {
+		t.Errorf("all-constant pattern loads = %v, want none", got)
+	}
+}
+
+func TestSkipTable(t *testing.T) {
+	// Figure 8/9: skip[0] jumps to the first word, subsequent entries
+	// are strides, and the count excludes the final advance.
+	p := fixed(t, "ccccccccccdddddddddddddddd") // 10 const + 16 var
+	skip, n := p.SkipTable()
+	if n != 2 {
+		t.Fatalf("skip loads = %d, want 2", n)
+	}
+	want := []int{10, 8, 8}
+	if !reflect.DeepEqual(skip, want) {
+		t.Errorf("skip table = %v, want %v", skip, want)
+	}
+}
+
+func TestSkipTableAllConst(t *testing.T) {
+	p := fixed(t, "cccc")
+	skip, n := p.SkipTable()
+	if n != 0 || len(skip) != 1 || skip[0] != 4 {
+		t.Errorf("all-const skip = %v (%d loads), want [4] and 0", skip, n)
+	}
+}
+
+func TestWordMask(t *testing.T) {
+	p := fixed(t, "dcd.dddd")
+	m := p.WordMask(0)
+	// byte 0: 0x0F, byte 1: 0x00, byte 2: 0x0F, byte 3: 0xFF, 4..7: 0x0F.
+	want := uint64(0x0F0F0F0F_FF0F000F)
+	if m != want {
+		t.Errorf("WordMask(0) = %#016x, want %#016x", m, want)
+	}
+}
+
+func TestWordMaskOutOfRange(t *testing.T) {
+	p := fixed(t, "dddd")
+	// Bytes past MinLen contribute nothing.
+	if m := p.WordMask(0); m != 0x0F0F0F0F {
+		t.Errorf("WordMask(0) = %#x, want 0x0F0F0F0F", m)
+	}
+	if m := p.WordMask(-2); m != 0x0F0F0F0F<<16 {
+		t.Errorf("WordMask(-2) = %#x", m)
+	}
+	if m := p.WordMask(4); m != 0 {
+		t.Errorf("WordMask(4) = %#x, want 0", m)
+	}
+}
+
+func TestWordValueDisjointFromMask(t *testing.T) {
+	p := fixed(t, "dcd.dddd")
+	for off := -4; off < 12; off++ {
+		if p.WordMask(off)&p.WordValue(off) != 0 {
+			t.Errorf("mask and value overlap at offset %d", off)
+		}
+	}
+}
+
+func TestWordValueConstants(t *testing.T) {
+	p := fixed(t, "cc")
+	if v := p.WordValue(0); v != uint64('x')|uint64('x')<<8 {
+		t.Errorf("WordValue = %#x", v)
+	}
+}
+
+func TestRegexConstantEscaping(t *testing.T) {
+	dot := Byte{Known: 0xFF, Value: '.'}
+	digit := Byte{Known: 0xF0, Value: 0x30}
+	p := New([]Byte{digit, dot, digit})
+	got := p.Regex()
+	if got != `[0-9]\.[0-9]` {
+		t.Errorf("Regex = %q", got)
+	}
+}
+
+func TestRegexRepetition(t *testing.T) {
+	p := fixed(t, "dddd")
+	if got := p.Regex(); got != "[0-9]{4}" {
+		t.Errorf("Regex = %q", got)
+	}
+	q := fixed(t, "d")
+	if got := q.Regex(); got != "[0-9]" {
+		t.Errorf("Regex = %q", got)
+	}
+}
+
+func TestRegexOptionalTail(t *testing.T) {
+	p := fixed(t, "dddd")
+	p.MinLen = 2
+	if got := p.Regex(); got != "[0-9]{2,4}" {
+		t.Errorf("Regex = %q", got)
+	}
+}
+
+func TestRegexFreeByte(t *testing.T) {
+	p := fixed(t, "..")
+	if got := p.Regex(); got != ".{2}" {
+		t.Errorf("Regex = %q", got)
+	}
+}
+
+func TestRegexNonPrintableConstant(t *testing.T) {
+	p := New([]Byte{{Known: 0xFF, Value: 0x01}})
+	if got := p.Regex(); got != `\x01` {
+		t.Errorf("Regex = %q", got)
+	}
+}
+
+func TestRegexGenericClass(t *testing.T) {
+	// Known 0xC0 / value 0x40: ASCII 0x40..0x7F (letters joined over
+	// both cases). The class must enumerate exactly that range.
+	p := New([]Byte{{Known: 0xC0, Value: 0x40}})
+	got := p.Regex()
+	if !strings.HasPrefix(got, "[@") || !strings.Contains(got, `\x7f`) {
+		t.Errorf("Regex = %q, want a class covering 0x40..0x7F", got)
+	}
+}
+
+func TestClassOfMatchesExactly(t *testing.T) {
+	// classOf must list exactly the matching bytes: verify by lowering
+	// the produced ranges back to a set.
+	b := Byte{Known: 0xC3, Value: 0x41} // bits 7-6 = 01, bits 1-0 = 01
+	class := classOf(b)
+	if class[0] != '[' || class[len(class)-1] != ']' {
+		t.Fatalf("classOf = %q not a class", class)
+	}
+	// Count matching bytes: 4 free middle bits → 16 per... known bits
+	// fixed: bits 5..2 free = 16 combinations.
+	n := 0
+	for c := 0; c < 256; c++ {
+		if b.Matches(byte(c)) {
+			n++
+		}
+	}
+	if n != 16 {
+		t.Fatalf("expected 16 admissible bytes, got %d", n)
+	}
+}
+
+func TestString(t *testing.T) {
+	p := fixed(t, "dd")
+	s := p.String()
+	if !strings.Contains(s, "len=[2,2]") || !strings.Contains(s, "varbits=8") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// TestSkipTableProperties quick-checks the Figure 8 invariants for
+// arbitrary const/var layouts: the initial offset is within the key,
+// strides are positive, and walking the table touches every variable
+// byte while loads stay inside [0, MinLen).
+func TestSkipTableProperties(t *testing.T) {
+	f := func(layout []bool) bool {
+		if len(layout) < WordSize {
+			return true
+		}
+		bytes := make([]Byte, len(layout))
+		for i, isConst := range layout {
+			if isConst {
+				bytes[i] = Byte{Known: 0xFF, Value: 'c'}
+			}
+		}
+		p := New(bytes)
+		skip, n := p.SkipTable()
+		if len(skip) != n+1 {
+			return false
+		}
+		covered := make([]bool, len(layout))
+		pos := skip[0]
+		if pos < 0 {
+			return false
+		}
+		for c := 0; c < n; c++ {
+			if pos < 0 || pos+WordSize > p.MinLen {
+				return false
+			}
+			for i := pos; i < pos+WordSize; i++ {
+				covered[i] = true
+			}
+			if skip[c+1] <= 0 {
+				return false
+			}
+			pos += skip[c+1]
+		}
+		for i, b := range p.Bytes {
+			if !b.Const() && !covered[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

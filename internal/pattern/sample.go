@@ -1,0 +1,30 @@
+package pattern
+
+import "github.com/sepe-go/sepe/internal/rng"
+
+// Sample returns a uniformly random key of the format: a length drawn
+// from [MinLen, MaxLen] and, at every position, the constant bits
+// fixed and the variable bits random. Sampling is the inverse of
+// inference — Infer(samples of p) converges to p — and gives users
+// instant concrete examples of a format they are designing.
+func (p *Pattern) Sample(r *rng.Rand) string {
+	n := p.MinLen
+	if p.MaxLen > p.MinLen {
+		n += r.Intn(p.MaxLen - p.MinLen + 1)
+	}
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b := p.Bytes[i]
+		buf[i] = b.Value | byte(r.Uint64())&^b.Known
+	}
+	return string(buf)
+}
+
+// SampleN returns n samples.
+func (p *Pattern) SampleN(r *rng.Rand, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = p.Sample(r)
+	}
+	return out
+}

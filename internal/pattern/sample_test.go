@@ -1,0 +1,70 @@
+package pattern
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/rng"
+)
+
+func TestSampleMatchesFormat(t *testing.T) {
+	p := fixed(t, "cdc.dd")
+	r := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		s := p.Sample(r)
+		if !p.Matches(s) {
+			t.Fatalf("sample %q does not match its own format", s)
+		}
+		if len(s) != 6 {
+			t.Fatalf("sample length %d", len(s))
+		}
+		if s[0] != 'x' || s[2] != 'x' {
+			t.Fatalf("constant bytes wrong in %q", s)
+		}
+	}
+}
+
+func TestSampleVariableLength(t *testing.T) {
+	p := fixed(t, "dddd")
+	p.MinLen = 2
+	r := rng.New(2)
+	lengths := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		s := p.Sample(r)
+		if !p.Matches(s) {
+			t.Fatalf("sample %q off format", s)
+		}
+		lengths[len(s)]++
+	}
+	for n := 2; n <= 4; n++ {
+		if lengths[n] < 300 {
+			t.Errorf("length %d sampled only %d times", n, lengths[n])
+		}
+	}
+}
+
+func TestSampleCoversVariableBits(t *testing.T) {
+	// Over many samples, a digit position must take at least 10 of its
+	// 16 admissible values (the quad superset of the digits).
+	p := fixed(t, "d")
+	r := rng.New(3)
+	seen := map[byte]bool{}
+	for i := 0; i < 500; i++ {
+		seen[p.Sample(r)[0]] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("digit slot took only %d values", len(seen))
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	p := fixed(t, "dd")
+	got := p.SampleN(rng.New(4), 7)
+	if len(got) != 7 {
+		t.Fatalf("SampleN returned %d", len(got))
+	}
+	for _, s := range got {
+		if !p.Matches(s) {
+			t.Fatalf("sample %q off format", s)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package pext_test
+
+import (
+	"fmt"
+
+	"github.com/sepe-go/sepe/internal/pext"
+)
+
+// Compile turns a mask known at synthesis time into a shift/mask
+// network; the example mirrors the paper's Figure 11 semantics.
+func ExampleCompile() {
+	// Extract the low nibble of each of the four low bytes.
+	e := pext.Compile(0x0F0F0F0F)
+	src := uint64(0x31323334) // ASCII "4321" little-endian
+	fmt.Printf("%#x\n", e.Extract(src))
+	fmt.Println(e.Steps(), "steps for", e.Bits(), "bits")
+	// Output:
+	// 0x1234
+	// 4 steps for 16 bits
+}
+
+func ExampleExtract64() {
+	// The reference bit-at-a-time semantics (x86 PEXT).
+	fmt.Printf("%#x\n", pext.Extract64(0b1010_1010, 0b1111_0000))
+	// Output:
+	// 0xa
+}
+
+func ExampleExtractor_GoExpr() {
+	e := pext.Compile(0x0F00)
+	fmt.Println(e.GoExpr("w"))
+	// Output:
+	// w>>8&0x000000000000000f
+}

@@ -1,0 +1,275 @@
+package pext
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtract64KnownValues(t *testing.T) {
+	tests := []struct {
+		src, mask, want uint64
+	}{
+		{0, 0, 0},
+		{0xFFFFFFFFFFFFFFFF, 0, 0},
+		{0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF, 0xFFFFFFFFFFFFFFFF},
+		{0xDEADBEEF, 0xFFFFFFFF, 0xDEADBEEF},
+		{0b1010_1010, 0b1111_0000, 0b1010},
+		{0b1010_1010, 0b0101_0101, 0b0101 ^ 0b0101_0101&0}, // low bits of alternating pattern: 0,0,0,0 → wait, compute below
+		{0x30313233, 0x0F0F0F0F, 0x0123},
+	}
+	// Fix the fifth row explicitly: src=10101010, mask=01010101 picks
+	// bits 0,2,4,6 = 0,0,0,0.
+	tests[5].want = 0
+	for _, tt := range tests {
+		if got := Extract64(tt.src, tt.mask); got != tt.want {
+			t.Errorf("Extract64(%#x, %#x) = %#x, want %#x", tt.src, tt.mask, got, tt.want)
+		}
+	}
+}
+
+func TestExtract64SSNExample(t *testing.T) {
+	// Figure 12: the mask 0x0f0f0f000f0f0f covers the digit nibbles of
+	// "123.45.67" style data. Load "123.45.6" little-endian and check
+	// the digits come out compressed.
+	key := "123.45.6"
+	var src uint64
+	for i := 7; i >= 0; i-- {
+		src = src<<8 | uint64(key[i])
+	}
+	mask := uint64(0x0f000f0f000f0f0f)
+	got := Extract64(src, mask)
+	// Nibbles from low to high source order: '1'&0xF=1, '2'&0xF=2,
+	// '3'&0xF=3, '4'&0xF=4, '5'&0xF=5, '6'&0xF=6 → compressed value
+	// 0x654321.
+	if got != 0x654321 {
+		t.Errorf("Extract64 = %#x, want 0x654321", got)
+	}
+}
+
+func TestDeposit64InvertsExtract(t *testing.T) {
+	f := func(src, mask uint64) bool {
+		x := Extract64(src, mask)
+		back := Deposit64(x, mask)
+		return back == src&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractInvertsDeposit(t *testing.T) {
+	f := func(src, mask uint64) bool {
+		n := bits.OnesCount64(mask)
+		var low uint64
+		if n == 64 {
+			low = src
+		} else {
+			low = src & (uint64(1)<<uint(n) - 1)
+		}
+		return Extract64(Deposit64(low, mask), mask) == low
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractBitCount(t *testing.T) {
+	f := func(src, mask uint64) bool {
+		x := Extract64(src, mask)
+		n := bits.OnesCount64(mask)
+		if n == 64 {
+			return true
+		}
+		return x < uint64(1)<<uint(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompiledMatchesReference is the central property: the compiled
+// network equals the reference extraction for every source and mask.
+func TestCompiledMatchesReference(t *testing.T) {
+	f := func(src, mask uint64) bool {
+		e := Compile(mask)
+		return e.Extract(src) == Extract64(src, mask)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompiledEdgeMasks(t *testing.T) {
+	srcs := []uint64{0, 1, ^uint64(0), 0xDEADBEEFCAFEBABE, 1 << 63}
+	masks := []uint64{
+		0, 1, ^uint64(0), 1 << 63, 0x8000000000000001,
+		0x0F0F0F0F0F0F0F0F, 0xF0F0F0F0F0F0F0F0,
+		0x0f000f0f000f0f0f, // the SSN mask of Figure 12
+		0xAAAAAAAAAAAAAAAA, 0x5555555555555555,
+	}
+	for _, m := range masks {
+		e := Compile(m)
+		if e.Bits() != bits.OnesCount64(m) {
+			t.Errorf("Compile(%#x).Bits() = %d, want %d", m, e.Bits(), bits.OnesCount64(m))
+		}
+		for _, s := range srcs {
+			if got, want := e.Extract(s), Extract64(s, m); got != want {
+				t.Errorf("Compile(%#x).Extract(%#x) = %#x, want %#x", m, s, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileStepCountEqualsRuns(t *testing.T) {
+	tests := []struct {
+		mask uint64
+		runs int
+	}{
+		{0, 0},
+		{^uint64(0), 1},
+		{0x0F0F0F0F0F0F0F0F, 8},
+		{0xFF00FF00, 2},
+		{1, 1},
+		{0xAAAAAAAAAAAAAAAA, 32},
+	}
+	for _, tt := range tests {
+		if got := Compile(tt.mask).Steps(); got != tt.runs {
+			t.Errorf("Compile(%#x).Steps() = %d, want %d", tt.mask, got, tt.runs)
+		}
+	}
+}
+
+func TestGoExpr(t *testing.T) {
+	e := Compile(0x0F)
+	if got := e.GoExpr("w"); got != "w&0x000000000000000f" {
+		t.Errorf("GoExpr = %q", got)
+	}
+	full := Compile(^uint64(0))
+	if got := full.GoExpr("w"); got != "w" {
+		t.Errorf("full-mask GoExpr = %q", got)
+	}
+	empty := Compile(0)
+	if got := empty.GoExpr("w"); got != "0" {
+		t.Errorf("empty-mask GoExpr = %q", got)
+	}
+	shifted := Compile(0xF0)
+	if got := shifted.GoExpr("w"); !strings.Contains(got, ">>4") {
+		t.Errorf("shifted GoExpr = %q, want a >>4", got)
+	}
+}
+
+func TestCExpr(t *testing.T) {
+	e := Compile(0x0F00)
+	got := e.CExpr("w")
+	if !strings.Contains(got, ">> 8") || !strings.Contains(got, "UINT64_C") {
+		t.Errorf("CExpr = %q", got)
+	}
+	if got := Compile(^uint64(0)).CExpr("w"); got != "w" {
+		t.Errorf("full-mask CExpr = %q", got)
+	}
+	if got := Compile(0).CExpr("w"); got != "0" {
+		t.Errorf("empty-mask CExpr = %q", got)
+	}
+}
+
+func TestExtractorAccessors(t *testing.T) {
+	e := Compile(0x0f0f)
+	if e.Mask() != 0x0f0f || e.Bits() != 8 || e.Steps() != 2 {
+		t.Errorf("accessors wrong: mask=%#x bits=%d steps=%d", e.Mask(), e.Bits(), e.Steps())
+	}
+}
+
+// TestCompiledBijectiveOnMaskedInputs: distinct masked sources yield
+// distinct extractions (the property that makes Pext collision-free
+// for formats with ≤ 64 relevant bits).
+func TestCompiledBijectiveOnMaskedInputs(t *testing.T) {
+	mask := uint64(0x0f0f0f0f)
+	e := Compile(mask)
+	seen := make(map[uint64]uint64)
+	// Enumerate a structured subset of masked inputs.
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			src := a | b<<8 | (a^b)<<16 | (a&b)<<24
+			x := e.Extract(src)
+			if prev, dup := seen[x]; dup && prev != src&mask {
+				t.Fatalf("collision: %#x and %#x both extract to %#x", prev, src&mask, x)
+			}
+			seen[x] = src & mask
+		}
+	}
+}
+
+func BenchmarkExtractReference(b *testing.B) {
+	mask := uint64(0x0f0f0f0f0f0f0f0f)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += Extract64(uint64(i)*0x9E3779B97F4A7C15, mask)
+	}
+	sinkU64 = acc
+}
+
+func BenchmarkExtractCompiled(b *testing.B) {
+	e := Compile(0x0f0f0f0f0f0f0f0f)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += e.Extract(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	sinkU64 = acc
+}
+
+var sinkU64 uint64
+
+// TestFnMatchesExtractAllStepCounts covers every unrolled case of the
+// compiled closure (0..8 runs) plus the >8-run fallback, against both
+// the step-slice Extract and the bit-loop reference.
+func TestFnMatchesExtractAllStepCounts(t *testing.T) {
+	masks := []uint64{
+		0,                  // 0 steps
+		0x00000000000000F0, // 1
+		0x0000000000F000F0, // 2
+		0x000000F000F000F0, // 3
+		0x00F000F000F000F0, // 4
+		0x0F00F000F000F0F0, // 5 runs
+		0x0F0F0F0F0F0F0000, // 6
+		0x0F0F0F0F0F0F0F00, // 7
+		0x0F0F0F0F0F0F0F0F, // 8
+		0xAAAAAAAAAAAAAAAA, // 32 → loop fallback
+		^uint64(0),         // full mask special case
+	}
+	srcs := []uint64{0, 1, ^uint64(0), 0xDEADBEEFCAFEBABE, 0x0123456789ABCDEF}
+	for _, m := range masks {
+		e := Compile(m)
+		fn := e.Fn()
+		for _, s := range srcs {
+			want := Extract64(s, m)
+			if got := fn(s); got != want {
+				t.Errorf("Fn mask=%#x src=%#x = %#x, want %#x (steps=%d)",
+					m, s, got, want, e.Steps())
+			}
+			if got := e.Extract(s); got != want {
+				t.Errorf("Extract mask=%#x src=%#x = %#x, want %#x", m, s, got, want)
+			}
+		}
+	}
+}
+
+// TestFnRandomMasks quick-checks the closure against the reference.
+func TestFnRandomMasks(t *testing.T) {
+	f := func(src, mask uint64) bool {
+		return Compile(mask).Fn()(src) == Extract64(src, mask)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeposit64KnownValues(t *testing.T) {
+	if got := Deposit64(0b11, 0b1010); got != 0b1010 {
+		t.Errorf("Deposit64 = %#b", got)
+	}
+	if got := Deposit64(0xFF, 0); got != 0 {
+		t.Errorf("Deposit64 into empty mask = %#x", got)
+	}
+}

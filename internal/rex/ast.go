@@ -1,0 +1,281 @@
+// Package rex implements the restricted regular-expression dialect
+// that SEPE accepts as a key-format description (the
+// "make_hash_from_regex" front end of Figure 5).
+//
+// The dialect covers exactly what byte-format descriptions need:
+//
+//	literal bytes            a b -
+//	escapes                  \. \\ \x2e \d \w \s \h (hex digit)
+//	the wildcard             .
+//	character classes        [0-9a-fA-F] [^:]
+//	groups                   ( ... )
+//	bounded repetition       {n} {n,m} ?
+//	alternation              a|b
+//
+// Unbounded repetition (* and +) is rejected: a format with unbounded
+// keys admits no length or offset specialization, and the paper's
+// pipeline never produces one. Lowering (see lower.go) expands the
+// expression into its finitely many linear forms and joins them over
+// the quad-semilattice, so the resulting pattern.Pattern is exactly
+// what example-based inference would produce from an exhaustive set of
+// examples of the expression's language.
+package rex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a node of the regular-expression AST.
+type Node interface {
+	fmt.Stringer
+	// MinLen and MaxLen bound the byte length of the node's language.
+	MinLen() int
+	MaxLen() int
+}
+
+// Lit matches one specific byte.
+type Lit struct{ B byte }
+
+// Class matches one byte drawn from a set.
+type Class struct {
+	Set Set
+	// Source preserves the user's spelling for diagnostics.
+	Source string
+}
+
+// Concat matches the concatenation of its parts.
+type Concat struct{ Parts []Node }
+
+// Alt matches any one of its branches.
+type Alt struct{ Branches []Node }
+
+// Rep matches between Min and Max copies of Sub.
+type Rep struct {
+	Sub      Node
+	Min, Max int
+}
+
+func (l *Lit) MinLen() int { return 1 }
+func (l *Lit) MaxLen() int { return 1 }
+
+func (c *Class) MinLen() int { return 1 }
+func (c *Class) MaxLen() int { return 1 }
+
+func (c *Concat) MinLen() int {
+	n := 0
+	for _, p := range c.Parts {
+		n += p.MinLen()
+	}
+	return n
+}
+
+func (c *Concat) MaxLen() int {
+	n := 0
+	for _, p := range c.Parts {
+		n += p.MaxLen()
+	}
+	return n
+}
+
+func (a *Alt) MinLen() int {
+	if len(a.Branches) == 0 {
+		return 0
+	}
+	n := a.Branches[0].MinLen()
+	for _, b := range a.Branches[1:] {
+		if m := b.MinLen(); m < n {
+			n = m
+		}
+	}
+	return n
+}
+
+func (a *Alt) MaxLen() int {
+	n := 0
+	for _, b := range a.Branches {
+		if m := b.MaxLen(); m > n {
+			n = m
+		}
+	}
+	return n
+}
+
+func (r *Rep) MinLen() int { return r.Min * r.Sub.MinLen() }
+func (r *Rep) MaxLen() int { return r.Max * r.Sub.MaxLen() }
+
+func (l *Lit) String() string {
+	return escapeByte(l.B)
+}
+
+func (c *Class) String() string {
+	if c.Source != "" {
+		return c.Source
+	}
+	return c.Set.String()
+}
+
+func (c *Concat) String() string {
+	var sb strings.Builder
+	for _, p := range c.Parts {
+		sb.WriteString(p.String())
+	}
+	return sb.String()
+}
+
+func (a *Alt) String() string {
+	parts := make([]string, len(a.Branches))
+	for i, b := range a.Branches {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+func (r *Rep) String() string {
+	sub := r.Sub.String()
+	if _, grouped := r.Sub.(*Lit); !grouped {
+		if _, cls := r.Sub.(*Class); !cls {
+			sub = "(" + sub + ")"
+		}
+	}
+	switch {
+	case r.Min == 0 && r.Max == 1:
+		return sub + "?"
+	case r.Min == r.Max:
+		return fmt.Sprintf("%s{%d}", sub, r.Min)
+	default:
+		return fmt.Sprintf("%s{%d,%d}", sub, r.Min, r.Max)
+	}
+}
+
+func escapeByte(b byte) string {
+	if strings.IndexByte(`\.+*?()[]{}|^$`, b) >= 0 {
+		return "\\" + string(b)
+	}
+	if b < 0x20 || b > 0x7E {
+		return fmt.Sprintf(`\x%02x`, b)
+	}
+	return string(b)
+}
+
+// Set is a set of byte values.
+type Set [4]uint64
+
+// Add inserts b.
+func (s *Set) Add(b byte) { s[b>>6] |= 1 << (b & 63) }
+
+// AddRange inserts every byte in [lo, hi].
+func (s *Set) AddRange(lo, hi byte) {
+	for c := int(lo); c <= int(hi); c++ {
+		s.Add(byte(c))
+	}
+}
+
+// Has reports membership.
+func (s *Set) Has(b byte) bool { return s[b>>6]&(1<<(b&63)) != 0 }
+
+// Negate complements the set over all 256 byte values.
+func (s *Set) Negate() {
+	for i := range s {
+		s[i] = ^s[i]
+	}
+}
+
+// Union merges o into s.
+func (s *Set) Union(o Set) {
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
+
+// Empty reports whether the set has no members.
+func (s *Set) Empty() bool { return s[0]|s[1]|s[2]|s[3] == 0 }
+
+// Count returns the number of members.
+func (s *Set) Count() int {
+	n := 0
+	for c := 0; c < 256; c++ {
+		if s.Has(byte(c)) {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the set as a character class of ranges.
+func (s *Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	c := 0
+	for c < 256 {
+		if !s.Has(byte(c)) {
+			c++
+			continue
+		}
+		start := c
+		for c < 256 && s.Has(byte(c)) {
+			c++
+		}
+		end := c - 1
+		sb.WriteString(escapeInClass(byte(start)))
+		if end > start {
+			if end > start+1 {
+				sb.WriteByte('-')
+			}
+			sb.WriteString(escapeInClass(byte(end)))
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+func escapeInClass(b byte) string {
+	switch b {
+	case '\\', ']', '-', '^':
+		return "\\" + string(b)
+	}
+	if b < 0x20 || b > 0x7E {
+		return fmt.Sprintf(`\x%02x`, b)
+	}
+	return string(b)
+}
+
+// Predefined escape classes.
+func digitSet() Set {
+	var s Set
+	s.AddRange('0', '9')
+	return s
+}
+
+func hexSet() Set {
+	var s Set
+	s.AddRange('0', '9')
+	s.AddRange('a', 'f')
+	s.AddRange('A', 'F')
+	return s
+}
+
+func wordSet() Set {
+	var s Set
+	s.AddRange('0', '9')
+	s.AddRange('a', 'z')
+	s.AddRange('A', 'Z')
+	s.Add('_')
+	return s
+}
+
+func spaceSet() Set {
+	var s Set
+	for _, c := range []byte{' ', '\t', '\n', '\v', '\f', '\r'} {
+		s.Add(c)
+	}
+	return s
+}
+
+func dotSet() Set {
+	var s Set
+	for c := 0; c < 256; c++ {
+		s.Add(byte(c))
+	}
+	return s
+}

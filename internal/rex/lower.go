@@ -1,0 +1,239 @@
+package rex
+
+import (
+	"fmt"
+
+	"github.com/sepe-go/sepe/internal/pattern"
+)
+
+// MaxForms bounds how many distinct linear forms an expression may
+// expand into during lowering. Key-format expressions are essentially
+// linear (fixed repetitions over classes), so real inputs expand to a
+// handful of forms; the bound only exists to reject pathological
+// nestings of '?' and alternation.
+const MaxForms = 512
+
+// form is one linear shape of the expression's language: a byte-set
+// per position.
+type form []Set
+
+// Lower converts a parsed expression into a key-format pattern.
+//
+// The expression is expanded into its linear forms (one per combination
+// of alternation branches and repetition counts) and the forms are
+// joined pointwise over the quad-semilattice, exactly as example-based
+// inference joins example keys. The result is therefore the pattern
+// that Infer would produce from a set of examples exercising every
+// class member at every position — the "good set of examples" of
+// Example 3.6 — which makes the two SEPE front ends agree by
+// construction.
+func Lower(n Node) (*pattern.Pattern, error) {
+	forms, err := expand(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(forms) == 0 {
+		return nil, fmt.Errorf("rex: expression has empty language")
+	}
+	minLen, maxLen := len(forms[0]), len(forms[0])
+	for _, f := range forms[1:] {
+		if len(f) < minLen {
+			minLen = len(f)
+		}
+		if len(f) > maxLen {
+			maxLen = len(f)
+		}
+	}
+	if maxLen > pattern.WordSize<<11 { // 16 KiB, matches infer.MaxKeyLen
+		return nil, fmt.Errorf("rex: format of %d bytes is too long", maxLen)
+	}
+	bytes := make([]pattern.Byte, maxLen)
+	for i := range bytes {
+		first := true
+		var acc pattern.Byte
+		for _, f := range forms {
+			if i >= len(f) {
+				// Shorter form: position may be absent → free byte,
+				// mirroring the ⊤-padding of the quad join.
+				acc = pattern.Byte{}
+				first = false
+				continue
+			}
+			b := setByte(f[i])
+			if first {
+				acc, first = b, false
+				continue
+			}
+			acc = joinBytes(acc, b)
+		}
+		bytes[i] = acc
+	}
+	p := &pattern.Pattern{Bytes: bytes, MinLen: minLen, MaxLen: maxLen}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("rex: internal inconsistency: %w", err)
+	}
+	return p, nil
+}
+
+// ParseAndLower is the one-call front end used by keysynth.
+func ParseAndLower(expr string) (*pattern.Pattern, error) {
+	n, err := Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(n)
+}
+
+func expand(n Node) ([]form, error) {
+	switch n := n.(type) {
+	case *Lit:
+		var s Set
+		s.Add(n.B)
+		return []form{{s}}, nil
+	case *Class:
+		return []form{{n.Set}}, nil
+	case *Concat:
+		forms := []form{{}}
+		for _, part := range n.Parts {
+			sub, err := expand(part)
+			if err != nil {
+				return nil, err
+			}
+			forms, err = cross(forms, sub)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return forms, nil
+	case *Alt:
+		var forms []form
+		for _, b := range n.Branches {
+			sub, err := expand(b)
+			if err != nil {
+				return nil, err
+			}
+			forms = append(forms, sub...)
+			if len(forms) > MaxForms {
+				return nil, fmt.Errorf("rex: expression expands to more than %d forms", MaxForms)
+			}
+		}
+		return dedupe(forms), nil
+	case *Rep:
+		sub, err := expand(n.Sub)
+		if err != nil {
+			return nil, err
+		}
+		// base = sub^Min.
+		base := []form{{}}
+		for i := 0; i < n.Min; i++ {
+			base, err = cross(base, sub)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out := append([]form(nil), base...)
+		cur := base
+		for i := n.Min; i < n.Max; i++ {
+			cur, err = cross(cur, sub)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cur...)
+			if len(out) > MaxForms {
+				return nil, fmt.Errorf("rex: expression expands to more than %d forms", MaxForms)
+			}
+		}
+		return dedupe(out), nil
+	default:
+		return nil, fmt.Errorf("rex: unknown node %T", n)
+	}
+}
+
+func cross(a, b []form) ([]form, error) {
+	if len(a)*len(b) > MaxForms {
+		return nil, fmt.Errorf("rex: expression expands to more than %d forms", MaxForms)
+	}
+	out := make([]form, 0, len(a)*len(b))
+	for _, x := range a {
+		for _, y := range b {
+			f := make(form, 0, len(x)+len(y))
+			f = append(f, x...)
+			f = append(f, y...)
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// dedupe removes duplicate forms; identical shapes arise whenever a
+// repetition body has a single form.
+func dedupe(forms []form) []form {
+	seen := make(map[string]bool, len(forms))
+	out := forms[:0]
+	for _, f := range forms {
+		k := fingerprint(f)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+func fingerprint(f form) string {
+	buf := make([]byte, 0, len(f)*32)
+	for _, s := range f {
+		for _, w := range s {
+			for i := 0; i < 8; i++ {
+				buf = append(buf, byte(w>>(8*i)))
+			}
+		}
+	}
+	return string(buf)
+}
+
+// setByte folds the quad join over the members of s, producing the
+// per-byte Known/Value masks at bit-pair granularity.
+func setByte(s Set) pattern.Byte {
+	first := -1
+	for c := 0; c < 256; c++ {
+		if s.Has(byte(c)) {
+			first = c
+			break
+		}
+	}
+	if first < 0 {
+		// Empty sets are rejected at parse time; an empty set here is
+		// a programming error, but a free byte is the safe answer.
+		return pattern.Byte{}
+	}
+	known := byte(0xFF)
+	value := byte(first)
+	for c := first + 1; c < 256; c++ {
+		if !s.Has(byte(c)) {
+			continue
+		}
+		diff := value ^ byte(c)
+		for pair := 0; pair < 4; pair++ {
+			pm := byte(0b11 << (2 * pair))
+			if diff&pm != 0 {
+				known &^= pm
+			}
+		}
+	}
+	value &= known
+	return pattern.Byte{Known: known, Value: value}
+}
+
+// joinBytes joins two per-byte descriptions at bit-pair granularity.
+func joinBytes(a, b pattern.Byte) pattern.Byte {
+	known := byte(0)
+	for pair := 0; pair < 4; pair++ {
+		pm := byte(0b11 << (2 * pair))
+		if a.Known&pm == pm && b.Known&pm == pm && a.Value&pm == b.Value&pm {
+			known |= pm
+		}
+	}
+	return pattern.Byte{Known: known, Value: a.Value & known}
+}

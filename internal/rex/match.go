@@ -1,0 +1,67 @@
+package rex
+
+// Match reports whether s belongs to the exact language of the
+// expression — before the quad-semilattice widening that Lower
+// applies. The matcher is a straightforward backtracking walk of the
+// AST; bounded repetition keeps the language finite, so worst-case
+// backtracking is bounded by the expression's form count.
+//
+// Match's role in the package is specification: lowering must accept
+// every string the AST accepts (the pattern is a sound widening), and
+// the lowering tests exercise exactly that containment.
+func Match(n Node, s string) bool {
+	return matchAt(n, s, 0, func(rest int) bool { return rest == len(s) })
+}
+
+// matchAt tries to match n against s starting at position i, calling
+// k with every end position the node can reach. It stops as soon as k
+// reports success.
+func matchAt(n Node, s string, i int, k func(int) bool) bool {
+	switch n := n.(type) {
+	case *Lit:
+		return i < len(s) && s[i] == n.B && k(i+1)
+	case *Class:
+		return i < len(s) && n.Set.Has(s[i]) && k(i+1)
+	case *Concat:
+		return matchSeq(n.Parts, s, i, k)
+	case *Alt:
+		for _, b := range n.Branches {
+			if matchAt(b, s, i, k) {
+				return true
+			}
+		}
+		return false
+	case *Rep:
+		return matchRep(n, s, i, 0, k)
+	default:
+		return false
+	}
+}
+
+func matchSeq(parts []Node, s string, i int, k func(int) bool) bool {
+	if len(parts) == 0 {
+		return k(i)
+	}
+	return matchAt(parts[0], s, i, func(next int) bool {
+		return matchSeq(parts[1:], s, next, k)
+	})
+}
+
+func matchRep(r *Rep, s string, i, done int, k func(int) bool) bool {
+	// Try the continuation once the minimum count is satisfied.
+	if done >= r.Min && k(i) {
+		return true
+	}
+	if done >= r.Max {
+		return false
+	}
+	return matchAt(r.Sub, s, i, func(next int) bool {
+		if next == i && done >= r.Min {
+			// Zero-width progress (possible with nested optional
+			// parts): avoid infinite recursion — the continuation was
+			// already tried above.
+			return false
+		}
+		return matchRep(r, s, next, done+1, k)
+	})
+}

@@ -1,0 +1,125 @@
+package rex
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/rng"
+)
+
+func TestMatchBasics(t *testing.T) {
+	tests := []struct {
+		expr string
+		yes  []string
+		no   []string
+	}{
+		{`abc`, []string{"abc"}, []string{"", "ab", "abcd", "abd"}},
+		{`[0-9]{2}`, []string{"00", "42", "99"}, []string{"4", "423", "4a"}},
+		{`a|bc`, []string{"a", "bc"}, []string{"", "b", "abc"}},
+		{`(ab|a)b`, []string{"abb", "ab"}, []string{"a", "abbb"}},
+		{`a?b{1,2}`, []string{"b", "ab", "bb", "abb"}, []string{"", "a", "abbb"}},
+		{`\d{3}-\d{2}`, []string{"123-45"}, []string{"123-4a", "12-345"}},
+		{`x(yz){0,2}`, []string{"x", "xyz", "xyzyz"}, []string{"xy", "xyzyzyz"}},
+	}
+	for _, tt := range tests {
+		n := mustParse(t, tt.expr)
+		for _, s := range tt.yes {
+			if !Match(n, s) {
+				t.Errorf("Match(%q, %q) = false, want true", tt.expr, s)
+			}
+		}
+		for _, s := range tt.no {
+			if Match(n, s) {
+				t.Errorf("Match(%q, %q) = true, want false", tt.expr, s)
+			}
+		}
+	}
+}
+
+func TestMatchBacktracking(t *testing.T) {
+	// (a|ab)(c|bc) over "abc": first branch 'a' then 'bc' succeeds
+	// only via backtracking across the concat boundary.
+	n := mustParse(t, `(a|ab)(c|bc)`)
+	for _, s := range []string{"ac", "abc", "abbc"} {
+		if !Match(n, s) {
+			t.Errorf("Match(%q) = false", s)
+		}
+	}
+	if Match(n, "ab") || Match(n, "abcbc") {
+		t.Error("matcher accepted strings outside the language")
+	}
+}
+
+// TestLoweringIsSoundWidening is the containment property the package
+// is built on: every string in the exact AST language must match the
+// lowered (quad-widened) pattern.
+func TestLoweringIsSoundWidening(t *testing.T) {
+	exprs := []string{
+		`[0-9]{3}-[0-9]{2}-[0-9]{4}`,
+		`(([0-9]{3})\.){3}[0-9]{3}`,
+		`([0-9a-f]{2}-){5}[0-9a-f]{2}`,
+		`cat|dog|bird`,
+		`x[a-z]{1,4}y?`,
+		`\d{2}(:\d{2}){1,2}`,
+	}
+	r := rng.New(42)
+	for _, expr := range exprs {
+		n := mustParse(t, expr)
+		pat, err := Lower(n)
+		if err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		// Sample strings from the language by expanding the AST with
+		// random choices, then verify both acceptances.
+		for trial := 0; trial < 200; trial++ {
+			s := sampleLanguage(n, r)
+			if !Match(n, s) {
+				t.Fatalf("%q: sampled %q not in its own language", expr, s)
+			}
+			if !pat.Matches(s) {
+				t.Fatalf("%q: lowering rejects language member %q", expr, s)
+			}
+		}
+	}
+}
+
+// sampleLanguage draws a random member of the expression's language.
+func sampleLanguage(n Node, r *rng.Rand) string {
+	switch n := n.(type) {
+	case *Lit:
+		return string(n.B)
+	case *Class:
+		for {
+			b := byte(r.Uint64())
+			if n.Set.Has(b) {
+				return string(b)
+			}
+		}
+	case *Concat:
+		var s string
+		for _, p := range n.Parts {
+			s += sampleLanguage(p, r)
+		}
+		return s
+	case *Alt:
+		return sampleLanguage(n.Branches[r.Intn(len(n.Branches))], r)
+	case *Rep:
+		count := n.Min + r.Intn(n.Max-n.Min+1)
+		var s string
+		for i := 0; i < count; i++ {
+			s += sampleLanguage(n.Sub, r)
+		}
+		return s
+	default:
+		return ""
+	}
+}
+
+func TestMatchEmptyExpression(t *testing.T) {
+	n := mustParse(t, `^$`) // anchors desugar to empty concat
+	if !Match(n, "") {
+		t.Error("empty language member rejected")
+	}
+	if Match(n, "x") {
+		t.Error("empty expression accepted a nonempty string")
+	}
+}

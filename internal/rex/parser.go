@@ -1,0 +1,344 @@
+package rex
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SyntaxError reports a parse failure with its byte position in the
+// expression source.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("rex: position %d: %s", e.Pos, e.Msg)
+}
+
+// ErrUnbounded is wrapped by errors for the *, + operators, which the
+// restricted dialect deliberately rejects.
+var ErrUnbounded = errors.New("unbounded repetition is not supported (key formats must have bounded length)")
+
+// Parse parses expr in the restricted dialect and returns its AST.
+func Parse(expr string) (Node, error) {
+	p := &parser{src: expr}
+	n, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, p.errf("unexpected %q", p.src[p.pos])
+	}
+	return n, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte { return p.src[p.pos] }
+
+// parseAlt = parseConcat ('|' parseConcat)*
+func (p *parser) parseAlt() (Node, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	if p.eof() || p.peek() != '|' {
+		return first, nil
+	}
+	alt := &Alt{Branches: []Node{first}}
+	for !p.eof() && p.peek() == '|' {
+		p.pos++
+		b, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		alt.Branches = append(alt.Branches, b)
+	}
+	return alt, nil
+}
+
+// parseConcat = (atom repetition?)*
+func (p *parser) parseConcat() (Node, error) {
+	var parts []Node
+	for !p.eof() {
+		switch p.peek() {
+		case '|', ')':
+			return concatOf(parts), nil
+		case '*', '+':
+			return nil, p.errf("%q: %v", p.peek(), ErrUnbounded)
+		case '?', '{':
+			return nil, p.errf("repetition %q with nothing to repeat", p.peek())
+		}
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		atom, err = p.parseRepetition(atom)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, atom)
+	}
+	return concatOf(parts), nil
+}
+
+func concatOf(parts []Node) Node {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return &Concat{Parts: parts}
+}
+
+func (p *parser) parseAtom() (Node, error) {
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		sub, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.peek() != ')' {
+			return nil, p.errf("missing ')'")
+		}
+		p.pos++
+		return sub, nil
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		return &Class{Set: dotSet(), Source: "."}, nil
+	case '\\':
+		return p.parseEscape()
+	case '^', '$':
+		// Anchors are meaningless for whole-key formats; accept and
+		// ignore them so copied PCRE patterns keep working.
+		p.pos++
+		return &Concat{}, nil
+	default:
+		p.pos++
+		return &Lit{B: c}, nil
+	}
+}
+
+func (p *parser) parseEscape() (Node, error) {
+	p.pos++ // consume '\'
+	if p.eof() {
+		return nil, p.errf("trailing backslash")
+	}
+	c := p.peek()
+	p.pos++
+	switch c {
+	case 'd':
+		return &Class{Set: digitSet(), Source: `\d`}, nil
+	case 'h':
+		return &Class{Set: hexSet(), Source: `\h`}, nil
+	case 'w':
+		return &Class{Set: wordSet(), Source: `\w`}, nil
+	case 's':
+		return &Class{Set: spaceSet(), Source: `\s`}, nil
+	case 'n':
+		return &Lit{B: '\n'}, nil
+	case 't':
+		return &Lit{B: '\t'}, nil
+	case 'r':
+		return &Lit{B: '\r'}, nil
+	case '0':
+		return &Lit{B: 0}, nil
+	case 'x':
+		b, err := p.hexByte()
+		if err != nil {
+			return nil, err
+		}
+		return &Lit{B: b}, nil
+	default:
+		return &Lit{B: c}, nil
+	}
+}
+
+func (p *parser) hexByte() (byte, error) {
+	if p.pos+2 > len(p.src) {
+		return 0, p.errf(`\x needs two hex digits`)
+	}
+	hi, ok1 := hexVal(p.src[p.pos])
+	lo, ok2 := hexVal(p.src[p.pos+1])
+	if !ok1 || !ok2 {
+		return 0, p.errf(`bad \x escape %q`, p.src[p.pos:p.pos+2])
+	}
+	p.pos += 2
+	return hi<<4 | lo, nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+func (p *parser) parseClass() (Node, error) {
+	start := p.pos
+	p.pos++ // consume '['
+	var set Set
+	negate := false
+	if !p.eof() && p.peek() == '^' {
+		negate = true
+		p.pos++
+	}
+	first := true
+	for {
+		if p.eof() {
+			return nil, p.errf("missing ']'")
+		}
+		c := p.peek()
+		if c == ']' && !first {
+			p.pos++
+			break
+		}
+		first = false
+		lo, sub, err := p.classAtom()
+		if err != nil {
+			return nil, err
+		}
+		if sub != nil { // \d etc. inside a class
+			set.Union(*sub)
+			continue
+		}
+		// Possible range lo-hi.
+		if p.pos+1 < len(p.src) && p.peek() == '-' && p.src[p.pos+1] != ']' {
+			p.pos++ // consume '-'
+			hi, sub2, err := p.classAtom()
+			if err != nil {
+				return nil, err
+			}
+			if sub2 != nil {
+				return nil, p.errf("class escape cannot end a range")
+			}
+			if hi < lo {
+				return nil, p.errf("inverted range %q-%q", lo, hi)
+			}
+			set.AddRange(lo, hi)
+			continue
+		}
+		set.Add(lo)
+	}
+	if negate {
+		set.Negate()
+	}
+	if set.Empty() {
+		return nil, p.errf("empty character class")
+	}
+	return &Class{Set: set, Source: p.src[start:p.pos]}, nil
+}
+
+// classAtom parses one class member: either a single byte (returned as
+// lo) or a predefined escape class (returned as sub).
+func (p *parser) classAtom() (lo byte, sub *Set, err error) {
+	c := p.peek()
+	if c != '\\' {
+		p.pos++
+		return c, nil, nil
+	}
+	p.pos++ // consume '\'
+	if p.eof() {
+		return 0, nil, p.errf("trailing backslash in class")
+	}
+	e := p.peek()
+	p.pos++
+	switch e {
+	case 'd':
+		s := digitSet()
+		return 0, &s, nil
+	case 'h':
+		s := hexSet()
+		return 0, &s, nil
+	case 'w':
+		s := wordSet()
+		return 0, &s, nil
+	case 's':
+		s := spaceSet()
+		return 0, &s, nil
+	case 'n':
+		return '\n', nil, nil
+	case 't':
+		return '\t', nil, nil
+	case 'r':
+		return '\r', nil, nil
+	case 'x':
+		b, err := p.hexByte()
+		return b, nil, err
+	default:
+		return e, nil, nil
+	}
+}
+
+// parseRepetition wraps atom in a Rep node if a {n}, {n,m} or ?
+// follows it.
+func (p *parser) parseRepetition(atom Node) (Node, error) {
+	if p.eof() {
+		return atom, nil
+	}
+	switch p.peek() {
+	case '?':
+		p.pos++
+		return &Rep{Sub: atom, Min: 0, Max: 1}, nil
+	case '*', '+':
+		return nil, p.errf("%q: %v", p.peek(), ErrUnbounded)
+	case '{':
+		p.pos++
+		min, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		max := min
+		if !p.eof() && p.peek() == ',' {
+			p.pos++
+			if !p.eof() && p.peek() == '}' {
+				return nil, p.errf("{n,}: %v", ErrUnbounded)
+			}
+			max, err = p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if p.eof() || p.peek() != '}' {
+			return nil, p.errf("missing '}'")
+		}
+		p.pos++
+		if max < min {
+			return nil, p.errf("repetition {%d,%d} has max < min", min, max)
+		}
+		return &Rep{Sub: atom, Min: min, Max: max}, nil
+	}
+	return atom, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	start := p.pos
+	n := 0
+	for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+		n = n*10 + int(p.peek()-'0')
+		if n > 1<<20 {
+			return 0, p.errf("repetition count too large")
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errf("expected a number")
+	}
+	return n, nil
+}

@@ -1,0 +1,495 @@
+package rex
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, expr string) Node {
+	t.Helper()
+	n, err := Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	return n
+}
+
+func TestParseLiteral(t *testing.T) {
+	n := mustParse(t, "abc")
+	c, ok := n.(*Concat)
+	if !ok || len(c.Parts) != 3 {
+		t.Fatalf("Parse(abc) = %#v, want 3-part concat", n)
+	}
+	if l, ok := c.Parts[1].(*Lit); !ok || l.B != 'b' {
+		t.Errorf("middle part = %#v, want Lit('b')", c.Parts[1])
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	tests := []struct {
+		expr string
+		want byte
+	}{
+		{`\.`, '.'},
+		{`\\`, '\\'},
+		{`\x41`, 'A'},
+		{`\n`, '\n'},
+		{`\t`, '\t'},
+		{`\r`, '\r'},
+		{`\0`, 0},
+		{`\-`, '-'},
+	}
+	for _, tt := range tests {
+		n := mustParse(t, tt.expr)
+		l, ok := n.(*Lit)
+		if !ok || l.B != tt.want {
+			t.Errorf("Parse(%q) = %#v, want Lit(%#02x)", tt.expr, n, tt.want)
+		}
+	}
+}
+
+func TestParseEscapeClasses(t *testing.T) {
+	n := mustParse(t, `\d`)
+	c, ok := n.(*Class)
+	if !ok {
+		t.Fatalf("Parse(\\d) = %#v", n)
+	}
+	if !c.Set.Has('0') || !c.Set.Has('9') || c.Set.Has('a') {
+		t.Error("\\d set wrong")
+	}
+	h := mustParse(t, `\h`).(*Class)
+	for _, b := range []byte("0123456789abcdefABCDEF") {
+		if !h.Set.Has(b) {
+			t.Errorf("\\h missing %q", b)
+		}
+	}
+	if h.Set.Has('g') {
+		t.Error("\\h must not contain 'g'")
+	}
+	w := mustParse(t, `\w`).(*Class)
+	if !w.Set.Has('_') || !w.Set.Has('Z') || w.Set.Has('-') {
+		t.Error("\\w set wrong")
+	}
+	s := mustParse(t, `\s`).(*Class)
+	if !s.Set.Has(' ') || !s.Set.Has('\t') || s.Set.Has('x') {
+		t.Error("\\s set wrong")
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	n := mustParse(t, `[0-9a-fA-F]`)
+	c := n.(*Class)
+	for _, b := range []byte("0123456789abcdefABCDEF") {
+		if !c.Set.Has(b) {
+			t.Errorf("class missing %q", b)
+		}
+	}
+	if c.Set.Has('g') || c.Set.Has(':') {
+		t.Error("class has extra members")
+	}
+	if c.Set.Count() != 22 {
+		t.Errorf("count = %d, want 22", c.Set.Count())
+	}
+}
+
+func TestParseClassNegated(t *testing.T) {
+	c := mustParse(t, `[^:]`).(*Class)
+	if c.Set.Has(':') || !c.Set.Has('a') || c.Set.Count() != 255 {
+		t.Error("negated class wrong")
+	}
+}
+
+func TestParseClassLiteralDashAndBracket(t *testing.T) {
+	c := mustParse(t, `[a-]`).(*Class)
+	if !c.Set.Has('a') || !c.Set.Has('-') || c.Set.Count() != 2 {
+		t.Errorf("class [a-] = %v", c.Set.String())
+	}
+	c2 := mustParse(t, `[]a]`).(*Class) // leading ] is literal
+	if !c2.Set.Has(']') || !c2.Set.Has('a') {
+		t.Error("leading ] must be literal")
+	}
+	c3 := mustParse(t, `[\]]`).(*Class)
+	if !c3.Set.Has(']') || c3.Set.Count() != 1 {
+		t.Error("escaped ] wrong")
+	}
+}
+
+func TestParseClassEscapeInside(t *testing.T) {
+	c := mustParse(t, `[\d.]`).(*Class)
+	if !c.Set.Has('5') || !c.Set.Has('.') || c.Set.Has('a') {
+		t.Error("[\\d.] wrong")
+	}
+	c2 := mustParse(t, `[\x30-\x39]`).(*Class)
+	if c2.Set.Count() != 10 || !c2.Set.Has('0') || !c2.Set.Has('9') {
+		t.Error("hex range in class wrong")
+	}
+}
+
+func TestParseRepetition(t *testing.T) {
+	n := mustParse(t, `a{3}`)
+	r, ok := n.(*Rep)
+	if !ok || r.Min != 3 || r.Max != 3 {
+		t.Fatalf("a{3} = %#v", n)
+	}
+	n2 := mustParse(t, `a{2,5}`).(*Rep)
+	if n2.Min != 2 || n2.Max != 5 {
+		t.Errorf("a{2,5} = {%d,%d}", n2.Min, n2.Max)
+	}
+	n3 := mustParse(t, `a?`).(*Rep)
+	if n3.Min != 0 || n3.Max != 1 {
+		t.Errorf("a? = {%d,%d}", n3.Min, n3.Max)
+	}
+}
+
+func TestParseGroups(t *testing.T) {
+	n := mustParse(t, `(ab){2}`)
+	r, ok := n.(*Rep)
+	if !ok {
+		t.Fatalf("(ab){2} = %#v", n)
+	}
+	if r.MinLen() != 4 || r.MaxLen() != 4 {
+		t.Errorf("len bounds = [%d,%d], want [4,4]", r.MinLen(), r.MaxLen())
+	}
+}
+
+func TestParseAlternation(t *testing.T) {
+	n := mustParse(t, `cat|dog|bird`)
+	a, ok := n.(*Alt)
+	if !ok || len(a.Branches) != 3 {
+		t.Fatalf("alternation = %#v", n)
+	}
+	if a.MinLen() != 3 || a.MaxLen() != 4 {
+		t.Errorf("len bounds = [%d,%d], want [3,4]", a.MinLen(), a.MaxLen())
+	}
+}
+
+func TestParseAnchorsIgnored(t *testing.T) {
+	n := mustParse(t, `^ab$`)
+	if n.MinLen() != 2 || n.MaxLen() != 2 {
+		t.Errorf("anchored length = [%d,%d], want [2,2]", n.MinLen(), n.MaxLen())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`a*`, `a+`, `a{2,}`, // unbounded
+		`(`, `(a`, `a)`, // groups
+		`[`, `[]`, `[a`, // classes
+		`[z-a]`,                       // inverted range
+		`a{`, `a{x}`, `a{3`, `a{5,2}`, // repetitions
+		`?a`, `{2}`, // nothing to repeat
+		`\`, `\x1`, `\xgg`, // escapes
+		`[a-\d]`, // escape ending a range
+	}
+	for _, expr := range bad {
+		if _, err := Parse(expr); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestUnboundedErrorIdentity(t *testing.T) {
+	_, err := Parse(`a*`)
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *SyntaxError", err)
+	}
+	if !strings.Contains(se.Error(), ErrUnbounded.Error()) {
+		t.Errorf("error %q does not mention unbounded repetition", se)
+	}
+}
+
+func TestASTStringRoundTrip(t *testing.T) {
+	// String() must re-parse to an AST with the same language bounds.
+	for _, expr := range []string{
+		`[0-9]{3}\.[0-9]{3}`,
+		`(ab|cd){2}x?`,
+		`\d{3}-\d{2}-\d{4}`,
+		`\x00\x7f`,
+	} {
+		n := mustParse(t, expr)
+		n2 := mustParse(t, n.String())
+		if n.MinLen() != n2.MinLen() || n.MaxLen() != n2.MaxLen() {
+			t.Errorf("round trip of %q changed bounds: [%d,%d] vs [%d,%d]",
+				expr, n.MinLen(), n.MaxLen(), n2.MinLen(), n2.MaxLen())
+		}
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	var s Set
+	if !s.Empty() {
+		t.Error("zero set not empty")
+	}
+	s.Add('a')
+	s.AddRange('0', '2')
+	if s.Count() != 4 || !s.Has('1') {
+		t.Error("Add/AddRange wrong")
+	}
+	var u Set
+	u.Add('z')
+	s.Union(u)
+	if !s.Has('z') || s.Count() != 5 {
+		t.Error("Union wrong")
+	}
+	s.Negate()
+	if s.Has('a') || !s.Has('b') || s.Count() != 251 {
+		t.Error("Negate wrong")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	var s Set
+	s.AddRange('0', '9')
+	if got := s.String(); got != "[0-9]" {
+		t.Errorf("String = %q", got)
+	}
+	var two Set
+	two.Add('a')
+	two.Add('b')
+	if got := two.String(); got != "[ab]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// --- Lowering tests ---
+
+func mustLower(t *testing.T, expr string) *patternT {
+	t.Helper()
+	p, err := ParseAndLower(expr)
+	if err != nil {
+		t.Fatalf("ParseAndLower(%q): %v", expr, err)
+	}
+	return &patternT{p}
+}
+
+// patternT wraps pattern.Pattern to keep test call sites short.
+type patternT struct {
+	p interface {
+		Matches(string) bool
+		Regex() string
+		FixedLen() bool
+	}
+}
+
+func TestLowerIPv4(t *testing.T) {
+	// The paper's Figure 5 expression.
+	p := mustLower(t, `(([0-9]{3})\.){3}[0-9]{3}`)
+	if !p.p.FixedLen() {
+		t.Error("IPv4 format must be fixed-length")
+	}
+	if !p.p.Matches("192.168.001.042") {
+		t.Error("must match a well-formed address")
+	}
+	if p.p.Matches("192.168.001.04") || p.p.Matches("192x168.001.042") {
+		t.Error("must reject malformed addresses")
+	}
+}
+
+func TestLowerSSN(t *testing.T) {
+	p := mustLower(t, `\d{3}-\d{2}-\d{4}`)
+	if !p.p.Matches("123-45-6789") {
+		t.Error("must match an SSN")
+	}
+	if p.p.Matches("123-45-678") {
+		t.Error("must reject a short SSN")
+	}
+}
+
+func TestLowerMAC(t *testing.T) {
+	p := mustLower(t, `([0-9a-fA-F]{2}-){5}[0-9a-fA-F]{2}`)
+	if !p.p.Matches("0a-1B-2c-3D-4e-5F") {
+		t.Error("must match a MAC address")
+	}
+	// Mixed-case hex joins to a free byte under the quad lattice (the
+	// upper pairs of '0' (00) and 'a' (01) differ), so the pattern is
+	// wider than the class — but the separators stay constant.
+	if p.p.Matches("0a-1B-2c-3D-4e:5F") {
+		t.Error("separator positions must remain constant")
+	}
+}
+
+func TestLowerAgreesWithInferSemantics(t *testing.T) {
+	// [0-9] must lower to the digit masks: match all of 0x30..0x3F
+	// (the quad-representable superset) and nothing else.
+	p, err := ParseAndLower(`[0-9]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Bytes[0]
+	if b.Known != 0xF0 || b.Value != 0x30 {
+		t.Errorf("digit byte = (%#02x,%#02x), want (0xF0,0x30)", b.Known, b.Value)
+	}
+}
+
+func TestLowerAlternationJoins(t *testing.T) {
+	// cat|car: positions 0,1 constant, position 2 joins 't'∨'r'.
+	p, err := ParseAndLower(`cat|car`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Bytes[0].Const() || p.Bytes[0].Value != 'c' {
+		t.Error("byte 0 must be constant 'c'")
+	}
+	if p.Bytes[2].Const() {
+		t.Error("byte 2 must not be constant")
+	}
+	if !p.Matches("cat") || !p.Matches("car") {
+		t.Error("must match both branches")
+	}
+}
+
+func TestLowerVariableLength(t *testing.T) {
+	p, err := ParseAndLower(`a{2,4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MinLen != 2 || p.MaxLen != 4 {
+		t.Fatalf("len = [%d,%d], want [2,4]", p.MinLen, p.MaxLen)
+	}
+	for _, s := range []string{"aa", "aaa", "aaaa"} {
+		if !p.Matches(s) {
+			t.Errorf("must match %q", s)
+		}
+	}
+	if p.Matches("a") || p.Matches("aaaaa") {
+		t.Error("length bounds not enforced")
+	}
+}
+
+func TestLowerOptional(t *testing.T) {
+	p, err := ParseAndLower(`ab?c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MinLen != 2 || p.MaxLen != 3 {
+		t.Fatalf("len = [%d,%d], want [2,3]", p.MinLen, p.MaxLen)
+	}
+	if !p.Matches("ac") || !p.Matches("abc") {
+		t.Error("optional lowering wrong")
+	}
+}
+
+func TestLowerFormBlowupRejected(t *testing.T) {
+	// 2^10 alternation combinations exceed MaxForms.
+	expr := strings.Repeat(`(a|b)?`, 10)
+	if _, err := ParseAndLower(expr); err == nil {
+		t.Error("form blowup must be rejected")
+	}
+}
+
+func TestLowerRegexRoundTrip(t *testing.T) {
+	// Lower → Regex → Lower must be a fixed point at the pattern level.
+	for _, expr := range []string{
+		`\d{3}-\d{2}-\d{4}`,
+		`(([0-9]{3})\.){3}[0-9]{3}`,
+		`[0-9]{100}`,
+		`https://ex\.com/[a-z0-9]{20}\.html`,
+	} {
+		p1, err := ParseAndLower(expr)
+		if err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		p2, err := ParseAndLower(p1.Regex())
+		if err != nil {
+			t.Fatalf("re-parse of %q (%q): %v", expr, p1.Regex(), err)
+		}
+		if p1.Regex() != p2.Regex() {
+			t.Errorf("%q: regex not a fixed point: %q vs %q", expr, p1.Regex(), p2.Regex())
+		}
+		if p1.MinLen != p2.MinLen || p1.MaxLen != p2.MaxLen {
+			t.Errorf("%q: length bounds changed on round trip", expr)
+		}
+	}
+}
+
+// TestLowerSoundOnSamples: strings generated from the expression's
+// language must match the lowered pattern.
+func TestLowerSoundOnSamples(t *testing.T) {
+	p, err := ParseAndLower(`[0-9a-f]{4}:[0-9a-f]{4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw [8]uint8) bool {
+		const hex = "0123456789abcdef"
+		var sb strings.Builder
+		for i, r := range raw {
+			if i == 4 {
+				sb.WriteByte(':')
+			}
+			sb.WriteByte(hex[r%16])
+		}
+		return p.Matches(sb.String())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowerDotStaysFree(t *testing.T) {
+	p, err := ParseAndLower(`.{3}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range p.Bytes {
+		if !b.Free() {
+			t.Errorf("byte %d of .{3} must be free, got %+v", i, b)
+		}
+	}
+}
+
+// TestParseNeverPanics feeds the parser random byte soup: every input
+// must either parse or return an error — never panic (the parser
+// fronts a CLI that takes user input verbatim).
+func TestParseNeverPanics(t *testing.T) {
+	f := func(expr string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				t.Logf("panic on input %q", expr)
+				ok = false
+			}
+		}()
+		n, err := Parse(expr)
+		if err == nil && n == nil {
+			return false
+		}
+		if err == nil {
+			// Successful parses must also lower without panicking
+			// (errors are fine: form blowups, oversize formats).
+			if _, lerr := Lower(n); lerr != nil {
+				_ = lerr
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseMetaSoup exercises inputs made purely of metacharacters,
+// the densest source of parser edge cases.
+func TestParseMetaSoup(t *testing.T) {
+	meta := []byte(`\.+*?()[]{}|^$-0a`)
+	r := 0
+	next := func() byte { r = (r*31 + 7) % len(meta); return meta[r] }
+	for trial := 0; trial < 5000; trial++ {
+		n := trial%9 + 1
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = next()
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("panic on %q: %v", buf, p)
+				}
+			}()
+			if node, err := Parse(string(buf)); err == nil {
+				_, _ = Lower(node)
+			}
+		}()
+	}
+}

@@ -1,0 +1,148 @@
+// Package rng provides the deterministic random number generation the
+// benchmark driver relies on: a SplitMix64 seeder, a xoshiro256++
+// generator, and a Box-Muller gaussian source.
+//
+// The experiments of the paper draw keys from incremental, uniform and
+// normal distributions and must be exactly reproducible across runs
+// and architectures, so the generators are implemented here from their
+// published recurrences instead of depending on math/rand's unspecified
+// stream.
+package rng
+
+import "math"
+
+// SplitMix64 is Steele et al.'s split-and-mix generator. Its primary
+// role is seeding: a single 64-bit seed expands into the four words of
+// xoshiro state with good interdependence.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 returns a generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// Rand is a xoshiro256++ generator with a gaussian spare slot.
+type Rand struct {
+	s         [4]uint64
+	haveSpare bool
+	spare     float64
+}
+
+// New returns a Rand seeded from seed via SplitMix64, per the xoshiro
+// authors' recommendation.
+func New(seed uint64) *Rand {
+	sm := NewSplitMix64(seed)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	// A pathological all-zero state cannot occur from SplitMix64
+	// expansion of any seed, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next value of the xoshiro256++ stream.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Lemire's multiply-shift rejection method keeps the distribution
+// exactly uniform.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n(0)")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling on the high bits.
+	threshold := -n % n // (2^64 - n) mod n
+	for {
+		v := r.Uint64()
+		lo, hi := mul128(v, n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// mul128 returns the 128-bit product of a and b as (lo, hi).
+func mul128(a, b uint64) (lo, hi uint64) {
+	const mask = 1<<32 - 1
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a0 * b0
+	lo = t & mask
+	c := t >> 32
+	t = a1*b0 + c
+	m := t & mask
+	c = t >> 32
+	t = a0*b1 + m
+	lo |= t << 32
+	hi = a1*b1 + c + t>>32
+	return lo, hi
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal deviate via the Box-Muller
+// transform (polar form), caching the spare value.
+func (r *Rand) NormFloat64() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s == 0 || s >= 1 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.haveSpare = true
+		return u * f
+	}
+}
+
+// Shuffle permutes the n elements addressed by swap using the
+// Fisher-Yates algorithm.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

@@ -1,0 +1,195 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownStream(t *testing.T) {
+	// Reference values for seed 0, from the canonical C
+	// implementation (Vigna, prng.di.unimi.it).
+	sm := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := sm.Next(); got != w {
+			t.Errorf("SplitMix64 value %d = %#016x, want %#016x", i, got, w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must yield the same stream")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	r := New(7)
+	for _, n := range []uint64{1, 2, 3, 10, 1000, 1 << 20, 1<<63 + 3} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) must panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// χ² over 10 buckets at 50k draws: expect well under the 0.001
+	// critical value (27.9 for 9 dof).
+	r := New(99)
+	const n, buckets = 50000, 10
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	expected := float64(n) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 27.9 {
+		t.Errorf("χ² = %.2f, suspiciously non-uniform", chi2)
+	}
+}
+
+func TestMul128(t *testing.T) {
+	f := func(a, b uint32) bool {
+		lo, hi := mul128(uint64(a), uint64(b))
+		return hi == 0 && lo == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	lo, hi := mul128(^uint64(0), ^uint64(0))
+	// (2^64-1)^2 = 2^128 - 2^65 + 1 → hi = 2^64-2, lo = 1.
+	if hi != ^uint64(0)-1 || lo != 1 {
+		t.Errorf("mul128(max,max) = (%#x, %#x)", lo, hi)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("gaussian mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("gaussian variance = %v, want ≈1", variance)
+	}
+}
+
+func TestNormFloat64Symmetry(t *testing.T) {
+	r := New(13)
+	neg := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.NormFloat64() < 0 {
+			neg++
+		}
+	}
+	if neg < n*47/100 || neg > n*53/100 {
+		t.Errorf("gaussian sign balance = %d/%d", neg, n)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(17)
+	xs := make([]int, 50)
+	for i := range xs {
+		xs[i] = i
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, x := range xs {
+		if seen[x] {
+			t.Fatalf("value %d duplicated", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestShuffleActuallyShuffles(t *testing.T) {
+	r := New(19)
+	xs := make([]int, 100)
+	for i := range xs {
+		xs[i] = i
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	inPlace := 0
+	for i, x := range xs {
+		if i == x {
+			inPlace++
+		}
+	}
+	if inPlace > 10 {
+		t.Errorf("%d elements left in place, expected ≈1", inPlace)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += r.Uint64()
+	}
+	benchSink = acc
+}
+
+var benchSink uint64

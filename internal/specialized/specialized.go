@@ -1,0 +1,266 @@
+// Package specialized implements the paper's future-work direction
+// ("our techniques specialize hashing, but not storage and retrieval.
+// Thus, we see room for generating code for specialized data
+// structures"): containers that exploit what synthesis *proves* about
+// the hash function.
+//
+// When a Pext function is a bijection on the key format (≤ 64
+// variable bits, Section 4.2), the container never needs the key
+// bytes: two distinct keys cannot share a hash, so equality of hashes
+// is equality of keys. That removes string storage, string comparison
+// and pointer chasing from every probe:
+//
+//   - Map is an open-addressing (linear probing) table storing only
+//     the 64-bit hash and the value;
+//   - DirectTable goes further for small formats, in the spirit of
+//     the learned-index observation the paper quotes ("the key itself
+//     can be used as an offset"): the hash *is* the slot index in a
+//     dense array, making lookups one bounds-checked load.
+//
+// Both containers scramble the bijective hash with a Fibonacci
+// multiplier before indexing, so the RQ7 low-mixing hazard of raw
+// synthesized values is the container's problem, not the caller's.
+package specialized
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sepe-go/sepe/internal/hashes"
+)
+
+// ErrNotBijective is returned when a container requiring a bijective
+// hash is constructed without the caller asserting bijectivity.
+var ErrNotBijective = errors.New("specialized: hash must be bijective on the key format")
+
+const (
+	slotEmpty uint8 = iota
+	slotFull
+	slotTombstone
+)
+
+type slot[V any] struct {
+	hash  uint64
+	val   V
+	state uint8
+}
+
+// Map is a string-keyed map for bijective hash functions: it stores
+// hashes instead of keys and probes with open addressing.
+type Map[V any] struct {
+	hash  hashes.Func
+	slots []slot[V]
+	size  int
+	used  int // full + tombstones
+}
+
+// minCapacity is the initial slot count (a power of two).
+const minCapacity = 16
+
+// NewMap returns an empty map over a hash the caller asserts to be
+// injective on all keys that will ever be inserted. The bijective
+// parameter exists to make that assertion explicit at the call site;
+// passing false returns ErrNotBijective.
+func NewMap[V any](hash hashes.Func, bijective bool) (*Map[V], error) {
+	if !bijective {
+		return nil, ErrNotBijective
+	}
+	return &Map[V]{hash: hash, slots: make([]slot[V], minCapacity)}, nil
+}
+
+// fib scrambles h so any 64-bit subfield of the bijective hash spreads
+// over the table (Fibonacci hashing).
+func fib(h uint64) uint64 { return h * 0x9E3779B97F4A7C15 }
+
+func (m *Map[V]) mask() uint64 { return uint64(len(m.slots) - 1) }
+
+// Put maps key to val, reporting whether the key was new.
+func (m *Map[V]) Put(key string, val V) bool {
+	return m.putHash(m.hash(key), val)
+}
+
+func (m *Map[V]) putHash(h uint64, val V) bool {
+	if (m.used+1)*4 >= len(m.slots)*3 { // load factor 0.75
+		m.grow()
+	}
+	i := fib(h) & m.mask()
+	firstTomb := -1
+	for {
+		s := &m.slots[i]
+		switch s.state {
+		case slotEmpty:
+			if firstTomb >= 0 {
+				s = &m.slots[firstTomb]
+			} else {
+				m.used++
+			}
+			s.hash, s.val, s.state = h, val, slotFull
+			m.size++
+			return true
+		case slotTombstone:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		case slotFull:
+			if s.hash == h {
+				s.val = val
+				return false
+			}
+		}
+		i = (i + 1) & m.mask()
+	}
+}
+
+// Get returns the value mapped to key.
+func (m *Map[V]) Get(key string) (V, bool) {
+	h := m.hash(key)
+	i := fib(h) & m.mask()
+	for {
+		s := &m.slots[i]
+		switch s.state {
+		case slotEmpty:
+			var zero V
+			return zero, false
+		case slotFull:
+			if s.hash == h {
+				return s.val, true
+			}
+		}
+		i = (i + 1) & m.mask()
+	}
+}
+
+// Delete removes the mapping for key, reporting whether it existed.
+func (m *Map[V]) Delete(key string) bool {
+	h := m.hash(key)
+	i := fib(h) & m.mask()
+	for {
+		s := &m.slots[i]
+		switch s.state {
+		case slotEmpty:
+			return false
+		case slotFull:
+			if s.hash == h {
+				var zero V
+				s.val = zero
+				s.state = slotTombstone
+				m.size--
+				return true
+			}
+		}
+		i = (i + 1) & m.mask()
+	}
+}
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int { return m.size }
+
+// Load returns the table's occupancy fraction, for diagnostics.
+func (m *Map[V]) Load() float64 { return float64(m.size) / float64(len(m.slots)) }
+
+func (m *Map[V]) grow() {
+	old := m.slots
+	n := len(old) * 2
+	// If most of the pressure is tombstones, rehash at the same size.
+	if m.size*2 < m.used {
+		n = len(old)
+	}
+	m.slots = make([]slot[V], n)
+	m.size, m.used = 0, 0
+	for i := range old {
+		if old[i].state == slotFull {
+			m.putHash(old[i].hash, old[i].val)
+		}
+	}
+}
+
+// DirectTable is the learned-index limit case: for formats whose
+// bijective hash occupies at most Bits low-order bits, the hash value
+// indexes a dense array directly — O(1) lookups with one load, no
+// probing at all.
+type DirectTable[V any] struct {
+	hash     hashes.Func
+	bits     uint
+	present  []uint64
+	vals     []V
+	size     int
+	maxProbe uint64
+}
+
+// MaxDirectBits caps the dense table at 2^24 slots (16 Mi entries);
+// larger formats should use Map.
+const MaxDirectBits = 24
+
+// NewDirectTable builds a dense table for a bijective hash whose
+// values fit in the given number of low-order bits (the HashBits of a
+// Pext plan packed without the top shift, or any hash the caller has
+// verified to be bounded). Bits above the bound are rejected.
+func NewDirectTable[V any](hash hashes.Func, bits uint) (*DirectTable[V], error) {
+	if bits == 0 || bits > MaxDirectBits {
+		return nil, fmt.Errorf("specialized: direct table needs 1..%d bits, got %d", MaxDirectBits, bits)
+	}
+	n := 1 << bits
+	return &DirectTable[V]{
+		hash:    hash,
+		bits:    bits,
+		present: make([]uint64, (n+63)/64),
+		vals:    make([]V, n),
+	}, nil
+}
+
+func (t *DirectTable[V]) index(key string) (uint64, error) {
+	h := t.hash(key)
+	if h>>t.bits != 0 {
+		return 0, fmt.Errorf("specialized: hash %#x exceeds the table's %d bits", h, t.bits)
+	}
+	return h, nil
+}
+
+// Put maps key to val. It fails if the hash exceeds the table bound —
+// a sign the key is off-format.
+func (t *DirectTable[V]) Put(key string, val V) error {
+	i, err := t.index(key)
+	if err != nil {
+		return err
+	}
+	w, b := i/64, i%64
+	if t.present[w]&(1<<b) == 0 {
+		t.present[w] |= 1 << b
+		t.size++
+	}
+	t.vals[i] = val
+	return nil
+}
+
+// Get returns the value for key; off-format keys simply miss.
+func (t *DirectTable[V]) Get(key string) (V, bool) {
+	var zero V
+	i, err := t.index(key)
+	if err != nil {
+		return zero, false
+	}
+	if t.present[i/64]&(1<<(i%64)) == 0 {
+		return zero, false
+	}
+	return t.vals[i], true
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *DirectTable[V]) Delete(key string) bool {
+	i, err := t.index(key)
+	if err != nil {
+		return false
+	}
+	w, b := i/64, i%64
+	if t.present[w]&(1<<b) == 0 {
+		return false
+	}
+	t.present[w] &^= 1 << b
+	var zero V
+	t.vals[i] = zero
+	t.size--
+	return true
+}
+
+// Len returns the number of entries.
+func (t *DirectTable[V]) Len() int { return t.size }

@@ -1,0 +1,312 @@
+// Package stats implements the statistical machinery of the paper's
+// evaluation: geometric means over experiment groups, Mann-Whitney U
+// tests for pairwise speed comparisons, the χ² goodness-of-fit test of
+// the hash-uniformity analysis (RQ3), Pearson correlation for the
+// linearity claims (RQ6, RQ8), and box-plot summaries for the figures.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations over empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// GeoMean returns the geometric mean of strictly positive values.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geometric mean needs positive values")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by linear
+// interpolation over the sorted sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median is the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Boxplot is the five-number summary plus the mean, the data behind
+// the paper's Figures 13–15 and 20.
+type Boxplot struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// Summarize computes a box-plot summary.
+func Summarize(xs []float64) Boxplot {
+	return Boxplot{
+		Min:    Quantile(xs, 0),
+		Q1:     Quantile(xs, 0.25),
+		Median: Quantile(xs, 0.5),
+		Q3:     Quantile(xs, 0.75),
+		Max:    Quantile(xs, 1),
+		Mean:   Mean(xs),
+		N:      len(xs),
+	}
+}
+
+// Pearson returns the correlation coefficient between xs and ys.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, errors.New("stats: Pearson needs two equal-length samples of ≥ 2")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, errors.New("stats: Pearson undefined for constant samples")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// MannWhitney performs the two-sided Mann-Whitney U test with the
+// normal approximation (with tie correction), the paper's test for
+// "significant statistical difference" between run-time samples.
+// It returns the U statistic of the first sample and the p-value.
+func MannWhitney(a, b []float64) (u float64, p float64, err error) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return 0, 0, ErrEmpty
+	}
+	type obs struct {
+		v     float64
+		group int
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, 0})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, 1})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie bookkeeping.
+	ranks := make([]float64, len(all))
+	tieTerm := 0.0
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].v == all[i].v {
+			j++
+		}
+		r := float64(i+j+1) / 2 // average of ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = r
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	r1 := 0.0
+	for i, o := range all {
+		if o.group == 0 {
+			r1 += ranks[i]
+		}
+	}
+	u = r1 - float64(n1)*float64(n1+1)/2
+	mu := float64(n1) * float64(n2) / 2
+	n := float64(n1 + n2)
+	sigma2 := float64(n1) * float64(n2) / 12 * (n + 1 - tieTerm/(n*(n-1)))
+	if sigma2 <= 0 {
+		// All observations tied: no evidence of difference.
+		return u, 1, nil
+	}
+	z := (u - mu) / math.Sqrt(sigma2)
+	// Continuity correction.
+	if z > 0 {
+		z -= 0.5 / math.Sqrt(sigma2)
+	} else if z < 0 {
+		z += 0.5 / math.Sqrt(sigma2)
+	}
+	p = 2 * (1 - normCDF(math.Abs(z)))
+	if p > 1 {
+		p = 1
+	}
+	return u, p, nil
+}
+
+func normCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// ChiSquareUniform computes the χ² goodness-of-fit statistic of
+// observed bin counts against the uniform distribution, plus the
+// p-value from the χ² distribution with len(obs)−1 degrees of freedom.
+// This is the RQ3 methodology: hash values binned into a histogram and
+// compared against a perfect distribution.
+func ChiSquareUniform(obs []int) (chi2 float64, p float64, err error) {
+	if len(obs) < 2 {
+		return 0, 0, errors.New("stats: χ² needs at least two bins")
+	}
+	total := 0
+	for _, o := range obs {
+		total += o
+	}
+	if total == 0 {
+		return 0, 0, ErrEmpty
+	}
+	expected := float64(total) / float64(len(obs))
+	for _, o := range obs {
+		d := float64(o) - expected
+		chi2 += d * d / expected
+	}
+	p = ChiSquareSurvival(chi2, float64(len(obs)-1))
+	return chi2, p, nil
+}
+
+// ChiSquareSurvival returns P(X ≥ x) for X ~ χ²(k), via the
+// regularized upper incomplete gamma function Q(k/2, x/2).
+func ChiSquareSurvival(x, k float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return gammaQ(k/2, x/2)
+}
+
+// gammaQ is the regularized upper incomplete gamma function Q(a, x),
+// computed by the series for x < a+1 and the continued fraction
+// otherwise (Numerical Recipes' gammp/gammq structure).
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinued(a, x)
+}
+
+func gammaPSeries(a, x float64) float64 {
+	const (
+		itmax = 500
+		eps   = 3e-14
+	)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQContinued(a, x float64) float64 {
+	const (
+		itmax = 500
+		eps   = 3e-14
+		fpmin = 1e-300
+	)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// Histogram bins the 64-bit values into n equal-width bins over the
+// full uint64 range — step 3 of the RQ3 methodology.
+func Histogram(values []uint64, n int) []int {
+	bins := make([]int, n)
+	if n == 0 {
+		return bins
+	}
+	width := math.MaxUint64/uint64(n) + 1
+	for _, v := range values {
+		b := int(v / width)
+		if b >= n {
+			b = n - 1
+		}
+		bins[b]++
+	}
+	return bins
+}

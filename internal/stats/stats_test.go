@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/rng"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v ± %v", name, got, want, tol)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "GeoMean(1,100)", g, 10, 1e-9)
+	g, err = GeoMean([]float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "GeoMean(2,2,2)", g, 2, 1e-12)
+	if _, err := GeoMean(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty GeoMean must fail")
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Error("negative GeoMean must fail")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "Mean", Mean(xs), 5, 1e-12)
+	approx(t, "StdDev", StdDev(xs), math.Sqrt(32.0/7), 1e-12)
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) must be NaN")
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("StdDev of singleton must be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, "Q0", Quantile(xs, 0), 1, 0)
+	approx(t, "Q1", Quantile(xs, 1), 5, 0)
+	approx(t, "median", Median(xs), 3, 0)
+	approx(t, "Q0.25", Quantile(xs, 0.25), 2, 1e-12)
+	approx(t, "interp", Quantile([]float64{0, 10}, 0.5), 5, 1e-12)
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile must be NaN")
+	}
+	// Input must not be mutated (Quantile sorts a copy).
+	orig := []float64{3, 1, 2}
+	Quantile(orig, 0.5)
+	if orig[0] != 3 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := Summarize([]float64{1, 2, 3, 4, 100})
+	if b.Min != 1 || b.Max != 100 || b.Median != 3 || b.N != 5 {
+		t.Errorf("Summarize = %+v", b)
+	}
+	approx(t, "box mean", b.Mean, 22, 1e-12)
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "Pearson linear", r, 1, 1e-12)
+	neg := []float64{40, 30, 20, 10}
+	r, _ = Pearson(xs, neg)
+	approx(t, "Pearson anti", r, -1, 1e-12)
+	if _, err := Pearson(xs, []float64{1, 1, 1, 1}); err == nil {
+		t.Error("constant sample must fail")
+	}
+	if _, err := Pearson(xs, xs[:2]); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestPearsonUncorrelated(t *testing.T) {
+	r := rng.New(4)
+	xs := make([]float64, 5000)
+	ys := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.Float64()
+		ys[i] = r.Float64()
+	}
+	p, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p) > 0.05 {
+		t.Errorf("independent samples correlate at %v", p)
+	}
+}
+
+func TestMannWhitneyIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	_, p, err := MannWhitney(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.9 {
+		t.Errorf("identical samples: p = %v, want ≈1", p)
+	}
+}
+
+func TestMannWhitneyDisjoint(t *testing.T) {
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(i) + 1000
+	}
+	_, p, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("disjoint samples: p = %v, want ≈0", p)
+	}
+}
+
+func TestMannWhitneySymmetric(t *testing.T) {
+	a := []float64{1, 3, 5, 7}
+	b := []float64{2, 4, 6, 8}
+	_, p1, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := MannWhitney(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "MW symmetry", p1, p2, 1e-9)
+	if p1 < 0.5 {
+		t.Errorf("interleaved samples: p = %v, want large", p1)
+	}
+}
+
+func TestMannWhitneyUStatistic(t *testing.T) {
+	// Hand-computed example: a = {1,2}, b = {3,4}. All of b beats all
+	// of a: U(a) = 0.
+	u, _, err := MannWhitney([]float64{1, 2}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "U", u, 0, 1e-12)
+	// Reversed: U = n1·n2 = 4.
+	u, _, _ = MannWhitney([]float64{3, 4}, []float64{1, 2})
+	approx(t, "U reversed", u, 4, 1e-12)
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	a := []float64{5, 5, 5}
+	b := []float64{5, 5}
+	_, p, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("all tied: p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneyEmpty(t *testing.T) {
+	if _, _, err := MannWhitney(nil, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Error("empty sample must fail")
+	}
+}
+
+func TestChiSquareUniformPerfect(t *testing.T) {
+	obs := []int{100, 100, 100, 100}
+	chi2, p, err := ChiSquareUniform(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi2 != 0 || p < 0.999 {
+		t.Errorf("perfect uniform: χ²=%v p=%v", chi2, p)
+	}
+}
+
+func TestChiSquareUniformSkewed(t *testing.T) {
+	obs := []int{400, 0, 0, 0}
+	chi2, p, err := ChiSquareUniform(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chi2 != 1200 {
+		t.Errorf("χ² = %v, want 1200", chi2)
+	}
+	if p > 1e-10 {
+		t.Errorf("p = %v, want ≈0", p)
+	}
+}
+
+func TestChiSquareKnownQuantiles(t *testing.T) {
+	// Known critical values: χ²(k=1) at x=3.841 → p ≈ 0.05;
+	// χ²(k=10) at x=18.307 → p ≈ 0.05; χ²(k=5) at x=15.086 → p ≈ 0.01.
+	cases := []struct{ x, k, p float64 }{
+		{3.841, 1, 0.05},
+		{18.307, 10, 0.05},
+		{15.086, 5, 0.01},
+		{2.706, 1, 0.10},
+	}
+	for _, c := range cases {
+		got := ChiSquareSurvival(c.x, c.k)
+		approx(t, "χ² survival", got, c.p, 0.001)
+	}
+	if ChiSquareSurvival(-1, 3) != 1 {
+		t.Error("negative statistic must give p=1")
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquareUniform([]int{5}); err == nil {
+		t.Error("single bin must fail")
+	}
+	if _, _, err := ChiSquareUniform([]int{0, 0}); !errors.Is(err, ErrEmpty) {
+		t.Error("empty counts must fail")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	vals := []uint64{0, math.MaxUint64, math.MaxUint64 / 2}
+	h := Histogram(vals, 4)
+	if h[0] != 1 || h[3] != 1 {
+		t.Errorf("Histogram = %v", h)
+	}
+	if h[1]+h[2] != 1 {
+		t.Errorf("middle value misplaced: %v", h)
+	}
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != len(vals) {
+		t.Errorf("histogram loses values: %v", h)
+	}
+	if len(Histogram(nil, 0)) != 0 {
+		t.Error("zero bins must yield empty histogram")
+	}
+}
+
+func TestHistogramUniformRNG(t *testing.T) {
+	r := rng.New(7)
+	vals := make([]uint64, 100000)
+	for i := range vals {
+		vals[i] = r.Uint64()
+	}
+	h := Histogram(vals, 64)
+	chi2, p, err := ChiSquareUniform(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.001 {
+		t.Errorf("xoshiro output rejected as uniform: χ²=%v p=%v", chi2, p)
+	}
+}
+
+func TestGammaQBoundaries(t *testing.T) {
+	if gammaQ(2, 0) != 1 {
+		t.Error("Q(a,0) must be 1")
+	}
+	if !math.IsNaN(gammaQ(-1, 1)) || !math.IsNaN(gammaQ(1, -1)) {
+		t.Error("invalid arguments must be NaN")
+	}
+	// Q(1, x) = e^{-x} exactly.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		approx(t, "Q(1,x)", gammaQ(1, x), math.Exp(-x), 1e-10)
+	}
+}

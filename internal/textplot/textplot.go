@@ -1,0 +1,237 @@
+// Package textplot renders the reproduction's figures as Unicode
+// terminal charts: horizontal box plots for the B-Time figures
+// (13–15, 20) and log-scale line charts for the scaling figures
+// (16, 19). Pure text output keeps the harness dependency-free while
+// making the "shape" claims of EXPERIMENTS.md visible at a glance.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/sepe-go/sepe/internal/stats"
+)
+
+// Box is one labelled box-plot row.
+type Box struct {
+	Label   string
+	Summary stats.Boxplot
+}
+
+// BoxPlot renders horizontal box plots, one row per entry, sharing a
+// linear scale from the global min to the global p95-ish max (the
+// whisker is clipped at q3 + 1.5·IQR, as matplotlib does, so a single
+// outlier cannot flatten every box).
+func BoxPlot(boxes []Box, width int) string {
+	if len(boxes) == 0 {
+		return ""
+	}
+	if width < 40 {
+		width = 40
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, b := range boxes {
+		s := b.Summary
+		upper := whiskerHigh(s)
+		if s.Min < lo {
+			lo = s.Min
+		}
+		if upper > hi {
+			hi = upper
+		}
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, b := range boxes {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	plotW := width - labelW - 2
+	scale := func(v float64) int {
+		p := int(math.Round((v - lo) / (hi - lo) * float64(plotW-1)))
+		if p < 0 {
+			p = 0
+		}
+		if p >= plotW {
+			p = plotW - 1
+		}
+		return p
+	}
+	var sb strings.Builder
+	for _, b := range boxes {
+		s := b.Summary
+		row := make([]rune, plotW)
+		for i := range row {
+			row[i] = ' '
+		}
+		wLo, q1 := scale(s.Min), scale(s.Q1)
+		med := scale(s.Median)
+		q3, wHi := scale(s.Q3), scale(whiskerHigh(s))
+		for i := wLo; i <= wHi; i++ {
+			row[i] = '─'
+		}
+		for i := q1; i <= q3; i++ {
+			row[i] = '█'
+		}
+		row[wLo] = '├'
+		row[wHi] = '┤'
+		if med >= 0 && med < plotW {
+			row[med] = '┃'
+		}
+		fmt.Fprintf(&sb, "%-*s %s\n", labelW, b.Label, string(row))
+	}
+	fmt.Fprintf(&sb, "%-*s %s\n", labelW, "", axis(lo, hi, plotW))
+	return sb.String()
+}
+
+func whiskerHigh(s stats.Boxplot) float64 {
+	iqr := s.Q3 - s.Q1
+	w := s.Q3 + 1.5*iqr
+	if w > s.Max {
+		w = s.Max
+	}
+	return w
+}
+
+func axis(lo, hi float64, width int) string {
+	left := fmt.Sprintf("%.3g", lo)
+	right := fmt.Sprintf("%.3g", hi)
+	mid := fmt.Sprintf("%.3g", lo+(hi-lo)/2)
+	pad := width - len(left) - len(mid) - len(right)
+	if pad < 2 {
+		return left + " … " + right
+	}
+	half := pad / 2
+	return left + strings.Repeat(" ", half) + mid +
+		strings.Repeat(" ", pad-half) + right
+}
+
+// Series is one labelled line of (x, y) points.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// LineChart renders series on log-log axes as a character grid; each
+// series is drawn with its own glyph and listed in a legend. It is
+// meant for the scaling figures, where both axes are powers of two.
+func LineChart(series []Series, width, height int) string {
+	if len(series) == 0 {
+		return ""
+	}
+	if width < 40 {
+		width = 40
+	}
+	if height < 8 {
+		height = 8
+	}
+	glyphs := []rune("●◆▲■○◇△□")
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue // log axes
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !(maxX > minX) || !(maxY > minY) {
+		return "textplot: not enough spread to draw\n"
+	}
+	lx := func(v float64) float64 { return math.Log2(v) }
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if s.X[i] <= 0 || s.Y[i] <= 0 {
+				continue
+			}
+			c := int((lx(s.X[i]) - lx(minX)) / (lx(maxX) - lx(minX)) * float64(width-1))
+			r := int((lx(s.Y[i]) - lx(minY)) / (lx(maxY) - lx(minY)) * float64(height-1))
+			r = height - 1 - r
+			if grid[r][c] == ' ' || grid[r][c] == g {
+				grid[r][c] = g
+			} else {
+				grid[r][c] = '+'
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "y: %.3g … %.3g (log₂)\n", minY, maxY)
+	for _, row := range grid {
+		sb.WriteString("│")
+		sb.WriteString(string(row))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("└" + strings.Repeat("─", width) + "\n")
+	fmt.Fprintf(&sb, " x: %.3g … %.3g (log₂)\n", minX, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&sb, " %c %s", glyphs[si%len(glyphs)], s.Label)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// Bars renders a labelled horizontal bar chart on a linear scale.
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	if width < 40 {
+		width = 40
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	maxV := 0.0
+	for _, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	valW := 10
+	barW := width - labelW - valW - 3
+	if barW < 8 {
+		barW = 8
+	}
+	// Stable order: as given.
+	var sb strings.Builder
+	for i, l := range labels {
+		n := int(math.Round(values[i] / maxV * float64(barW)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-*s %-*s %*.4g\n", labelW, l,
+			barW, strings.Repeat("▇", n), valW, values[i])
+	}
+	return sb.String()
+}
+
+// SortBoxesByMedian orders box rows by ascending median, the
+// convention of the paper's figures.
+func SortBoxesByMedian(boxes []Box) {
+	sort.SliceStable(boxes, func(i, j int) bool {
+		return boxes[i].Summary.Median < boxes[j].Summary.Median
+	})
+}

@@ -1,0 +1,120 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/stats"
+)
+
+func sampleBoxes() []Box {
+	return []Box{
+		{Label: "OffXor", Summary: stats.Summarize([]float64{1, 2, 3, 4, 5})},
+		{Label: "STL", Summary: stats.Summarize([]float64{2, 3, 4, 5, 9})},
+		{Label: "Gperf", Summary: stats.Summarize([]float64{5, 8, 12, 20, 100})},
+	}
+}
+
+func TestBoxPlotRendersAllRows(t *testing.T) {
+	out := BoxPlot(sampleBoxes(), 72)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // 3 boxes + axis
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	for _, want := range []string{"OffXor", "STL", "Gperf", "├", "┤", "█", "┃"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoxPlotOrderingVisible(t *testing.T) {
+	// The faster function's box must start further left.
+	out := BoxPlot(sampleBoxes(), 72)
+	lines := strings.Split(out, "\n")
+	posOffXor := strings.IndexRune(lines[0], '├')
+	posGperf := strings.IndexRune(lines[2], '├')
+	if posOffXor >= posGperf {
+		t.Errorf("OffXor whisker (%d) should start left of Gperf's (%d)", posOffXor, posGperf)
+	}
+}
+
+func TestBoxPlotEmptyAndDegenerate(t *testing.T) {
+	if BoxPlot(nil, 80) != "" {
+		t.Error("empty input must render nothing")
+	}
+	// All-equal values: must not divide by zero.
+	one := []Box{{Label: "x", Summary: stats.Summarize([]float64{5, 5, 5})}}
+	if out := BoxPlot(one, 60); !strings.Contains(out, "x") {
+		t.Errorf("degenerate box plot wrong:\n%s", out)
+	}
+}
+
+func TestBoxPlotClipsOutliers(t *testing.T) {
+	// A huge outlier must not flatten the other boxes: the scale ends
+	// at q3 + 1.5·IQR, not at the outlier.
+	boxes := []Box{
+		{Label: "a", Summary: stats.Summarize([]float64{1, 2, 3, 4, 1000})},
+	}
+	out := BoxPlot(boxes, 60)
+	if strings.Contains(out, "1e+03") {
+		t.Errorf("axis extends to the raw outlier:\n%s", out)
+	}
+}
+
+func TestSortBoxesByMedian(t *testing.T) {
+	boxes := sampleBoxes()
+	boxes[0], boxes[2] = boxes[2], boxes[0] // scramble
+	SortBoxesByMedian(boxes)
+	if boxes[0].Label != "OffXor" || boxes[2].Label != "Gperf" {
+		t.Errorf("order = %s, %s, %s", boxes[0].Label, boxes[1].Label, boxes[2].Label)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	series := []Series{
+		{Label: "Pext", X: []float64{16, 64, 256, 1024}, Y: []float64{16, 81, 333, 1416}},
+		{Label: "STL", X: []float64{16, 64, 256, 1024}, Y: []float64{7, 17, 61, 258}},
+	}
+	out := LineChart(series, 60, 12)
+	for _, want := range []string{"Pext", "STL", "log₂", "●", "◆"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 14 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	if LineChart(nil, 60, 10) != "" {
+		t.Error("empty chart must render nothing")
+	}
+	flat := []Series{{Label: "f", X: []float64{1}, Y: []float64{1}}}
+	if out := LineChart(flat, 60, 10); !strings.Contains(out, "not enough spread") {
+		t.Errorf("degenerate chart: %q", out)
+	}
+	// Non-positive points are skipped on log axes, not crashed on.
+	mixed := []Series{{Label: "m", X: []float64{0, 2, 4}, Y: []float64{-1, 2, 4}}}
+	_ = LineChart(mixed, 60, 10)
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"OffXor", "STL"}, []float64{0.9, 1.2}, 60)
+	if !strings.Contains(out, "OffXor") || !strings.Contains(out, "▇") {
+		t.Errorf("bars wrong:\n%s", out)
+	}
+	// The larger value must have the longer bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if strings.Count(lines[0], "▇") >= strings.Count(lines[1], "▇") {
+		t.Errorf("bar lengths not proportional:\n%s", out)
+	}
+	if Bars(nil, nil, 60) != "" {
+		t.Error("empty bars must render nothing")
+	}
+	if Bars([]string{"a"}, []float64{1, 2}, 60) != "" {
+		t.Error("mismatched lengths must render nothing")
+	}
+}

@@ -1,0 +1,42 @@
+package sepe
+
+import (
+	"github.com/sepe-go/sepe/internal/specialized"
+)
+
+// This file exposes the specialized storage of the paper's future-work
+// section: containers that exploit a provably bijective synthesized
+// hash to drop key storage and key comparison entirely.
+
+// BijectiveMap is an open-addressing map for hash functions that are
+// injective on the key set: it stores 64-bit hashes instead of keys,
+// so probes never touch string memory. Construct it from a Hash whose
+// Bijective method reports true.
+type BijectiveMap[V any] struct{ m *specialized.Map[V] }
+
+// NewBijectiveMap builds a BijectiveMap from a synthesized hash. It
+// fails with ErrNotBijective unless the hash is provably injective on
+// its format (a fixed-length Pext function with ≤ 64 variable bits).
+// The map's guarantees hold only for keys of that format.
+func NewBijectiveMap[V any](h *Hash) (*BijectiveMap[V], error) {
+	m, err := specialized.NewMap[V](h.Func(), h.Bijective())
+	if err != nil {
+		return nil, err
+	}
+	return &BijectiveMap[V]{m: m}, nil
+}
+
+// ErrNotBijective reports a hash without a bijectivity proof.
+var ErrNotBijective = specialized.ErrNotBijective
+
+// Put maps key to val, reporting whether the key was new.
+func (m *BijectiveMap[V]) Put(key string, val V) bool { return m.m.Put(key, val) }
+
+// Get returns the value mapped to key.
+func (m *BijectiveMap[V]) Get(key string) (V, bool) { return m.m.Get(key) }
+
+// Delete removes the mapping for key, reporting whether it existed.
+func (m *BijectiveMap[V]) Delete(key string) bool { return m.m.Delete(key) }
+
+// Len returns the number of entries.
+func (m *BijectiveMap[V]) Len() int { return m.m.Len() }
