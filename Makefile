@@ -2,9 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench repro repro-quick examples golden clean
+.PHONY: all build test vet check bench repro repro-quick examples golden clean
 
 all: build vet test
+
+# The CI gate: formatting, vet, build, and the full suite under the
+# race detector. Mirrors .github/workflows/ci.yml.
+check:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...
@@ -34,6 +43,7 @@ examples:
 	$(GO) run ./examples/netinventory
 	$(GO) run ./examples/weblog
 	$(GO) run ./examples/invertible
+	$(GO) run ./examples/observed -dur 2s -addr 127.0.0.1:0
 
 # Refresh the codegen golden files after an intended emitter change.
 golden:

@@ -1,0 +1,96 @@
+package sepe_test
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe"
+)
+
+// The instrumentation acceptance bar: wrapping the Pext hot path must
+// cost at most a few percent (the wrapper batches its counter flushes
+// precisely so that the per-call cost stays below the 15% budget), and
+// a disabled wrapper must be free — Instrument(fn, nil, nil) returns
+// fn itself. Numbers from these benchmarks are recorded in
+// BENCH_telemetry.json.
+
+func benchHash(b *testing.B, fn sepe.HashFunc, keys []string) {
+	b.ReportAllocs()
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += fn(keys[i%len(keys)])
+	}
+	telemetrySink = acc
+}
+
+var telemetrySink uint64
+
+func benchSetup(b *testing.B) (sepe.HashFunc, []string, *sepe.Format) {
+	b.Helper()
+	f, err := sepe.ParseRegex(`[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := sepe.Synthesize(f, sepe.Pext)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h.Func(), f.Samples(1024, 42), f
+}
+
+func BenchmarkPextRaw(b *testing.B) {
+	fn, keys, _ := benchSetup(b)
+	benchHash(b, fn, keys)
+}
+
+func BenchmarkPextInstrumentedDisabled(b *testing.B) {
+	fn, keys, _ := benchSetup(b)
+	benchHash(b, sepe.Instrument(fn, nil, nil), keys)
+}
+
+func BenchmarkPextInstrumentedMetrics(b *testing.B) {
+	fn, keys, _ := benchSetup(b)
+	m := sepe.NewMetricsRegistry().NewHash("bench")
+	benchHash(b, sepe.Instrument(fn, m, nil), keys)
+}
+
+func BenchmarkPextInstrumentedMetricsAndDrift(b *testing.B) {
+	fn, keys, f := benchSetup(b)
+	reg := sepe.NewMetricsRegistry()
+	m := reg.NewHash("bench")
+	d := reg.NewDrift("bench", f.Matches, sepe.DriftConfig{})
+	benchHash(b, sepe.Instrument(fn, m, d), keys)
+}
+
+func TestInstrumentDisabledIsIdentity(t *testing.T) {
+	calls := 0
+	fn := func(string) uint64 { calls++; return 0 }
+	wrapped := sepe.Instrument(fn, nil, nil)
+	wrapped("x")
+	if calls != 1 {
+		t.Fatal("disabled wrapper must delegate")
+	}
+}
+
+func TestInstrumentZeroAllocs(t *testing.T) {
+	f, err := sepe.ParseRegex(`[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sepe.Synthesize(f, sepe.Pext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := f.Samples(1, 9)[0]
+
+	disabled := sepe.Instrument(h.Func(), nil, nil)
+	if n := testing.AllocsPerRun(1000, func() { disabled(key) }); n != 0 {
+		t.Errorf("disabled instrumentation allocates %.1f per op", n)
+	}
+
+	reg := sepe.NewMetricsRegistry()
+	enabled := sepe.Instrument(h.Func(), reg.NewHash("alloc"),
+		reg.NewDrift("alloc", f.Matches, sepe.DriftConfig{}))
+	if n := testing.AllocsPerRun(1000, func() { enabled(key) }); n != 0 {
+		t.Errorf("enabled instrumentation allocates %.1f per op", n)
+	}
+}

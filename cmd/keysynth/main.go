@@ -16,12 +16,14 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/sepe-go/sepe/internal/codegen"
 	"github.com/sepe-go/sepe/internal/core"
 	"github.com/sepe-go/sepe/internal/infer"
 	"github.com/sepe-go/sepe/internal/rex"
 	"github.com/sepe-go/sepe/internal/rng"
+	"github.com/sepe-go/sepe/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +37,8 @@ func main() {
 	flag.BoolVar(&cfg.allowShort, "allow-short", false, "synthesize even for formats shorter than 8 bytes")
 	flag.IntVar(&cfg.samples, "samples", 0,
 		"print N sample keys instead of code (drawn from the quad-widened format, so a [0-9] slot may show ':'..'?')")
+	flag.BoolVar(&cfg.stats, "stats", false,
+		"print per-phase synthesis timings and a plan summary to stderr")
 	fromKeys := flag.Bool("from-keys", false,
 		"treat the argument as a file of example keys (or '-' for stdin) and infer the format, fusing keybuilder|keysynth into one command")
 	flag.Parse()
@@ -87,6 +91,10 @@ type config struct {
 	noSupport  bool
 	allowShort bool
 	samples    int
+	stats      bool
+	// statsOut receives the -stats report; main leaves it nil for
+	// os.Stderr, tests substitute a buffer.
+	statsOut io.Writer
 }
 
 func run(cfg config, out io.Writer) error {
@@ -110,11 +118,30 @@ func run(cfg config, out io.Writer) error {
 		return err
 	}
 	opts := core.Options{Target: tgt, AllowShort: cfg.allowShort}
+	var tracer *telemetry.CollectTracer
+	if cfg.stats {
+		tracer = &telemetry.CollectTracer{}
+		opts.Tracer = tracer
+	}
+	var plans []*core.Plan
 	for i, fam := range fams {
-		plan, err := core.BuildPlan(pat, fam, opts)
-		if err != nil {
-			return err
+		var plan *core.Plan
+		if cfg.stats {
+			// Run the full pipeline (plan, verify, compile) so the
+			// report times every phase, not just planning.
+			fn, err := core.Synthesize(pat, fam, opts)
+			if err != nil {
+				return err
+			}
+			plan = fn.Plan()
+		} else {
+			var err error
+			plan, err = core.BuildPlan(pat, fam, opts)
+			if err != nil {
+				return err
+			}
 		}
+		plans = append(plans, plan)
 		name := cfg.name
 		if name == "" || len(fams) > 1 {
 			name = defaultName(cfg, fam)
@@ -135,7 +162,41 @@ func run(cfg config, out io.Writer) error {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, codegen.Support(cfg.pkg))
 	}
+	if cfg.stats {
+		printStats(cfg.statsWriter(), tracer, plans)
+	}
 	return nil
+}
+
+func (cfg config) statsWriter() io.Writer {
+	if cfg.statsOut != nil {
+		return cfg.statsOut
+	}
+	return os.Stderr
+}
+
+// printStats renders the -stats report: one plan-summary line per
+// family, the per-span timing table, and per-phase totals.
+func printStats(w io.Writer, tr *telemetry.CollectTracer, plans []*core.Plan) {
+	fmt.Fprintln(w, "# plans")
+	for _, p := range plans {
+		switch {
+		case p.Fallback:
+			fmt.Fprintf(w, "%-8s fallback to standard hash (format shorter than a word)\n", p.Family)
+		case p.Fixed:
+			fmt.Fprintf(w, "%-8s fixed len=%d loads=%d variable_bits=%d bijective=%v\n",
+				p.Family, p.KeyLen, len(p.Loads), p.HashBits, p.Bijective())
+		default:
+			fmt.Fprintf(w, "%-8s variable len=[%d,%d] skip_loads=%d variable_bits=%d\n",
+				p.Family, p.Pattern.MinLen, p.Pattern.MaxLen, p.SkipLoads, p.HashBits)
+		}
+	}
+	fmt.Fprintln(w, "# phases")
+	fmt.Fprint(w, tr.Report())
+	fmt.Fprintln(w, "# totals")
+	for _, s := range tr.Totals() {
+		fmt.Fprintf(w, "%-14s %12s\n", s.Name, s.Duration.Round(time.Microsecond))
+	}
 }
 
 func defaultName(cfg config, fam core.Family) string {

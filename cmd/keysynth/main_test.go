@@ -117,6 +117,36 @@ func TestSamplesMode(t *testing.T) {
 	}
 }
 
+func TestStatsFlag(t *testing.T) {
+	var out, stats strings.Builder
+	cfg := config{
+		expr: `[0-9]{3}-[0-9]{2}-[0-9]{4}`, family: "all",
+		lang: "go", pkg: "ssn", target: "x86-64",
+		stats: true, statsOut: &stats,
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "func HashPext(key string) uint64") {
+		t.Error("-stats must not suppress code output")
+	}
+	s := stats.String()
+	for _, want := range []string{
+		"# plans",
+		"Pext     fixed len=11 loads=2 variable_bits=36 bijective=true",
+		"# phases",
+		"synth.plan", "synth.verify", "synth.compile", "plan.pext",
+		"# totals",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats report missing %q:\n%s", want, s)
+		}
+	}
+	if out.String() == s {
+		t.Error("stats must go to the stats writer, not stdout")
+	}
+}
+
 func TestInferExprFromFile(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/keys.txt"

@@ -19,9 +19,12 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/sepe-go/sepe/internal/bench"
@@ -35,6 +38,7 @@ import (
 	"github.com/sepe-go/sepe/internal/pattern"
 	"github.com/sepe-go/sepe/internal/rex"
 	"github.com/sepe-go/sepe/internal/stats"
+	"github.com/sepe-go/sepe/internal/telemetry"
 	"github.com/sepe-go/sepe/internal/textplot"
 )
 
@@ -59,6 +63,8 @@ func main() {
 		showProgr = flag.Bool("progress", true, "print progress to stderr")
 		csvPath   = flag.String("csv", "", "also write every raw grid measurement to this CSV file")
 		plot      = flag.Bool("plot", false, "render figures as terminal charts in addition to the tables")
+		telemAddr = flag.String("telemetry", "",
+			"serve live metrics (Prometheus text, or JSON with ?format=json) on this address while experiments run, e.g. :9090")
 	)
 	flag.Parse()
 
@@ -86,6 +92,12 @@ func main() {
 	if *showProgr {
 		r.progress = func(s string) { fmt.Fprintf(os.Stderr, "  … %s\n", s) }
 	}
+	if *telemAddr != "" {
+		if err := serveTelemetry(*telemAddr, r); err != nil {
+			fmt.Fprintln(os.Stderr, "sepebench:", err)
+			os.Exit(1)
+		}
+	}
 
 	exps := strings.Split(*expFlag, ",")
 	if *expFlag == "all" {
@@ -97,6 +109,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sepebench:", err)
 			os.Exit(1)
 		}
+		r.expsDone.Add(1)
 	}
 	if *csvPath != "" {
 		if err := r.writeCSV(*csvPath); err != nil {
@@ -179,8 +192,38 @@ type runner struct {
 	progress func(string)
 	plot     bool
 
+	expsDone      atomic.Int64 // experiments completed (telemetry gauge)
+	progressSteps atomic.Int64 // progress callbacks fired (telemetry gauge)
+
 	x86Grid []bench.Measurement // cached full grid on x86
 	armGrid []bench.Measurement // cached full grid on aarch64
+}
+
+// serveTelemetry exposes the process-wide metrics registry over HTTP
+// for the duration of the run and registers run-progress gauges, so a
+// long grid can be watched from a browser or scraped by Prometheus.
+func serveTelemetry(addr string, r *runner) error {
+	inner := r.progress
+	r.progress = func(s string) {
+		r.progressSteps.Add(1)
+		if inner != nil {
+			inner(s)
+		}
+	}
+	telemetry.Default.Gauge("sepe_bench_experiments_done",
+		func() float64 { return float64(r.expsDone.Load()) })
+	telemetry.Default.Gauge("sepe_bench_progress_steps",
+		func() float64 { return float64(r.progressSteps.Load()) })
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Default.Handler())
+	mux.Handle("/", telemetry.Default.Handler())
+	fmt.Fprintf(os.Stderr, "telemetry: serving metrics on http://%s/metrics\n", ln.Addr())
+	go http.Serve(ln, mux)
+	return nil
 }
 
 func (r *runner) run(exp string) error {

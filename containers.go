@@ -125,6 +125,9 @@ func (m *MultiMap[V]) Len() int { return m.m.Len() }
 // Stats returns bucket measurements.
 func (m *MultiMap[V]) Stats() TableStats { return fromStats(m.m.Stats()) }
 
+// Clear removes every entry, keeping the bucket array.
+func (m *MultiMap[V]) Clear() { m.m.Clear() }
+
 // MultiSet is the std::unordered_multiset equivalent.
 type MultiSet struct{ s *container.MultiSet }
 
@@ -150,3 +153,6 @@ func (s *MultiSet) Len() int { return s.s.Len() }
 
 // Stats returns bucket measurements.
 func (s *MultiSet) Stats() TableStats { return fromStats(s.s.Stats()) }
+
+// Clear removes every occurrence, keeping the bucket array.
+func (s *MultiSet) Clear() { s.s.Clear() }

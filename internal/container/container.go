@@ -37,6 +37,36 @@ func HighBitsIndexer(discard uint) Indexer {
 	}
 }
 
+// Hooks observes table operations for the telemetry layer. Every
+// field is optional; a table with a nil Hooks pointer pays exactly one
+// pointer comparison per operation and allocates nothing, so the
+// containers stay measurement-grade when observation is off. The
+// callbacks receive plain ints — implementations must not retain or
+// allocate on the hot path.
+//
+// Probe counts are the number of chain entries examined by the
+// operation — the runtime counterpart of the offline MaxBucketLen
+// measurement. Collision deltas maintain the paper's B-Coll
+// incrementally: +1 when an insert lands in an occupied bucket,
+// negative when an erase shortens a shared chain, and an exact recount
+// after each rehash (OnRehash's second argument).
+type Hooks struct {
+	// OnPut fires after an insert or replace: probes entries were
+	// examined, and the bucket-collision count changed by collDelta
+	// (0 or 1).
+	OnPut func(probes, collDelta int)
+	// OnGet fires after a lookup (get, count, multimap GetAll).
+	OnGet func(probes int, found bool)
+	// OnDelete fires after an erase: probes entries examined, removed
+	// entries deleted, collision count changed by collDelta (≤ 0).
+	OnDelete func(probes, removed, collDelta int)
+	// OnRehash fires after the table rebuckets (growth or reserve),
+	// with the new bucket count and an exact bucket-collision recount.
+	OnRehash func(buckets, bucketCollisions int)
+	// OnClear fires after the table is emptied.
+	OnClear func()
+}
+
 // initialBuckets is the starting bucket count (libstdc++ starts at a
 // small prime).
 const initialBuckets = 13
@@ -55,6 +85,7 @@ type table[V any] struct {
 	buckets [][]entry[V]
 	size    int
 	multi   bool
+	hooks   *Hooks
 }
 
 func newTable[V any](hash hashes.Func, index Indexer, multi bool) *table[V] {
@@ -81,12 +112,27 @@ func (t *table[V]) put(key string, val V) bool {
 		for i := range chain {
 			if chain[i].hash == h && chain[i].key == key {
 				chain[i].val = val
+				if t.hooks != nil && t.hooks.OnPut != nil {
+					t.hooks.OnPut(i+1, 0)
+				}
 				return false
 			}
 		}
 	}
+	before := len(t.buckets[b])
 	t.buckets[b] = append(t.buckets[b], entry[V]{hash: h, key: key, val: val})
 	t.size++
+	if t.hooks != nil && t.hooks.OnPut != nil {
+		probes := before
+		if t.multi {
+			probes = 0 // multi inserts append without scanning
+		}
+		delta := 0
+		if before > 0 {
+			delta = 1
+		}
+		t.hooks.OnPut(probes, delta)
+	}
 	if t.size > len(t.buckets) { // max load factor 1, as libstdc++
 		t.rehash(nextBucketCount(len(t.buckets)))
 	}
@@ -99,8 +145,14 @@ func (t *table[V]) get(key string) (V, bool) {
 	chain := t.buckets[t.bucketOf(h)]
 	for i := range chain {
 		if chain[i].hash == h && chain[i].key == key {
+			if t.hooks != nil && t.hooks.OnGet != nil {
+				t.hooks.OnGet(i+1, true)
+			}
 			return chain[i].val, true
 		}
+	}
+	if t.hooks != nil && t.hooks.OnGet != nil {
+		t.hooks.OnGet(len(chain), false)
 	}
 	var zero V
 	return zero, false
@@ -115,6 +167,9 @@ func (t *table[V]) count(key string) int {
 		if chain[i].hash == h && chain[i].key == key {
 			n++
 		}
+	}
+	if t.hooks != nil && t.hooks.OnGet != nil {
+		t.hooks.OnGet(len(chain), n > 0)
 	}
 	return n
 }
@@ -142,6 +197,16 @@ func (t *table[V]) del(key string) int {
 		t.buckets[b] = kept
 		t.size -= removed
 	}
+	if t.hooks != nil && t.hooks.OnDelete != nil {
+		before, after := len(chain)-1, len(chain)-removed-1
+		if before < 0 {
+			before = 0
+		}
+		if after < 0 {
+			after = 0
+		}
+		t.hooks.OnDelete(len(chain), removed, after-before)
+	}
 	return removed
 }
 
@@ -153,6 +218,12 @@ func (t *table[V]) rehash(n int) {
 			b := t.bucketOf(e.hash)
 			t.buckets[b] = append(t.buckets[b], e)
 		}
+	}
+	if t.hooks != nil && t.hooks.OnRehash != nil {
+		// Rebucketing invalidates any incremental collision tracking;
+		// hand the observer an exact recount (O(buckets), dwarfed by
+		// the O(n) rehash itself).
+		t.hooks.OnRehash(len(t.buckets), t.bucketCollisions())
 	}
 }
 
@@ -176,6 +247,9 @@ func (t *table[V]) clear() {
 		t.buckets[i] = nil
 	}
 	t.size = 0
+	if t.hooks != nil && t.hooks.OnClear != nil {
+		t.hooks.OnClear()
+	}
 }
 
 // bucketCollisions counts keys sharing a bucket with an earlier key:

@@ -107,6 +107,9 @@ func (m *Map[V]) LoadFactor() float64 { return m.t.loadFactor() }
 // Clear removes every entry, keeping the bucket array.
 func (m *Map[V]) Clear() { m.t.clear() }
 
+// SetHooks installs (or, with nil, removes) observation hooks.
+func (m *Map[V]) SetHooks(h *Hooks) { m.t.hooks = h }
+
 // Insert implements Container with a zero value.
 func (m *Map[V]) Insert(key string) { var zero V; m.t.put(key, zero) }
 
@@ -151,6 +154,9 @@ func (s *Set) LoadFactor() float64 { return s.t.loadFactor() }
 // Clear removes every member, keeping the bucket array.
 func (s *Set) Clear() { s.t.clear() }
 
+// SetHooks installs (or, with nil, removes) observation hooks.
+func (s *Set) SetHooks(h *Hooks) { s.t.hooks = h }
+
 // MultiMap is the std::unordered_multimap equivalent: one key may map
 // to several values.
 type MultiMap[V any] struct{ t *table[V] }
@@ -173,6 +179,9 @@ func (m *MultiMap[V]) GetAll(key string) []V {
 			out = append(out, chain[i].val)
 		}
 	}
+	if m.t.hooks != nil && m.t.hooks.OnGet != nil {
+		m.t.hooks.OnGet(len(chain), len(out) > 0)
+	}
 	return out
 }
 
@@ -187,6 +196,12 @@ func (m *MultiMap[V]) Len() int { return m.t.size }
 
 // Stats returns bucket measurements.
 func (m *MultiMap[V]) Stats() Stats { return stats(m.t) }
+
+// Clear removes every entry, keeping the bucket array.
+func (m *MultiMap[V]) Clear() { m.t.clear() }
+
+// SetHooks installs (or, with nil, removes) observation hooks.
+func (m *MultiMap[V]) SetHooks(h *Hooks) { m.t.hooks = h }
 
 // Insert implements Container.
 func (m *MultiMap[V]) Insert(key string) { var zero V; m.t.put(key, zero) }
@@ -222,6 +237,12 @@ func (s *MultiSet) Len() int { return s.t.size }
 
 // Stats returns bucket measurements.
 func (s *MultiSet) Stats() Stats { return stats(s.t) }
+
+// Clear removes every occurrence, keeping the bucket array.
+func (s *MultiSet) Clear() { s.t.clear() }
+
+// SetHooks installs (or, with nil, removes) observation hooks.
+func (s *MultiSet) SetHooks(h *Hooks) { s.t.hooks = h }
 
 func stats[V any](t *table[V]) Stats {
 	return Stats{

@@ -29,6 +29,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"github.com/sepe-go/sepe/internal/telemetry"
 )
 
 // Family identifies one of the four synthesized function families.
@@ -110,6 +112,11 @@ type Options struct {
 	// function for keys with fewer than eight bytes"); RQ7's
 	// four-digit worst-case experiment needs the forced path.
 	AllowShort bool
+	// Tracer, when non-nil, receives timed span events from each
+	// synthesis phase (planning, pext mask lowering, verification,
+	// compilation) with per-phase attributes such as load counts and
+	// variable bits.
+	Tracer telemetry.Tracer
 }
 
 var (

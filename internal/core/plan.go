@@ -7,6 +7,7 @@ import (
 
 	"github.com/sepe-go/sepe/internal/pattern"
 	"github.com/sepe-go/sepe/internal/pext"
+	"github.com/sepe-go/sepe/internal/telemetry"
 )
 
 // Load is one 8-byte (or shorter) load of the synthesized function,
@@ -87,9 +88,13 @@ func BuildPlan(pat *pattern.Pattern, fam Family, opts Options) (*Plan, error) {
 	if pat == nil {
 		return nil, ErrNilPattern
 	}
+	validateDone := telemetry.StartSpan(opts.Tracer, "plan.pattern")
 	if err := pat.Validate(); err != nil {
 		return nil, err
 	}
+	validateDone(telemetry.Int("min_len", pat.MinLen),
+		telemetry.Int("max_len", pat.MaxLen),
+		telemetry.Int("variable_bits", pat.VarBitCount()))
 	tgt := opts.Target
 	if tgt.Name == "" {
 		tgt = TargetX86
@@ -109,18 +114,18 @@ func BuildPlan(pat *pattern.Pattern, fam Family, opts Options) (*Plan, error) {
 			p.Fallback = true
 			return p, nil
 		}
-		return buildShortPlan(p, fam)
+		return buildShortPlan(p, fam, opts.Tracer)
 	}
 	if p.Fixed {
-		return buildFixedPlan(p, fam)
+		return buildFixedPlan(p, fam, opts.Tracer)
 	}
-	return buildVariablePlan(p, fam)
+	return buildVariablePlan(p, fam, opts.Tracer)
 }
 
 // buildFixedPlan unrolls the loads of a fixed-length format
 // (Section 3.2.2), and for Pext attaches masks and packing shifts
 // (Section 3.2.3).
-func buildFixedPlan(p *Plan, fam Family) (*Plan, error) {
+func buildFixedPlan(p *Plan, fam Family, tr telemetry.Tracer) (*Plan, error) {
 	pat := p.Pattern
 	var offsets []int
 	switch fam {
@@ -149,6 +154,7 @@ func buildFixedPlan(p *Plan, fam Family) (*Plan, error) {
 	// or the bijection breaks — compare the paper's Figure 12, where
 	// the second SSN mask covers only the three bytes the first load
 	// missed).
+	pextDone := telemetry.StartSpan(tr, "plan.pext")
 	covered := make([]bool, pat.MaxLen)
 	var loads []Load
 	total := 0
@@ -170,6 +176,7 @@ func buildFixedPlan(p *Plan, fam Family) (*Plan, error) {
 	}
 	p.HashBits = total
 	p.Loads = packShifts(loads, total)
+	pextDone(telemetry.Int("masks", len(loads)), telemetry.Int("extracted_bits", total))
 	return p, nil
 }
 
@@ -207,7 +214,7 @@ func packShifts(loads []Load, total int) []Load {
 
 // buildVariablePlan builds the skip-table loop of Section 3.2.1 for
 // formats whose keys vary in length.
-func buildVariablePlan(p *Plan, fam Family) (*Plan, error) {
+func buildVariablePlan(p *Plan, fam Family, tr telemetry.Tracer) (*Plan, error) {
 	pat := p.Pattern
 	if fam == Naive {
 		// Naive ignores constants entirely: whole-key chunk loop.
@@ -228,6 +235,8 @@ func buildVariablePlan(p *Plan, fam Family) (*Plan, error) {
 	if fam == Pext {
 		// Attach an extractor per load so constant bits vanish from
 		// the loop too. Loads are at cumulative skip offsets.
+		pextDone := telemetry.StartSpan(tr, "plan.pext")
+		defer func() { pextDone(telemetry.Int("masks", len(p.Loads))) }()
 		off := 0
 		cum := 0
 		for c := 0; c < n; c++ {
@@ -258,7 +267,7 @@ func skipAt(skip []int, c int) int {
 
 // buildShortPlan handles formats shorter than a word when the caller
 // explicitly allows it (RQ7's four-digit keys): one partial load.
-func buildShortPlan(p *Plan, fam Family) (*Plan, error) {
+func buildShortPlan(p *Plan, fam Family, tr telemetry.Tracer) (*Plan, error) {
 	pat := p.Pattern
 	n := pat.MinLen
 	if n == 0 {
@@ -267,6 +276,7 @@ func buildShortPlan(p *Plan, fam Family) (*Plan, error) {
 	}
 	l := Load{Offset: 0, Partial: n, Mask: ^uint64(0)}
 	if fam == Pext {
+		pextDone := telemetry.StartSpan(tr, "plan.pext")
 		var m uint64
 		for i := 0; i < n; i++ {
 			m |= uint64(pat.Bytes[i].VarBits()) << (8 * i)
@@ -277,6 +287,7 @@ func buildShortPlan(p *Plan, fam Family) (*Plan, error) {
 		l.Mask = m
 		l.ext = pext.Compile(m)
 		p.HashBits = l.ext.Bits()
+		pextDone(telemetry.Int("masks", 1), telemetry.Int("extracted_bits", p.HashBits))
 	} else {
 		p.HashBits = 8 * n
 	}

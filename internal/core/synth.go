@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/sepe-go/sepe/internal/pattern"
+	"github.com/sepe-go/sepe/internal/telemetry"
 )
 
 // Fn is a synthesized hash function: the compiled closure plus the
@@ -19,14 +20,26 @@ type Fn struct {
 // checker (VerifyPlan) before compilation, so planner bugs fail here
 // rather than ship as silently weaker hash functions.
 func Synthesize(pat *pattern.Pattern, fam Family, opts Options) (*Fn, error) {
+	planDone := telemetry.StartSpan(opts.Tracer, "synth.plan",
+		telemetry.Str("family", fam.String()))
 	plan, err := BuildPlan(pat, fam, opts)
 	if err != nil {
 		return nil, err
 	}
+	planDone(telemetry.Int("loads", len(plan.Loads)),
+		telemetry.Int("variable_bits", plan.HashBits),
+		telemetry.Bool("fallback", plan.Fallback))
+	verifyDone := telemetry.StartSpan(opts.Tracer, "synth.verify",
+		telemetry.Str("family", fam.String()))
 	if err := VerifyPlan(plan); err != nil {
 		return nil, err
 	}
-	return &Fn{plan: plan, hash: plan.Compile()}, nil
+	verifyDone()
+	compileDone := telemetry.StartSpan(opts.Tracer, "synth.compile",
+		telemetry.Str("family", fam.String()))
+	hash := plan.Compile()
+	compileDone(telemetry.Bool("bijective", plan.Bijective()))
+	return &Fn{plan: plan, hash: hash}, nil
 }
 
 // SynthesizeAll builds one function per family the target supports.

@@ -20,8 +20,11 @@ func (p *Pattern) Sample(r *rng.Rand) string {
 	return string(buf)
 }
 
-// SampleN returns n samples.
+// SampleN returns n samples; n <= 0 yields an empty slice.
 func (p *Pattern) SampleN(r *rng.Rand, n int) []string {
+	if n <= 0 {
+		return []string{}
+	}
 	out := make([]string, n)
 	for i := range out {
 		out[i] = p.Sample(r)

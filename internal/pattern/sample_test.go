@@ -68,3 +68,13 @@ func TestSampleN(t *testing.T) {
 		}
 	}
 }
+
+func TestSampleNNonPositive(t *testing.T) {
+	p := fixed(t, "dd")
+	for _, n := range []int{0, -1, -100} {
+		got := p.SampleN(rng.New(4), n)
+		if got == nil || len(got) != 0 {
+			t.Errorf("SampleN(%d) = %v, want empty slice", n, got)
+		}
+	}
+}

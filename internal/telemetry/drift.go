@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DriftMonitor watches a stream of observed keys for format drift: a
+// growing fraction of keys outside the format a hash function was
+// specialized to. A specialized function is only as good as its
+// format assumption — off-format keys hash deterministically but with
+// near-zero mixing (the failure mode behind the paper's RQ7), so a
+// deployment that keeps feeding a drifted stream into a Pext function
+// silently converts its O(1) table into a collision list. The monitor
+// samples a fraction of keys, checks each sample against the format's
+// membership predicate, tracks the mismatch rate over a sliding
+// window, and raises Degraded once the rate crosses a threshold —
+// at which point the safe move is falling back to a general-purpose
+// function (STLHash) until the format is re-inferred.
+type DriftMonitor struct {
+	name    string
+	matches func(string) bool
+	cfg     DriftConfig
+	mask    uint64
+
+	observed   atomic.Uint64
+	sampled    atomic.Uint64
+	mismatched atomic.Uint64
+	degraded   atomic.Bool
+	fired      atomic.Bool
+
+	mu      sync.Mutex
+	ring    []bool // ring[i]: sampled key i (mod window) mismatched
+	ringPos int
+	ringLen int
+	ringMis int
+}
+
+// DriftConfig tunes a DriftMonitor. The zero value selects the
+// defaults noted per field.
+type DriftConfig struct {
+	// SampleEvery checks every n-th observed key (rounded down to a
+	// power of two; default 8). 1 checks every key.
+	SampleEvery int
+	// Window is the number of recent samples the mismatch rate is
+	// computed over (default 256).
+	Window int
+	// MinSamples is the number of window samples required before
+	// Degraded may fire (default 64), so a single early off-format
+	// key cannot trip the alarm.
+	MinSamples int
+	// Threshold is the window mismatch rate at or above which the
+	// monitor reports degradation (default 0.10).
+	Threshold float64
+	// OnDegrade, if set, is invoked exactly once, from the goroutine
+	// whose sample first crossed the threshold. The intended use is
+	// alerting or swapping the container's hash to a general-purpose
+	// fallback.
+	OnDegrade func(DriftSnapshot)
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 8
+	}
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 64
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.10
+	}
+	return c
+}
+
+// NewDriftMonitor builds a monitor named name over the format
+// membership predicate matches.
+func NewDriftMonitor(name string, matches func(string) bool, cfg DriftConfig) *DriftMonitor {
+	cfg = cfg.withDefaults()
+	// Round the sampling interval down to a power of two so the hot
+	// path's "is this key sampled" test is a mask, not a division.
+	mask := uint64(1)
+	for mask*2 <= uint64(cfg.SampleEvery) {
+		mask *= 2
+	}
+	return &DriftMonitor{
+		name:    name,
+		matches: matches,
+		cfg:     cfg,
+		mask:    mask - 1,
+		ring:    make([]bool, cfg.Window),
+	}
+}
+
+// Name returns the monitor's name.
+func (d *DriftMonitor) Name() string { return d.name }
+
+// Observe counts one key and, on sampled keys, checks it against the
+// format. The unsampled path is one atomic increment.
+func (d *DriftMonitor) Observe(key string) {
+	if d == nil {
+		return
+	}
+	if d.observed.Add(1)&d.mask != 0 {
+		return
+	}
+	d.check(key)
+}
+
+// observeBatch records n observed keys at once and always checks key;
+// it serves the instrumented hash wrapper, which has already sampled
+// the stream by batching.
+func (d *DriftMonitor) observeBatch(key string, n uint64) {
+	d.observed.Add(n)
+	d.check(key)
+}
+
+// check classifies one sampled key and updates the sliding window.
+func (d *DriftMonitor) check(key string) {
+	miss := !d.matches(key)
+	d.sampled.Add(1)
+	if miss {
+		d.mismatched.Add(1)
+	}
+
+	d.mu.Lock()
+	if d.ringLen == len(d.ring) {
+		if d.ring[d.ringPos] {
+			d.ringMis--
+		}
+	} else {
+		d.ringLen++
+	}
+	d.ring[d.ringPos] = miss
+	if miss {
+		d.ringMis++
+	}
+	d.ringPos = (d.ringPos + 1) % len(d.ring)
+	enough := d.ringLen >= d.cfg.MinSamples
+	rate := float64(d.ringMis) / float64(d.ringLen)
+	d.mu.Unlock()
+
+	if !enough {
+		return
+	}
+	if rate >= d.cfg.Threshold {
+		d.degraded.Store(true)
+		if d.cfg.OnDegrade != nil && d.fired.CompareAndSwap(false, true) {
+			d.cfg.OnDegrade(d.Snapshot())
+		}
+	} else {
+		d.degraded.Store(false)
+	}
+}
+
+// Degraded reports whether the windowed mismatch rate most recently
+// crossed the threshold. It recovers to false if the stream returns
+// to conforming keys (the OnDegrade callback still fires only once).
+func (d *DriftMonitor) Degraded() bool { return d.degraded.Load() }
+
+// MismatchRate returns the mismatch rate over the current window
+// (0 when nothing has been sampled yet).
+func (d *DriftMonitor) MismatchRate() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ringLen == 0 {
+		return 0
+	}
+	return float64(d.ringMis) / float64(d.ringLen)
+}
+
+// DriftSnapshot is a point-in-time copy of a drift monitor's state.
+type DriftSnapshot struct {
+	Name string `json:"name"`
+	// Observed is the total number of keys seen.
+	Observed uint64 `json:"observed"`
+	// Sampled is the number of keys checked against the format.
+	Sampled uint64 `json:"sampled"`
+	// Mismatched is the all-time number of off-format samples.
+	Mismatched uint64 `json:"mismatched"`
+	// WindowRate is the mismatch rate over the sliding window.
+	WindowRate float64 `json:"window_rate"`
+	// Degraded reports whether the rate crossed the threshold.
+	Degraded bool `json:"degraded"`
+}
+
+// Snapshot copies the monitor's current state.
+func (d *DriftMonitor) Snapshot() DriftSnapshot {
+	return DriftSnapshot{
+		Name:       d.name,
+		Observed:   d.observed.Load(),
+		Sampled:    d.sampled.Load(),
+		Mismatched: d.mismatched.Load(),
+		WindowRate: d.MismatchRate(),
+		Degraded:   d.Degraded(),
+	}
+}

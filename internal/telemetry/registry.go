@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry names and aggregates metric blocks so one HTTP endpoint
+// can expose every instrumented hash, container and drift monitor of
+// a process. Registration and snapshotting are mutex-guarded; the
+// metric hot paths never touch the registry.
+type Registry struct {
+	mu         sync.Mutex
+	start      time.Time
+	hashes     []*HashMetrics
+	containers []*ContainerMetrics
+	drifts     []*DriftMonitor
+	gauges     map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{start: time.Now(), gauges: map[string]func() float64{}}
+}
+
+// Default is the process-wide registry the convenience constructors
+// register into.
+var Default = NewRegistry()
+
+// NewHash creates a HashMetrics block and registers it.
+func (r *Registry) NewHash(name string) *HashMetrics {
+	m := NewHashMetrics(name)
+	r.mu.Lock()
+	r.hashes = append(r.hashes, m)
+	r.mu.Unlock()
+	return m
+}
+
+// NewContainer creates a ContainerMetrics block and registers it.
+func (r *Registry) NewContainer(name string) *ContainerMetrics {
+	m := NewContainerMetrics(name)
+	r.mu.Lock()
+	r.containers = append(r.containers, m)
+	r.mu.Unlock()
+	return m
+}
+
+// NewDrift creates a DriftMonitor and registers it.
+func (r *Registry) NewDrift(name string, matches func(string) bool, cfg DriftConfig) *DriftMonitor {
+	d := NewDriftMonitor(name, matches, cfg)
+	r.mu.Lock()
+	r.drifts = append(r.drifts, d)
+	r.mu.Unlock()
+	return d
+}
+
+// Gauge registers a named float gauge evaluated at snapshot time.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
+
+// RegistrySnapshot is a point-in-time copy of every registered metric.
+type RegistrySnapshot struct {
+	UptimeSeconds float64             `json:"uptime_seconds"`
+	Hashes        []HashSnapshot      `json:"hashes,omitempty"`
+	Containers    []ContainerSnapshot `json:"containers,omitempty"`
+	Drift         []DriftSnapshot     `json:"drift,omitempty"`
+	Gauges        map[string]float64  `json:"gauges,omitempty"`
+}
+
+// Snapshot copies the current state of every registered metric.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	hashes := append([]*HashMetrics(nil), r.hashes...)
+	containers := append([]*ContainerMetrics(nil), r.containers...)
+	drifts := append([]*DriftMonitor(nil), r.drifts...)
+	gauges := make(map[string]func() float64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	start := r.start
+	r.mu.Unlock()
+
+	s := RegistrySnapshot{UptimeSeconds: time.Since(start).Seconds()}
+	for _, m := range hashes {
+		s.Hashes = append(s.Hashes, m.Snapshot())
+	}
+	for _, m := range containers {
+		s.Containers = append(s.Containers, m.Snapshot())
+	}
+	for _, d := range drifts {
+		s.Drift = append(s.Drift, d.Snapshot())
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for k, fn := range gauges {
+			s.Gauges[k] = fn()
+		}
+	}
+	return s
+}
+
+// Handler returns an http.Handler serving the registry. The default
+// response is Prometheus text exposition; JSON (the expvar-style
+// object of Snapshot) is served when the request asks for it with
+// ?format=json or an Accept: application/json header.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		if req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(s)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, s)
+	})
+}
+
+// Expvar returns the registry as an expvar.Func, so processes already
+// serving /debug/vars can publish it under a single variable:
+//
+//	expvar.Publish("sepe", registry.Expvar())
+func (r *Registry) Expvar() expvar.Func {
+	return expvar.Func(func() any { return r.Snapshot() })
+}
+
+// writePrometheus renders a snapshot in the Prometheus text format:
+// counters for calls/ops, summary-style quantile gauges for the
+// sampled latency and probe histograms, and gauges for drift state.
+func writePrometheus(w http.ResponseWriter, s RegistrySnapshot) {
+	fmt.Fprintf(w, "# TYPE sepe_uptime_seconds gauge\nsepe_uptime_seconds %g\n", s.UptimeSeconds)
+
+	if len(s.Hashes) > 0 {
+		fmt.Fprint(w, "# TYPE sepe_hash_calls_total counter\n")
+		for _, h := range s.Hashes {
+			fmt.Fprintf(w, "sepe_hash_calls_total{hash=%q} %d\n", h.Name, h.Calls)
+		}
+		fmt.Fprint(w, "# TYPE sepe_hash_latency_ns summary\n")
+		for _, h := range s.Hashes {
+			fmt.Fprintf(w, "sepe_hash_latency_ns{hash=%q,quantile=\"0.5\"} %d\n", h.Name, h.P50)
+			fmt.Fprintf(w, "sepe_hash_latency_ns{hash=%q,quantile=\"0.9\"} %d\n", h.Name, h.P90)
+			fmt.Fprintf(w, "sepe_hash_latency_ns{hash=%q,quantile=\"0.99\"} %d\n", h.Name, h.P99)
+			fmt.Fprintf(w, "sepe_hash_latency_ns_count{hash=%q} %d\n", h.Name, h.Sampled)
+		}
+	}
+
+	if len(s.Containers) > 0 {
+		fmt.Fprint(w, "# TYPE sepe_container_ops_total counter\n")
+		for _, c := range s.Containers {
+			fmt.Fprintf(w, "sepe_container_ops_total{container=%q,op=\"put\"} %d\n", c.Name, c.Puts)
+			fmt.Fprintf(w, "sepe_container_ops_total{container=%q,op=\"get\"} %d\n", c.Name, c.Gets)
+			fmt.Fprintf(w, "sepe_container_ops_total{container=%q,op=\"delete\"} %d\n", c.Name, c.Deletes)
+		}
+		fmt.Fprint(w, "# TYPE sepe_container_rehashes_total counter\n")
+		for _, c := range s.Containers {
+			fmt.Fprintf(w, "sepe_container_rehashes_total{container=%q} %d\n", c.Name, c.Rehashes)
+		}
+		fmt.Fprint(w, "# TYPE sepe_container_bucket_collisions gauge\n")
+		for _, c := range s.Containers {
+			fmt.Fprintf(w, "sepe_container_bucket_collisions{container=%q} %d\n", c.Name, c.BucketCollisions)
+		}
+		fmt.Fprint(w, "# TYPE sepe_container_probe_len summary\n")
+		for _, c := range s.Containers {
+			fmt.Fprintf(w, "sepe_container_probe_len{container=%q,quantile=\"0.5\"} %d\n", c.Name, c.ProbeP50)
+			fmt.Fprintf(w, "sepe_container_probe_len{container=%q,quantile=\"0.99\"} %d\n", c.Name, c.ProbeP99)
+		}
+	}
+
+	if len(s.Drift) > 0 {
+		fmt.Fprint(w, "# TYPE sepe_drift_observed_total counter\n")
+		for _, d := range s.Drift {
+			fmt.Fprintf(w, "sepe_drift_observed_total{monitor=%q} %d\n", d.Name, d.Observed)
+		}
+		fmt.Fprint(w, "# TYPE sepe_drift_mismatch_rate gauge\n")
+		for _, d := range s.Drift {
+			fmt.Fprintf(w, "sepe_drift_mismatch_rate{monitor=%q} %g\n", d.Name, d.WindowRate)
+		}
+		fmt.Fprint(w, "# TYPE sepe_drift_degraded gauge\n")
+		for _, d := range s.Drift {
+			v := 0
+			if d.Degraded {
+				v = 1
+			}
+			fmt.Fprintf(w, "sepe_drift_degraded{monitor=%q} %d\n", d.Name, v)
+		}
+	}
+
+	if len(s.Gauges) > 0 {
+		names := make([]string, 0, len(s.Gauges))
+		for n := range s.Gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, s.Gauges[n])
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100, 1 << 30} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count)
+	}
+	if want := uint64(0 + 1 + 2 + 3 + 4 + 100 + 1<<30); s.Sum != want {
+		t.Fatalf("Sum = %d, want %d", s.Sum, want)
+	}
+	// 0 lands in bucket 0, 1 in bucket 1, 2..3 in bucket 2, 4 in 3.
+	if s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 2 || s.Counts[3] != 1 {
+		t.Fatalf("low buckets = %v", s.Counts[:4])
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	for i := 0; i < 99; i++ {
+		h.Observe(10) // bucket [8,16)
+	}
+	h.Observe(1 << 20) // one outlier
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 16 {
+		t.Fatalf("p50 = %d, want 16", got)
+	}
+	if got := s.Quantile(0.99); got != 16 {
+		t.Fatalf("p99 = %d, want 16 (99 of 100 samples are 10)", got)
+	}
+	if got := s.Quantile(1); got != 1<<21 {
+		t.Fatalf("max = %d, want %d (outlier bucket upper edge)", got, 1<<21)
+	}
+	if got := s.Quantile(0); got != 16 {
+		t.Fatalf("p0 = %d, want 16", got)
+	}
+}
+
+func TestHistogramExtremeValue(t *testing.T) {
+	var h Histogram
+	h.Observe(^uint64(0)) // must clamp into the last bucket, not panic
+	if got := h.Snapshot().Count; got != 1 {
+		t.Fatalf("Count = %d, want 1", got)
+	}
+}
+
+func TestInstrumentCountsAndTimes(t *testing.T) {
+	m := NewHashMetrics("test")
+	base := func(key string) uint64 { return uint64(len(key)) }
+	fn := Instrument(base, m, nil)
+	const n = 10 * flushEvery * timedEvery
+	for i := 0; i < n; i++ {
+		if got := fn("abc"); got != 3 {
+			t.Fatalf("wrapped hash = %d, want 3", got)
+		}
+	}
+	if got := m.Calls(); got != n {
+		t.Fatalf("Calls = %d, want %d (n is a multiple of the flush batch)", got, n)
+	}
+	snap := m.Snapshot()
+	if snap.Sampled == 0 {
+		t.Fatal("no latency samples after a full sampling cycle")
+	}
+	if snap.Sampled != n/(flushEvery*timedEvery) {
+		t.Fatalf("Sampled = %d, want %d", snap.Sampled, n/(flushEvery*timedEvery))
+	}
+}
+
+func TestInstrumentNil(t *testing.T) {
+	base := func(key string) uint64 { return 7 }
+	if got := Instrument(base, nil, nil)("x"); got != 7 {
+		t.Fatalf("nil instrument changed the function: %d", got)
+	}
+}
+
+func TestInstrumentDriftOnly(t *testing.T) {
+	d := NewDriftMonitor("d", func(k string) bool { return k == "ok" },
+		DriftConfig{SampleEvery: 1, Window: 8, MinSamples: 4})
+	fn := Instrument(func(string) uint64 { return 0 }, nil, d)
+	for i := 0; i < 16; i++ {
+		fn("bad")
+	}
+	if !d.Degraded() {
+		t.Fatal("all-mismatch stream did not degrade")
+	}
+}
+
+func TestContainerMetrics(t *testing.T) {
+	m := NewContainerMetrics("map")
+	m.Put(0)
+	m.Put(2)
+	m.Get(1)
+	m.Delete(3)
+	m.CollisionDelta(2)
+	m.CollisionDelta(-1)
+	m.Rehash(5)
+	s := m.Snapshot()
+	if s.Puts != 2 || s.Gets != 1 || s.Deletes != 1 || s.Rehashes != 1 {
+		t.Fatalf("op counts = %+v", s)
+	}
+	if s.BucketCollisions != 5 {
+		t.Fatalf("BucketCollisions = %d, want 5 (rehash recount wins)", s.BucketCollisions)
+	}
+	m.Reset()
+	if got := m.BucketCollisions(); got != 0 {
+		t.Fatalf("after Reset: %d", got)
+	}
+}
+
+// TestConcurrentWriters is the race stress test: goroutines hammer a
+// shared HashMetrics (each through its own wrapper, the documented
+// ownership model), a shared ContainerMetrics, and a shared
+// DriftMonitor while a reader snapshots everything. Run under -race.
+func TestConcurrentWriters(t *testing.T) {
+	m := NewHashMetrics("stress")
+	cm := NewContainerMetrics("stress")
+	d := NewDriftMonitor("stress", func(k string) bool { return len(k) == 3 },
+		DriftConfig{SampleEvery: 1, Window: 64, MinSamples: 8, Threshold: 0.5})
+	reg := NewRegistry()
+	reg.mu.Lock()
+	reg.hashes = append(reg.hashes, m)
+	reg.containers = append(reg.containers, cm)
+	reg.drifts = append(reg.drifts, d)
+	reg.mu.Unlock()
+
+	const writers = 8
+	const opsPerWriter = 4096
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn := Instrument(func(key string) uint64 { return uint64(len(key)) }, m, d)
+			key := "abc"
+			if w%2 == 1 {
+				key = "toolong" // half the writers feed off-format keys
+			}
+			for i := 0; i < opsPerWriter; i++ {
+				fn(key)
+				cm.Put(i & 7)
+				cm.Get(i & 3)
+				cm.CollisionDelta(1)
+				cm.CollisionDelta(-1)
+				if i&255 == 0 {
+					cm.Rehash(i & 15)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = reg.Snapshot()
+			_ = d.Degraded()
+			_ = d.MismatchRate()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if got := m.Calls(); got != writers*opsPerWriter {
+		t.Fatalf("Calls = %d, want %d", got, writers*opsPerWriter)
+	}
+	s := cm.Snapshot()
+	if s.Puts != writers*opsPerWriter || s.Gets != writers*opsPerWriter {
+		t.Fatalf("container ops = %+v", s)
+	}
+	if !d.Degraded() {
+		t.Fatal("half-mismatch stream above threshold did not degrade")
+	}
+}
+
+func TestMultiTracerAndWriterTracer(t *testing.T) {
+	var sb strings.Builder
+	c := &CollectTracer{}
+	mt := MultiTracer{c, &WriterTracer{W: &sb}, nil}
+	done := StartSpan(mt, "phase.one", Str("k", "v"))
+	done(Int("n", 3))
+	spans := c.Spans()
+	if len(spans) != 1 || spans[0].Name != "phase.one" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if len(spans[0].Attrs) != 2 || spans[0].Attrs[1].String() != "n=3" {
+		t.Fatalf("attrs = %+v", spans[0].Attrs)
+	}
+	if !strings.Contains(sb.String(), "phase.one") || !strings.Contains(sb.String(), "k=v") {
+		t.Fatalf("writer output = %q", sb.String())
+	}
+	if !strings.Contains(c.Report(), "phase.one") {
+		t.Fatalf("report = %q", c.Report())
+	}
+	if tot := c.Totals(); len(tot) != 1 || tot[0].Name != "phase.one" {
+		t.Fatalf("totals = %+v", tot)
+	}
+}
+
+func TestStartSpanNilTracer(t *testing.T) {
+	done := StartSpan(nil, "x")
+	done() // must not panic
+}

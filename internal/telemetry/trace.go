@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String formats an attribute as key=value.
+func (a Attr) String() string { return a.Key + "=" + a.Value }
+
+// Int builds an integer-valued attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: fmt.Sprint(v)} }
+
+// Str builds a string-valued attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Bool builds a boolean-valued attribute.
+func Bool(key string, v bool) Attr { return Attr{Key: key, Value: fmt.Sprint(v)} }
+
+// Span is one timed event of the synthesis pipeline: a named phase
+// with its wall-clock duration and structured attributes.
+type Span struct {
+	// Name identifies the phase, dot-separated (e.g. "synth.plan").
+	Name string
+	// Start is when the phase began.
+	Start time.Time
+	// Duration is the phase's elapsed wall-clock time.
+	Duration time.Duration
+	// Attrs carries phase-specific measurements (load counts, bits…).
+	Attrs []Attr
+}
+
+// Tracer receives the spans the synthesis pipeline emits. Emit may be
+// called from any goroutine; implementations must synchronize.
+type Tracer interface {
+	Emit(Span)
+}
+
+// StartSpan begins a span and returns the function that ends and
+// emits it; extra attributes passed at end time are appended to those
+// given at start. A nil tracer yields a no-op closure, so call sites
+// need no nil checks:
+//
+//	done := telemetry.StartSpan(tr, "synth.plan")
+//	...
+//	done(telemetry.Int("loads", n))
+func StartSpan(t Tracer, name string, attrs ...Attr) func(...Attr) {
+	if t == nil {
+		return func(...Attr) {}
+	}
+	start := time.Now()
+	return func(end ...Attr) {
+		t.Emit(Span{
+			Name:     name,
+			Start:    start,
+			Duration: time.Since(start),
+			Attrs:    append(attrs, end...),
+		})
+	}
+}
+
+// CollectTracer accumulates spans in memory, for tests and for tools
+// that print a phase report after synthesis (keysynth -stats).
+type CollectTracer struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Emit implements Tracer.
+func (c *CollectTracer) Emit(s Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+// Spans returns a copy of the collected spans in emission order.
+func (c *CollectTracer) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Span(nil), c.spans...)
+}
+
+// Report renders the collected spans as an aligned per-phase table:
+// one line per span, with duration and attributes. Spans of the same
+// name are listed in order, so repeated phases (one per family) stay
+// distinguishable.
+func (c *CollectTracer) Report() string {
+	spans := c.Spans()
+	var b strings.Builder
+	w := 0
+	for _, s := range spans {
+		if len(s.Name) > w {
+			w = len(s.Name)
+		}
+	}
+	for _, s := range spans {
+		fmt.Fprintf(&b, "%-*s %12s", w, s.Name, s.Duration.Round(time.Microsecond))
+		for _, a := range s.Attrs {
+			b.WriteString("  " + a.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Totals returns the summed duration per span name, sorted by name.
+func (c *CollectTracer) Totals() []Span {
+	sum := map[string]time.Duration{}
+	for _, s := range c.Spans() {
+		sum[s.Name] += s.Duration
+	}
+	out := make([]Span, 0, len(sum))
+	for name, d := range sum {
+		out = append(out, Span{Name: name, Duration: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriterTracer streams spans to an io.Writer, one line each, as they
+// are emitted.
+type WriterTracer struct {
+	mu sync.Mutex
+	W  io.Writer
+}
+
+// Emit implements Tracer.
+func (t *WriterTracer) Emit(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.W, "%s %s", s.Name, s.Duration)
+	for _, a := range s.Attrs {
+		fmt.Fprintf(t.W, " %s", a.String())
+	}
+	fmt.Fprintln(t.W)
+}
+
+// MultiTracer fans every span out to several tracers.
+type MultiTracer []Tracer
+
+// Emit implements Tracer.
+func (m MultiTracer) Emit(s Span) {
+	for _, t := range m {
+		if t != nil {
+			t.Emit(s)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package sepe
+
+import (
+	"net/http"
+
+	"github.com/sepe-go/sepe/internal/container"
+	"github.com/sepe-go/sepe/internal/telemetry"
+)
+
+// This file exposes the runtime telemetry layer: instrumented hash
+// wrappers, observed containers, the format-drift monitor, synthesis
+// tracing, and the metrics registry/HTTP endpoint. The paper measures
+// B-Time/H-Time/B-Coll/T-Coll offline (Table 1); these types surface
+// the same quantities — plus the RQ7 question the offline harness
+// cannot answer: are production keys still the format the function was
+// specialized to?
+
+// Tracer receives timed span events from the synthesis pipeline; pass
+// one with WithTracer. CollectTracer accumulates spans in memory,
+// WriterTracer streams them to an io.Writer.
+type (
+	Tracer        = telemetry.Tracer
+	Span          = telemetry.Span
+	SpanAttr      = telemetry.Attr
+	CollectTracer = telemetry.CollectTracer
+	WriterTracer  = telemetry.WriterTracer
+)
+
+// Metric blocks and the registry that aggregates them.
+type (
+	HashMetrics       = telemetry.HashMetrics
+	ContainerMetrics  = telemetry.ContainerMetrics
+	DriftMonitor      = telemetry.DriftMonitor
+	DriftConfig       = telemetry.DriftConfig
+	DriftSnapshot     = telemetry.DriftSnapshot
+	MetricsRegistry   = telemetry.Registry
+	MetricsSnapshot   = telemetry.RegistrySnapshot
+	HashSnapshot      = telemetry.HashSnapshot
+	ContainerSnapshot = telemetry.ContainerSnapshot
+)
+
+// Metrics returns the process-wide default registry. Its Handler
+// method serves every registered metric as Prometheus text (or
+// expvar-style JSON with ?format=json); its NewHash / NewContainer /
+// NewDrift constructors create and register metric blocks.
+func Metrics() *MetricsRegistry { return telemetry.Default }
+
+// NewMetricsRegistry returns an empty, independent registry, for
+// programs that scope metrics per subsystem or test.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// MetricsHandler serves the default registry over HTTP:
+//
+//	http.Handle("/metrics", sepe.MetricsHandler())
+func MetricsHandler() http.Handler { return telemetry.Default.Handler() }
+
+// Instrument wraps hash so every call is counted and a sampled subset
+// is timed into m, and (when d is non-nil) observed keys are checked
+// for format drift. Either observer may be nil; with both nil the
+// hash is returned unchanged, so a disabled-telemetry build pays
+// nothing.
+//
+// The wrapper batches its counter updates locally and flushes them to
+// m's atomics every 64 calls, keeping the per-call overhead a small
+// fraction of even a Pext hash. Consequently each wrapper value must
+// stay confined to one goroutine — the ownership discipline the
+// containers already require. Wrap once per goroutine (or per
+// container); all wrappers feed the same m and d safely.
+func Instrument(hash HashFunc, m *HashMetrics, d *DriftMonitor) HashFunc {
+	return telemetry.Instrument(hash, m, d)
+}
+
+// DriftMonitor returns a monitor watching observed keys for drift out
+// of the format — the runtime safeguard for the paper's RQ7 failure
+// mode. A specialized hash applied to off-format keys degenerates to
+// near-zero mixing, so the monitor samples keys, checks them against
+// Format.Matches, and raises Degraded (and the one-shot
+// cfg.OnDegrade callback) when the windowed mismatch rate crosses the
+// threshold; the recommended response is swapping the container's
+// hash for a general-purpose fallback such as STLHash. The zero
+// DriftConfig selects sane defaults (sample 1/8, window 256,
+// threshold 10%).
+//
+// The monitor is registered in the default registry, so MetricsHandler
+// exposes its sepe_drift_* series; use MetricsRegistry.NewDrift with
+// f.Matches for an independently scoped monitor.
+func (f *Format) DriftMonitor(name string, cfg DriftConfig) *DriftMonitor {
+	return telemetry.Default.NewDrift(name, f.Matches, cfg)
+}
+
+// containerHooks adapts a ContainerMetrics block to the internal
+// container hook interface.
+func containerHooks(cm *ContainerMetrics) *container.Hooks {
+	if cm == nil {
+		return nil
+	}
+	return &container.Hooks{
+		OnPut: func(probes, delta int) {
+			cm.Put(probes)
+			if delta != 0 {
+				cm.CollisionDelta(delta)
+			}
+		},
+		OnGet: func(probes int, _ bool) { cm.Get(probes) },
+		OnDelete: func(probes, _, delta int) {
+			cm.Delete(probes)
+			if delta != 0 {
+				cm.CollisionDelta(delta)
+			}
+		},
+		OnRehash: func(_, bcoll int) { cm.Rehash(bcoll) },
+		OnClear:  func() { cm.Reset() },
+	}
+}
+
+// NewMapObserved returns a Map whose operations feed cm: per-op probe
+// counts, rehashes, and a running bucket-collision (B-Coll) count. A
+// nil cm yields a plain, unobserved Map.
+func NewMapObserved[V any](hash HashFunc, cm *ContainerMetrics) *Map[V] {
+	m := NewMap[V](hash)
+	m.m.SetHooks(containerHooks(cm))
+	return m
+}
+
+// NewSetObserved returns a Set whose operations feed cm.
+func NewSetObserved(hash HashFunc, cm *ContainerMetrics) *Set {
+	s := NewSet(hash)
+	s.s.SetHooks(containerHooks(cm))
+	return s
+}
+
+// NewMultiMapObserved returns a MultiMap whose operations feed cm.
+func NewMultiMapObserved[V any](hash HashFunc, cm *ContainerMetrics) *MultiMap[V] {
+	m := NewMultiMap[V](hash)
+	m.m.SetHooks(containerHooks(cm))
+	return m
+}
+
+// NewMultiSetObserved returns a MultiSet whose operations feed cm.
+func NewMultiSetObserved(hash HashFunc, cm *ContainerMetrics) *MultiSet {
+	s := NewMultiSet(hash)
+	s.s.SetHooks(containerHooks(cm))
+	return s
+}

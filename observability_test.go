@@ -1,0 +1,172 @@
+package sepe_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/sepe-go/sepe"
+)
+
+func ssnFormat(t *testing.T) *sepe.Format {
+	t.Helper()
+	f, err := sepe.ParseRegex(`[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestInstrumentPreservesHashValues(t *testing.T) {
+	f := ssnFormat(t)
+	h, err := sepe.Synthesize(f, sepe.Pext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := h.Func()
+	m := sepe.NewMetricsRegistry().NewHash("pext")
+	wrapped := sepe.Instrument(raw, m, nil)
+	for i, key := range f.Samples(1000, 7) {
+		if wrapped(key) != raw(key) {
+			t.Fatalf("key %d: instrumented hash diverged", i)
+		}
+	}
+}
+
+func TestObservedMapMetricsMatchStats(t *testing.T) {
+	f := ssnFormat(t)
+	h, err := sepe.Synthesize(f, sepe.Pext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := sepe.NewMetricsRegistry()
+	cm := reg.NewContainer("ssnmap")
+	m := sepe.NewMapObserved[int](h.Func(), cm)
+	keys := f.Samples(5000, 3)
+	for i, k := range keys {
+		m.Put(k, i)
+	}
+	for _, k := range keys[:100] {
+		m.Get(k)
+	}
+	m.Delete(keys[0])
+
+	snap := cm.Snapshot()
+	if snap.Puts != 5000 || snap.Gets != 100 || snap.Deletes != 1 {
+		t.Fatalf("op counts: %+v", snap)
+	}
+	if snap.Rehashes == 0 {
+		t.Fatal("5000 inserts did not rehash")
+	}
+	// The incrementally-maintained B-Coll must agree with the
+	// authoritative offline recount.
+	if got, want := snap.BucketCollisions, int64(m.Stats().BucketCollisions); got != want {
+		t.Fatalf("running B-Coll = %d, Stats recount = %d", got, want)
+	}
+}
+
+func TestObservedContainerKinds(t *testing.T) {
+	reg := sepe.NewMetricsRegistry()
+
+	s := sepe.NewSetObserved(sepe.STLHash, reg.NewContainer("set"))
+	s.Add("a")
+	s.Has("a")
+
+	mm := sepe.NewMultiMapObserved[int](sepe.STLHash, reg.NewContainer("mmap"))
+	mm.Put("k", 1)
+	mm.Put("k", 2)
+	mm.GetAll("k")
+	mm.Clear()
+
+	ms := sepe.NewMultiSetObserved(sepe.STLHash, reg.NewContainer("mset"))
+	ms.Add("x")
+	ms.Add("x")
+	ms.Clear()
+
+	snap := reg.Snapshot()
+	if len(snap.Containers) != 3 {
+		t.Fatalf("containers registered: %d", len(snap.Containers))
+	}
+	for _, c := range snap.Containers {
+		if c.Puts == 0 {
+			t.Fatalf("container %s recorded no puts", c.Name)
+		}
+	}
+}
+
+func TestObservedNilMetrics(t *testing.T) {
+	m := sepe.NewMapObserved[int](sepe.STLHash, nil)
+	m.Put("a", 1)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatal("nil-metrics observed map misbehaves")
+	}
+}
+
+func TestFormatDriftMonitorEndToEnd(t *testing.T) {
+	f := ssnFormat(t)
+	degraded := 0
+	d := f.DriftMonitor("ssn", sepe.DriftConfig{
+		SampleEvery: 1,
+		OnDegrade:   func(sepe.DriftSnapshot) { degraded++ },
+	})
+	// A conforming stream keeps the monitor healthy. Samples are drawn
+	// from the quad-widened format, which Matches accepts by
+	// construction.
+	for _, k := range f.Samples(2000, 11) {
+		d.Observe(k)
+	}
+	if d.Degraded() {
+		t.Fatal("conforming stream degraded the monitor")
+	}
+	// 20% off-format keys must flip Degraded.
+	for i := 0; i < 2000; i++ {
+		if i%5 == 0 {
+			d.Observe(fmt.Sprintf("user-%d@example.com", i))
+		} else {
+			d.Observe(fmt.Sprintf("%03d-%02d-%04d", i%1000, i%100, i%10000))
+		}
+	}
+	if !d.Degraded() {
+		t.Fatal("20% off-format stream did not degrade")
+	}
+	if degraded != 1 {
+		t.Fatalf("OnDegrade fired %d times", degraded)
+	}
+}
+
+func TestWithTracerEmitsSynthesisSpans(t *testing.T) {
+	f := ssnFormat(t)
+	tr := &sepe.CollectTracer{}
+	if _, err := sepe.Synthesize(f, sepe.Pext, sepe.WithTracer(tr)); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range tr.Spans() {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"plan.pattern", "plan.pext", "synth.plan", "synth.verify", "synth.compile"} {
+		if !names[want] {
+			t.Errorf("missing span %q (got %v)", want, names)
+		}
+	}
+	report := tr.Report()
+	if !strings.Contains(report, "family=Pext") || !strings.Contains(report, "bijective=true") {
+		t.Errorf("report missing attributes:\n%s", report)
+	}
+}
+
+func TestMetricsHandlerServesDefaultRegistry(t *testing.T) {
+	// The default registry is process-global; use a unique name so the
+	// assertion is specific to this test.
+	m := sepe.Metrics().NewHash("handler-test-hash")
+	fn := sepe.Instrument(sepe.STLHash, m, nil)
+	for i := 0; i < 1024; i++ {
+		fn("some-key")
+	}
+	rw := httptest.NewRecorder()
+	sepe.MetricsHandler().ServeHTTP(rw, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rw.Body.String(), `sepe_hash_calls_total{hash="handler-test-hash"} 1024`) {
+		t.Fatalf("metrics endpoint missing instrumented hash:\n%s", rw.Body.String())
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package sepe_test
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation slows the synthesized closures far more than the
+// STL baseline, so wall-clock shape assertions are meaningless under
+// it and skip themselves.
+const raceEnabled = true

@@ -151,6 +151,14 @@ func AllowShortKeys() Option {
 	return func(o *core.Options) { o.AllowShort = true }
 }
 
+// WithTracer streams timed span events of the synthesis pipeline
+// (pattern validation, planning, pext mask lowering, verification,
+// compilation) to t. A CollectTracer gathers them for a per-phase
+// report; a WriterTracer prints them as they happen.
+func WithTracer(t Tracer) Option {
+	return func(o *core.Options) { o.Tracer = t }
+}
+
 // ErrNilFormat reports a nil format argument.
 var ErrNilFormat = errors.New("sepe: nil format")
 

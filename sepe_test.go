@@ -313,6 +313,12 @@ func TestFormatSamples(t *testing.T) {
 			t.Fatal("samples not deterministic for a fixed seed")
 		}
 	}
+	// Non-positive counts yield an empty slice, never a panic.
+	for _, n := range []int{0, -1, -50} {
+		if got := f.Samples(n, 1); got == nil || len(got) != 0 {
+			t.Errorf("Samples(%d) = %v, want empty slice", n, got)
+		}
+	}
 }
 
 func TestHashInvert(t *testing.T) {
