@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench repro repro-quick examples golden clean
+.PHONY: all build test vet check bench fuzz repro repro-quick examples golden clean
+
+# Seconds of fuzzing per target for `make fuzz` (CI smoke uses a short
+# burst; raise locally for a real session, e.g. make fuzz FUZZTIME=10m).
+FUZZTIME ?= 30s
 
 all: build vet test
 
@@ -28,6 +32,15 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Fuzz every public-surface target for FUZZTIME each: regex parsing,
+# inference, synthesized hashes on arbitrary keys, and the bijective
+# container's off-format guard.
+fuzz:
+	$(GO) test -fuzz=FuzzParseRegex -fuzztime=$(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz=FuzzInfer -fuzztime=$(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz=FuzzSynthesizedHash -fuzztime=$(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz=FuzzBijectiveReject -fuzztime=$(FUZZTIME) -run '^$$' .
+
 # Regenerate every table and figure of the paper at full cost
 # (≈25 minutes; writes results_full.txt and results_grid.csv).
 repro:
@@ -44,6 +57,7 @@ examples:
 	$(GO) run ./examples/weblog
 	$(GO) run ./examples/invertible
 	$(GO) run ./examples/observed -dur 2s -addr 127.0.0.1:0
+	$(GO) run ./examples/adaptive
 
 # Refresh the codegen golden files after an intended emitter change.
 golden:

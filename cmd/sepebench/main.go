@@ -65,8 +65,18 @@ func main() {
 		plot      = flag.Bool("plot", false, "render figures as terminal charts in addition to the tables")
 		telemAddr = flag.String("telemetry", "",
 			"serve live metrics (Prometheus text, or JSON with ?format=json) on this address while experiments run, e.g. :9090")
+		driftInj = flag.String("drift-inject", "",
+			"run the self-healing demo instead of experiments: FROM:TO key types, e.g. ssn:ipv4")
 	)
 	flag.Parse()
+
+	if *driftInj != "" {
+		if err := runDriftInject(*driftInj); err != nil {
+			fmt.Fprintln(os.Stderr, "sepebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	r := &runner{
 		samples: *samples,

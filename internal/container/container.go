@@ -79,6 +79,12 @@ type entry[V any] struct {
 }
 
 // table is the shared chained-bucket core.
+//
+// During a live migration (rehashInto) the table holds two bucket
+// regions: `buckets` indexed by the new hash function, and `old`
+// indexed by the retired one. Operations consult both; each drain
+// step moves a few old buckets across, so a container can swap hash
+// functions under load without a stop-the-world rehash.
 type table[V any] struct {
 	hash    hashes.Func
 	index   Indexer
@@ -86,6 +92,11 @@ type table[V any] struct {
 	size    int
 	multi   bool
 	hooks   *Hooks
+
+	// Migration state: nil/empty when no migration is in progress.
+	oldHash  hashes.Func
+	old      [][]entry[V]
+	drainPos int
 }
 
 func newTable[V any](hash hashes.Func, index Indexer, multi bool) *table[V] {
@@ -102,6 +113,13 @@ func newTable[V any](hash hashes.Func, index Indexer, multi bool) *table[V] {
 
 func (t *table[V]) bucketOf(h uint64) int { return t.index(h, len(t.buckets)) }
 
+// oldBucket returns the retired-region chain for key, with the hash
+// the chain's entries were stored under. Only valid while migrating.
+func (t *table[V]) oldBucket(key string) (*[]entry[V], uint64) {
+	oh := t.oldHash(key)
+	return &t.old[t.index(oh, len(t.old))], oh
+}
+
 // put inserts key→val. Non-multi tables replace an existing mapping
 // and report whether the key was new; multi tables always append.
 func (t *table[V]) put(key string, val V) bool {
@@ -116,6 +134,21 @@ func (t *table[V]) put(key string, val V) bool {
 					t.hooks.OnPut(i+1, 0)
 				}
 				return false
+			}
+		}
+		if t.old != nil {
+			// The key may still live in the retired region; replacing
+			// it there (instead of appending a shadowing entry) keeps
+			// the table duplicate-free through the migration.
+			ochain, oh := t.oldBucket(key)
+			for i := range *ochain {
+				if (*ochain)[i].hash == oh && (*ochain)[i].key == key {
+					(*ochain)[i].val = val
+					if t.hooks != nil && t.hooks.OnPut != nil {
+						t.hooks.OnPut(len(chain)+i+1, 0)
+					}
+					return false
+				}
 			}
 		}
 	}
@@ -151,8 +184,21 @@ func (t *table[V]) get(key string) (V, bool) {
 			return chain[i].val, true
 		}
 	}
+	probes := len(chain)
+	if t.old != nil {
+		ochain, oh := t.oldBucket(key)
+		for i := range *ochain {
+			if (*ochain)[i].hash == oh && (*ochain)[i].key == key {
+				if t.hooks != nil && t.hooks.OnGet != nil {
+					t.hooks.OnGet(probes+i+1, true)
+				}
+				return (*ochain)[i].val, true
+			}
+		}
+		probes += len(*ochain)
+	}
 	if t.hooks != nil && t.hooks.OnGet != nil {
-		t.hooks.OnGet(len(chain), false)
+		t.hooks.OnGet(probes, false)
 	}
 	var zero V
 	return zero, false
@@ -168,20 +214,54 @@ func (t *table[V]) count(key string) int {
 			n++
 		}
 	}
+	probes := len(chain)
+	if t.old != nil {
+		ochain, oh := t.oldBucket(key)
+		for i := range *ochain {
+			if (*ochain)[i].hash == oh && (*ochain)[i].key == key {
+				n++
+			}
+		}
+		probes += len(*ochain)
+	}
 	if t.hooks != nil && t.hooks.OnGet != nil {
-		t.hooks.OnGet(len(chain), n > 0)
+		t.hooks.OnGet(probes, n > 0)
 	}
 	return n
 }
 
-// del removes all entries with the given key, returning how many were
-// removed (erase(key) semantics of the unordered containers).
-func (t *table[V]) del(key string) int {
+// collect returns every value mapped to key (multimap GetAll).
+func (t *table[V]) collect(key string) []V {
 	h := t.hash(key)
-	b := t.bucketOf(h)
-	chain := t.buckets[b]
+	chain := t.buckets[t.bucketOf(h)]
+	var out []V
+	for i := range chain {
+		if chain[i].hash == h && chain[i].key == key {
+			out = append(out, chain[i].val)
+		}
+	}
+	probes := len(chain)
+	if t.old != nil {
+		ochain, oh := t.oldBucket(key)
+		for i := range *ochain {
+			if (*ochain)[i].hash == oh && (*ochain)[i].key == key {
+				out = append(out, (*ochain)[i].val)
+			}
+		}
+		probes += len(*ochain)
+	}
+	if t.hooks != nil && t.hooks.OnGet != nil {
+		t.hooks.OnGet(probes, len(out) > 0)
+	}
+	return out
+}
+
+// delFrom erases key (stored under hash h) from one bucket chain,
+// returning entries examined, entries removed, and the bucket-collision
+// delta.
+func delFrom[V any](bucket *[]entry[V], h uint64, key string) (probes, removed, collDelta int) {
+	chain := *bucket
 	kept := chain[:0]
-	removed := 0
 	for i := range chain {
 		if chain[i].hash == h && chain[i].key == key {
 			removed++
@@ -194,18 +274,33 @@ func (t *table[V]) del(key string) int {
 		for i := len(kept); i < len(chain); i++ {
 			chain[i] = entry[V]{}
 		}
-		t.buckets[b] = kept
-		t.size -= removed
+		*bucket = kept
 	}
+	before, after := len(chain)-1, len(chain)-removed-1
+	if before < 0 {
+		before = 0
+	}
+	if after < 0 {
+		after = 0
+	}
+	return len(chain), removed, after - before
+}
+
+// del removes all entries with the given key, returning how many were
+// removed (erase(key) semantics of the unordered containers).
+func (t *table[V]) del(key string) int {
+	h := t.hash(key)
+	probes, removed, collDelta := delFrom(&t.buckets[t.bucketOf(h)], h, key)
+	if t.old != nil {
+		ochain, oh := t.oldBucket(key)
+		p, r, c := delFrom(ochain, oh, key)
+		probes += p
+		removed += r
+		collDelta += c
+	}
+	t.size -= removed
 	if t.hooks != nil && t.hooks.OnDelete != nil {
-		before, after := len(chain)-1, len(chain)-removed-1
-		if before < 0 {
-			before = 0
-		}
-		if after < 0 {
-			after = 0
-		}
-		t.hooks.OnDelete(len(chain), removed, after-before)
+		t.hooks.OnDelete(probes, removed, collDelta)
 	}
 	return removed
 }
@@ -236,16 +331,74 @@ func (t *table[V]) reserve(n int) {
 	t.rehash(nextPrime(n))
 }
 
+// rehashInto starts a live migration to newHash. The current buckets
+// become the retired region; a fresh region sized for the table's
+// population is indexed by newHash. Entries move over incrementally
+// via drain, so no single operation pays an O(n) rehash.
+func (t *table[V]) rehashInto(newHash hashes.Func) {
+	if t.old != nil {
+		// A migration is already in flight: finish it first so the
+		// table never holds three generations of buckets.
+		t.drain(len(t.old))
+	}
+	t.oldHash = t.hash
+	t.old = t.buckets
+	t.drainPos = 0
+	t.hash = newHash
+	n := 2*t.size + 1
+	if n < initialBuckets {
+		n = initialBuckets
+	}
+	t.buckets = make([][]entry[V], nextPrime(n))
+}
+
+// drain moves up to k retired buckets into the live region, returning
+// true while the migration is still in progress. Each moved entry's
+// hash is recomputed under the new function.
+func (t *table[V]) drain(k int) bool {
+	if t.old == nil {
+		return false
+	}
+	for ; k > 0 && t.drainPos < len(t.old); k-- {
+		chain := t.old[t.drainPos]
+		t.old[t.drainPos] = nil
+		t.drainPos++
+		for _, e := range chain {
+			e.hash = t.hash(e.key)
+			b := t.bucketOf(e.hash)
+			t.buckets[b] = append(t.buckets[b], e)
+		}
+	}
+	if t.drainPos < len(t.old) {
+		return true
+	}
+	// Migration complete: drop the retired region and let observers
+	// recount, exactly as after a normal rehash.
+	t.old, t.oldHash, t.drainPos = nil, nil, 0
+	if t.hooks != nil && t.hooks.OnRehash != nil {
+		t.hooks.OnRehash(len(t.buckets), t.bucketCollisions())
+	}
+	if t.size > len(t.buckets) {
+		t.rehash(nextBucketCount(len(t.buckets)))
+	}
+	return false
+}
+
+// migrating reports whether a live migration is in progress.
+func (t *table[V]) migrating() bool { return t.old != nil }
+
 // loadFactor returns size/buckets (std::unordered_map::load_factor).
 func (t *table[V]) loadFactor() float64 {
 	return float64(t.size) / float64(len(t.buckets))
 }
 
-// clear removes every entry, keeping the bucket array.
+// clear removes every entry, keeping the bucket array. Any in-flight
+// migration ends: the retired region is dropped with the entries.
 func (t *table[V]) clear() {
 	for i := range t.buckets {
 		t.buckets[i] = nil
 	}
+	t.old, t.oldHash, t.drainPos = nil, nil, 0
 	t.size = 0
 	if t.hooks != nil && t.hooks.OnClear != nil {
 		t.hooks.OnClear()
@@ -261,6 +414,11 @@ func (t *table[V]) bucketCollisions() int {
 			n += len(chain) - 1
 		}
 	}
+	for _, chain := range t.old {
+		if len(chain) > 1 {
+			n += len(chain) - 1
+		}
+	}
 	return n
 }
 
@@ -272,11 +430,21 @@ func (t *table[V]) maxBucketLen() int {
 			m = len(chain)
 		}
 	}
+	for _, chain := range t.old {
+		if len(chain) > m {
+			m = len(chain)
+		}
+	}
 	return m
 }
 
 func (t *table[V]) forEach(f func(key string, val V)) {
 	for _, chain := range t.buckets {
+		for i := range chain {
+			f(chain[i].key, chain[i].val)
+		}
+	}
+	for _, chain := range t.old {
 		for i := range chain {
 			f(chain[i].key, chain[i].val)
 		}

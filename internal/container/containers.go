@@ -110,6 +110,19 @@ func (m *Map[V]) Clear() { m.t.clear() }
 // SetHooks installs (or, with nil, removes) observation hooks.
 func (m *Map[V]) SetHooks(h *Hooks) { m.t.hooks = h }
 
+// BeginMigration starts an incremental re-bucket of the map under a
+// new hash function. Entries move over in MigrateStep batches, so no
+// single operation pays a stop-the-world rehash; lookups and erases
+// consult both regions until the migration drains.
+func (m *Map[V]) BeginMigration(newHash hashes.Func) { m.t.rehashInto(newHash) }
+
+// MigrateStep drains up to k retired buckets, returning true while
+// the migration is still in progress.
+func (m *Map[V]) MigrateStep(k int) bool { return m.t.drain(k) }
+
+// Migrating reports whether an incremental migration is in progress.
+func (m *Map[V]) Migrating() bool { return m.t.migrating() }
+
 // Insert implements Container with a zero value.
 func (m *Map[V]) Insert(key string) { var zero V; m.t.put(key, zero) }
 
@@ -157,6 +170,16 @@ func (s *Set) Clear() { s.t.clear() }
 // SetHooks installs (or, with nil, removes) observation hooks.
 func (s *Set) SetHooks(h *Hooks) { s.t.hooks = h }
 
+// BeginMigration starts an incremental re-bucket under a new hash.
+func (s *Set) BeginMigration(newHash hashes.Func) { s.t.rehashInto(newHash) }
+
+// MigrateStep drains up to k retired buckets, returning true while
+// the migration is still in progress.
+func (s *Set) MigrateStep(k int) bool { return s.t.drain(k) }
+
+// Migrating reports whether an incremental migration is in progress.
+func (s *Set) Migrating() bool { return s.t.migrating() }
+
 // MultiMap is the std::unordered_multimap equivalent: one key may map
 // to several values.
 type MultiMap[V any] struct{ t *table[V] }
@@ -170,20 +193,7 @@ func NewMultiMap[V any](hash hashes.Func, index Indexer) *MultiMap[V] {
 func (m *MultiMap[V]) Put(key string, val V) { m.t.put(key, val) }
 
 // GetAll returns every value mapped to key.
-func (m *MultiMap[V]) GetAll(key string) []V {
-	h := m.t.hash(key)
-	chain := m.t.buckets[m.t.bucketOf(h)]
-	var out []V
-	for i := range chain {
-		if chain[i].hash == h && chain[i].key == key {
-			out = append(out, chain[i].val)
-		}
-	}
-	if m.t.hooks != nil && m.t.hooks.OnGet != nil {
-		m.t.hooks.OnGet(len(chain), len(out) > 0)
-	}
-	return out
-}
+func (m *MultiMap[V]) GetAll(key string) []V { return m.t.collect(key) }
 
 // Count returns the number of entries for key.
 func (m *MultiMap[V]) Count(key string) int { return m.t.count(key) }
@@ -202,6 +212,16 @@ func (m *MultiMap[V]) Clear() { m.t.clear() }
 
 // SetHooks installs (or, with nil, removes) observation hooks.
 func (m *MultiMap[V]) SetHooks(h *Hooks) { m.t.hooks = h }
+
+// BeginMigration starts an incremental re-bucket under a new hash.
+func (m *MultiMap[V]) BeginMigration(newHash hashes.Func) { m.t.rehashInto(newHash) }
+
+// MigrateStep drains up to k retired buckets, returning true while
+// the migration is still in progress.
+func (m *MultiMap[V]) MigrateStep(k int) bool { return m.t.drain(k) }
+
+// Migrating reports whether an incremental migration is in progress.
+func (m *MultiMap[V]) Migrating() bool { return m.t.migrating() }
 
 // Insert implements Container.
 func (m *MultiMap[V]) Insert(key string) { var zero V; m.t.put(key, zero) }
@@ -243,6 +263,16 @@ func (s *MultiSet) Clear() { s.t.clear() }
 
 // SetHooks installs (or, with nil, removes) observation hooks.
 func (s *MultiSet) SetHooks(h *Hooks) { s.t.hooks = h }
+
+// BeginMigration starts an incremental re-bucket under a new hash.
+func (s *MultiSet) BeginMigration(newHash hashes.Func) { s.t.rehashInto(newHash) }
+
+// MigrateStep drains up to k retired buckets, returning true while
+// the migration is still in progress.
+func (s *MultiSet) MigrateStep(k int) bool { return s.t.drain(k) }
+
+// Migrating reports whether an incremental migration is in progress.
+func (s *MultiSet) Migrating() bool { return s.t.migrating() }
 
 func stats[V any](t *table[V]) Stats {
 	return Stats{

@@ -13,6 +13,13 @@ import (
 // nestings of '?' and alternation.
 const MaxForms = 512
 
+// maxFormLen bounds the byte length of a single form DURING expansion,
+// with the same 16 KiB limit Lower applies to the finished pattern
+// (infer.MaxKeyLen). Checking only at the end is not enough: a nested
+// repetition like (a{1048576}){1048576} multiplies form lengths inside
+// cross and would exhaust memory long before the final check runs.
+const maxFormLen = pattern.WordSize << 11
+
 // form is one linear shape of the expression's language: a byte-set
 // per position.
 type form []Set
@@ -152,6 +159,23 @@ func expand(n Node) ([]form, error) {
 func cross(a, b []form) ([]form, error) {
 	if len(a)*len(b) > MaxForms {
 		return nil, fmt.Errorf("rex: expression expands to more than %d forms", MaxForms)
+	}
+	maxA, maxB := 0, 0
+	for _, x := range a {
+		if len(x) > maxA {
+			maxA = len(x)
+		}
+	}
+	for _, y := range b {
+		if len(y) > maxB {
+			maxB = len(y)
+		}
+	}
+	// Any pair exceeding the pattern length limit would be rejected by
+	// Lower's final check anyway; failing here keeps expansion memory
+	// proportional to the limit rather than to the expression's Max.
+	if maxA+maxB > maxFormLen {
+		return nil, fmt.Errorf("rex: format of more than %d bytes is too long", maxFormLen)
 	}
 	out := make([]form, 0, len(a)*len(b))
 	for _, x := range a {

@@ -380,6 +380,22 @@ func TestLowerFormBlowupRejected(t *testing.T) {
 	}
 }
 
+func TestLowerFormLengthBlowupRejected(t *testing.T) {
+	// Length blowup with a form COUNT of one: nested repetitions
+	// multiply form length without multiplying form count, so the
+	// MaxForms bound never trips. The length bound must fire during
+	// expansion — before the multiplication allocates terabytes.
+	for _, expr := range []string{
+		`(a{1048576}){1048576}`,
+		`a{99999}`,
+		`((x{100}){100}){100}`,
+	} {
+		if _, err := ParseAndLower(expr); err == nil {
+			t.Errorf("%s: length blowup must be rejected", expr)
+		}
+	}
+}
+
 func TestLowerRegexRoundTrip(t *testing.T) {
 	// Lower → Regex → Lower must be a fixed point at the pattern level.
 	for _, expr := range []string{

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"sync/atomic"
+)
+
+// AdaptiveMetrics exposes the lifecycle of one self-healing hash: the
+// current state of its Specialized → Degraded → Resynthesizing →
+// Recovered/Pinned machine, how often it transitioned, how many hash
+// generations it went through (each fallback swap and each promotion
+// is one generation), and the outcome counts of its background
+// re-synthesis attempts. The block stores the state as a numeric code
+// plus a caller-supplied name, so the telemetry layer needs no
+// knowledge of the state machine's semantics.
+type AdaptiveMetrics struct {
+	name        string
+	state       atomic.Int64
+	stateName   atomic.Pointer[string]
+	transitions Counter
+	generations Counter
+	attempts    Counter
+	failures    Counter
+	successes   Counter
+}
+
+// NewAdaptiveMetrics returns an empty block named name.
+func NewAdaptiveMetrics(name string) *AdaptiveMetrics {
+	m := &AdaptiveMetrics{name: name}
+	empty := ""
+	m.stateName.Store(&empty)
+	return m
+}
+
+// Name returns the block's name.
+func (m *AdaptiveMetrics) Name() string { return m.name }
+
+// SetState records a state transition to (code, stateName).
+func (m *AdaptiveMetrics) SetState(code int64, stateName string) {
+	m.state.Store(code)
+	m.stateName.Store(&stateName)
+	m.transitions.Inc()
+}
+
+// Generation records one hash-function swap (fallback or promotion).
+func (m *AdaptiveMetrics) Generation() { m.generations.Inc() }
+
+// Attempt records the start of one background re-synthesis attempt.
+func (m *AdaptiveMetrics) Attempt() { m.attempts.Inc() }
+
+// Failure records one failed re-synthesis attempt.
+func (m *AdaptiveMetrics) Failure() { m.failures.Inc() }
+
+// Success records one promoted re-synthesis.
+func (m *AdaptiveMetrics) Success() { m.successes.Inc() }
+
+// AdaptiveSnapshot is a point-in-time copy of one adaptive hash's
+// lifecycle metrics.
+type AdaptiveSnapshot struct {
+	Name string `json:"name"`
+	// State is the numeric state code; StateName its display name.
+	State     int64  `json:"state"`
+	StateName string `json:"state_name"`
+	// Transitions counts state changes since construction.
+	Transitions uint64 `json:"transitions"`
+	// Generations counts hash-function swaps (fallbacks + promotions).
+	Generations uint64 `json:"generations"`
+	// ResynthAttempts/Failures/Successes count background
+	// re-synthesis outcomes.
+	ResynthAttempts  uint64 `json:"resynth_attempts"`
+	ResynthFailures  uint64 `json:"resynth_failures"`
+	ResynthSuccesses uint64 `json:"resynth_successes"`
+}
+
+// Snapshot copies the block's current state.
+func (m *AdaptiveMetrics) Snapshot() AdaptiveSnapshot {
+	return AdaptiveSnapshot{
+		Name:             m.name,
+		State:            m.state.Load(),
+		StateName:        *m.stateName.Load(),
+		Transitions:      m.transitions.Load(),
+		Generations:      m.generations.Load(),
+		ResynthAttempts:  m.attempts.Load(),
+		ResynthFailures:  m.failures.Load(),
+		ResynthSuccesses: m.successes.Load(),
+	}
+}

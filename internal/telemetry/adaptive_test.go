@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestAdaptiveMetricsLifecycle(t *testing.T) {
+	r := NewRegistry()
+	m := r.NewAdaptive("ssn")
+
+	m.SetState(0, "Specialized")
+	m.SetState(1, "Degraded")
+	m.Generation()
+	m.Attempt()
+	m.Failure()
+	m.Attempt()
+	m.Success()
+	m.Generation()
+	m.SetState(3, "Recovered")
+
+	s := m.Snapshot()
+	if s.Name != "ssn" || s.State != 3 || s.StateName != "Recovered" {
+		t.Fatalf("snapshot state = %+v", s)
+	}
+	if s.Transitions != 3 || s.Generations != 2 {
+		t.Fatalf("transitions=%d generations=%d, want 3/2", s.Transitions, s.Generations)
+	}
+	if s.ResynthAttempts != 2 || s.ResynthFailures != 1 || s.ResynthSuccesses != 1 {
+		t.Fatalf("resynth counters = %+v", s)
+	}
+
+	reg := r.Snapshot()
+	if len(reg.Adaptive) != 1 || reg.Adaptive[0].Name != "ssn" {
+		t.Fatalf("registry snapshot adaptive = %+v", reg.Adaptive)
+	}
+}
+
+func TestAdaptiveMetricsPrometheusExport(t *testing.T) {
+	r := NewRegistry()
+	m := r.NewAdaptive("ipv4")
+	m.SetState(2, "Resynthesizing")
+	m.Attempt()
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	r.Handler().ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{
+		`sepe_adaptive_state{hash="ipv4",state="Resynthesizing"} 2`,
+		`sepe_adaptive_transitions_total{hash="ipv4"} 1`,
+		`sepe_adaptive_resynth_total{hash="ipv4",outcome="attempt"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -143,25 +143,52 @@ func (d *DriftMonitor) check(key string) {
 	d.ringPos = (d.ringPos + 1) % len(d.ring)
 	enough := d.ringLen >= d.cfg.MinSamples
 	rate := float64(d.ringMis) / float64(d.ringLen)
+	// The degraded/fired updates stay under the window mutex so that a
+	// concurrent Reset cannot be clobbered by a sample that computed
+	// its rate against the pre-Reset window.
+	fire := false
+	if enough {
+		if rate >= d.cfg.Threshold {
+			d.degraded.Store(true)
+			fire = d.cfg.OnDegrade != nil && d.fired.CompareAndSwap(false, true)
+		} else {
+			d.degraded.Store(false)
+		}
+	}
 	d.mu.Unlock()
 
-	if !enough {
-		return
-	}
-	if rate >= d.cfg.Threshold {
-		d.degraded.Store(true)
-		if d.cfg.OnDegrade != nil && d.fired.CompareAndSwap(false, true) {
-			d.cfg.OnDegrade(d.Snapshot())
-		}
-	} else {
-		d.degraded.Store(false)
+	if fire {
+		d.cfg.OnDegrade(d.Snapshot())
 	}
 }
 
 // Degraded reports whether the windowed mismatch rate most recently
 // crossed the threshold. It recovers to false if the stream returns
-// to conforming keys (the OnDegrade callback still fires only once).
+// to conforming keys (the OnDegrade callback still fires only once
+// per Reset cycle).
 func (d *DriftMonitor) Degraded() bool { return d.degraded.Load() }
+
+// Reset clears the sliding window, the degraded flag and the one-shot
+// OnDegrade latch, so the monitor judges the stream afresh. The
+// adaptive recovery path calls it at promotion time: a hash that has
+// just been re-synthesized for the drifted stream must start with a
+// clean mismatch window, not inherit the degraded window of its
+// predecessor and instantly re-trip. Lifetime counters (Observed,
+// Sampled, Mismatched) are preserved — they describe the stream, not
+// the current hash.
+func (d *DriftMonitor) Reset() {
+	d.mu.Lock()
+	for i := range d.ring {
+		d.ring[i] = false
+	}
+	d.ringPos, d.ringLen, d.ringMis = 0, 0, 0
+	// The flag stores stay under the window mutex, mirroring check():
+	// otherwise a sample racing with Reset could re-assert a degraded
+	// flag computed against the pre-Reset window.
+	d.degraded.Store(false)
+	d.fired.Store(false)
+	d.mu.Unlock()
+}
 
 // MismatchRate returns the mismatch rate over the current window
 // (0 when nothing has been sampled yet).

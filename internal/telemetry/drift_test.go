@@ -134,3 +134,49 @@ func TestDriftNilObserve(t *testing.T) {
 	var d *DriftMonitor
 	d.Observe("x") // must not panic
 }
+
+func TestDriftResetClearsWindowAndRearmsCallback(t *testing.T) {
+	fired := 0
+	d := NewDriftMonitor("ssn", ssnLike, DriftConfig{
+		SampleEvery: 1, Window: 64, MinSamples: 16,
+		OnDegrade: func(DriftSnapshot) { fired++ },
+	})
+	for i := 0; i < 100; i++ {
+		d.Observe("bad")
+	}
+	if !d.Degraded() || fired != 1 {
+		t.Fatalf("setup: degraded=%v fired=%d", d.Degraded(), fired)
+	}
+	before := d.Snapshot()
+
+	d.Reset()
+	if d.Degraded() {
+		t.Fatal("Reset did not clear the degraded flag")
+	}
+	if rate := d.MismatchRate(); rate != 0 {
+		t.Fatalf("MismatchRate after Reset = %g, want 0", rate)
+	}
+	// Lifetime counters survive the reset.
+	after := d.Snapshot()
+	if after.Observed != before.Observed || after.Mismatched != before.Mismatched {
+		t.Fatalf("Reset dropped lifetime counters: before=%+v after=%+v", before, after)
+	}
+	// The MinSamples gate applies afresh: a few stale mismatches from a
+	// previous life cannot re-trip the alarm.
+	for i := 0; i < 8; i++ {
+		d.Observe("bad")
+	}
+	if d.Degraded() {
+		t.Fatal("degraded before MinSamples after Reset")
+	}
+	// A full second degradation re-fires the re-armed callback.
+	for i := 0; i < 100; i++ {
+		d.Observe("bad")
+	}
+	if !d.Degraded() {
+		t.Fatal("second drift not detected after Reset")
+	}
+	if fired != 2 {
+		t.Fatalf("OnDegrade fired %d times, want 2 (re-armed by Reset)", fired)
+	}
+}

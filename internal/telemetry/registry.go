@@ -21,6 +21,7 @@ type Registry struct {
 	hashes     []*HashMetrics
 	containers []*ContainerMetrics
 	drifts     []*DriftMonitor
+	adaptives  []*AdaptiveMetrics
 	gauges     map[string]func() float64
 }
 
@@ -60,6 +61,15 @@ func (r *Registry) NewDrift(name string, matches func(string) bool, cfg DriftCon
 	return d
 }
 
+// NewAdaptive creates an AdaptiveMetrics block and registers it.
+func (r *Registry) NewAdaptive(name string) *AdaptiveMetrics {
+	m := NewAdaptiveMetrics(name)
+	r.mu.Lock()
+	r.adaptives = append(r.adaptives, m)
+	r.mu.Unlock()
+	return m
+}
+
 // Gauge registers a named float gauge evaluated at snapshot time.
 func (r *Registry) Gauge(name string, fn func() float64) {
 	r.mu.Lock()
@@ -73,6 +83,7 @@ type RegistrySnapshot struct {
 	Hashes        []HashSnapshot      `json:"hashes,omitempty"`
 	Containers    []ContainerSnapshot `json:"containers,omitempty"`
 	Drift         []DriftSnapshot     `json:"drift,omitempty"`
+	Adaptive      []AdaptiveSnapshot  `json:"adaptive,omitempty"`
 	Gauges        map[string]float64  `json:"gauges,omitempty"`
 }
 
@@ -82,6 +93,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	hashes := append([]*HashMetrics(nil), r.hashes...)
 	containers := append([]*ContainerMetrics(nil), r.containers...)
 	drifts := append([]*DriftMonitor(nil), r.drifts...)
+	adaptives := append([]*AdaptiveMetrics(nil), r.adaptives...)
 	gauges := make(map[string]func() float64, len(r.gauges))
 	for k, v := range r.gauges {
 		gauges[k] = v
@@ -98,6 +110,9 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	}
 	for _, d := range drifts {
 		s.Drift = append(s.Drift, d.Snapshot())
+	}
+	for _, a := range adaptives {
+		s.Adaptive = append(s.Adaptive, a.Snapshot())
 	}
 	if len(gauges) > 0 {
 		s.Gauges = make(map[string]float64, len(gauges))
@@ -194,6 +209,27 @@ func writePrometheus(w http.ResponseWriter, s RegistrySnapshot) {
 				v = 1
 			}
 			fmt.Fprintf(w, "sepe_drift_degraded{monitor=%q} %d\n", d.Name, v)
+		}
+	}
+
+	if len(s.Adaptive) > 0 {
+		fmt.Fprint(w, "# TYPE sepe_adaptive_state gauge\n")
+		for _, a := range s.Adaptive {
+			fmt.Fprintf(w, "sepe_adaptive_state{hash=%q,state=%q} %d\n", a.Name, a.StateName, a.State)
+		}
+		fmt.Fprint(w, "# TYPE sepe_adaptive_transitions_total counter\n")
+		for _, a := range s.Adaptive {
+			fmt.Fprintf(w, "sepe_adaptive_transitions_total{hash=%q} %d\n", a.Name, a.Transitions)
+		}
+		fmt.Fprint(w, "# TYPE sepe_adaptive_generations_total counter\n")
+		for _, a := range s.Adaptive {
+			fmt.Fprintf(w, "sepe_adaptive_generations_total{hash=%q} %d\n", a.Name, a.Generations)
+		}
+		fmt.Fprint(w, "# TYPE sepe_adaptive_resynth_total counter\n")
+		for _, a := range s.Adaptive {
+			fmt.Fprintf(w, "sepe_adaptive_resynth_total{hash=%q,outcome=\"attempt\"} %d\n", a.Name, a.ResynthAttempts)
+			fmt.Fprintf(w, "sepe_adaptive_resynth_total{hash=%q,outcome=\"failure\"} %d\n", a.Name, a.ResynthFailures)
+			fmt.Fprintf(w, "sepe_adaptive_resynth_total{hash=%q,outcome=\"success\"} %d\n", a.Name, a.ResynthSuccesses)
 		}
 	}
 

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -135,8 +136,10 @@ func TestContainerMetrics(t *testing.T) {
 func TestConcurrentWriters(t *testing.T) {
 	m := NewHashMetrics("stress")
 	cm := NewContainerMetrics("stress")
+	var sawDegrade atomic.Bool
 	d := NewDriftMonitor("stress", func(k string) bool { return len(k) == 3 },
-		DriftConfig{SampleEvery: 1, Window: 64, MinSamples: 8, Threshold: 0.5})
+		DriftConfig{SampleEvery: 1, Window: 64, MinSamples: 8, Threshold: 0.5,
+			OnDegrade: func(DriftSnapshot) { sawDegrade.Store(true) }})
 	reg := NewRegistry()
 	reg.mu.Lock()
 	reg.hashes = append(reg.hashes, m)
@@ -187,7 +190,11 @@ func TestConcurrentWriters(t *testing.T) {
 	if s.Puts != writers*opsPerWriter || s.Gets != writers*opsPerWriter {
 		t.Fatalf("container ops = %+v", s)
 	}
-	if !d.Degraded() {
+	// Degraded() is recoverable — if the off-format writers happen to
+	// finish first, the final window is all-conforming and the flag has
+	// recovered by now. The one-shot OnDegrade event is the stable
+	// assertion: the threshold was crossed at some point.
+	if !sawDegrade.Load() {
 		t.Fatal("half-mismatch stream above threshold did not degrade")
 	}
 }

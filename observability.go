@@ -33,6 +33,8 @@ type (
 	DriftMonitor      = telemetry.DriftMonitor
 	DriftConfig       = telemetry.DriftConfig
 	DriftSnapshot     = telemetry.DriftSnapshot
+	AdaptiveMetrics   = telemetry.AdaptiveMetrics
+	AdaptiveSnapshot  = telemetry.AdaptiveSnapshot
 	MetricsRegistry   = telemetry.Registry
 	MetricsSnapshot   = telemetry.RegistrySnapshot
 	HashSnapshot      = telemetry.HashSnapshot

@@ -219,6 +219,14 @@ func (h *Hash) Family() Family { return h.fam }
 // keys to distinct 64-bit values (Pext with ≤ 64 variable bits).
 func (h *Hash) Bijective() bool { return h.fn.Plan().Bijective() }
 
+// Matches reports whether key belongs to the format the function was
+// synthesized for — the set its specialization guarantees (and, for
+// bijective functions, its injectivity proof) cover.
+func (h *Hash) Matches(key string) bool { return h.fn.Pattern().Matches(key) }
+
+// Format returns the format the function was synthesized for.
+func (h *Hash) Format() *Format { return &Format{pat: h.fn.Pattern()} }
+
 // Invert reconstructs the unique format key hashing to v, for
 // bijective functions: the constructive counterpart of Bijective and
 // the learned-index duality the paper quotes ("the key itself can be

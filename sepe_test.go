@@ -271,7 +271,9 @@ func TestBijectiveMap(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5000; i++ {
-		m.Put(fmt.Sprintf("%03d-%02d-%04d", i%1000, i%100, i%10000), i)
+		if _, err := m.Put(fmt.Sprintf("%03d-%02d-%04d", i%1000, i%100, i%10000), i); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if m.Len() != 5000 {
 		t.Fatalf("Len = %d", m.Len())

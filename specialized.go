@@ -1,6 +1,8 @@
 package sepe
 
 import (
+	"errors"
+
 	"github.com/sepe-go/sepe/internal/specialized"
 )
 
@@ -12,31 +14,63 @@ import (
 // injective on the key set: it stores 64-bit hashes instead of keys,
 // so probes never touch string memory. Construct it from a Hash whose
 // Bijective method reports true.
-type BijectiveMap[V any] struct{ m *specialized.Map[V] }
+type BijectiveMap[V any] struct {
+	m       *specialized.Map[V]
+	matches func(string) bool
+}
 
 // NewBijectiveMap builds a BijectiveMap from a synthesized hash. It
 // fails with ErrNotBijective unless the hash is provably injective on
 // its format (a fixed-length Pext function with ≤ 64 variable bits).
-// The map's guarantees hold only for keys of that format.
+//
+// The injectivity proof covers only keys of the format, so the map
+// guards every operation with the format's membership test: Put
+// rejects off-format keys with ErrOffFormat, Get and Delete treat
+// them as misses. Without the guard, two distinct off-format keys
+// aliasing to one hash would silently corrupt each other's entry —
+// the map stores hashes, not keys, and cannot tell them apart.
 func NewBijectiveMap[V any](h *Hash) (*BijectiveMap[V], error) {
 	m, err := specialized.NewMap[V](h.Func(), h.Bijective())
 	if err != nil {
 		return nil, err
 	}
-	return &BijectiveMap[V]{m: m}, nil
+	return &BijectiveMap[V]{m: m, matches: h.Matches}, nil
 }
 
 // ErrNotBijective reports a hash without a bijectivity proof.
 var ErrNotBijective = specialized.ErrNotBijective
 
-// Put maps key to val, reporting whether the key was new.
-func (m *BijectiveMap[V]) Put(key string, val V) bool { return m.m.Put(key, val) }
+// ErrOffFormat reports a key outside the format a bijective container
+// requires: the container's correctness proof does not cover the key,
+// so the operation is refused instead of risking silent corruption.
+var ErrOffFormat = errors.New("sepe: key outside the hash's synthesized format")
 
-// Get returns the value mapped to key.
-func (m *BijectiveMap[V]) Get(key string) (V, bool) { return m.m.Get(key) }
+// Put maps key to val, reporting whether the key was new. Keys outside
+// the hash's format are rejected with ErrOffFormat.
+func (m *BijectiveMap[V]) Put(key string, val V) (bool, error) {
+	if !m.matches(key) {
+		return false, ErrOffFormat
+	}
+	return m.m.Put(key, val), nil
+}
+
+// Get returns the value mapped to key. Off-format keys miss.
+func (m *BijectiveMap[V]) Get(key string) (V, bool) {
+	if !m.matches(key) {
+		var zero V
+		return zero, false
+	}
+	return m.m.Get(key)
+}
 
 // Delete removes the mapping for key, reporting whether it existed.
-func (m *BijectiveMap[V]) Delete(key string) bool { return m.m.Delete(key) }
+// Off-format keys miss.
+func (m *BijectiveMap[V]) Delete(key string) bool {
+	if !m.matches(key) {
+		return false
+	}
+	return m.m.Delete(key)
+}
 
 // Len returns the number of entries.
 func (m *BijectiveMap[V]) Len() int { return m.m.Len() }
