@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench fuzz repro repro-quick examples golden clean
+.PHONY: all build test vet check bench benchhw fuzz repro repro-quick examples golden clean
 
 # Seconds of fuzzing per target for `make fuzz` (CI smoke uses a short
 # burst; raise locally for a real session, e.g. make fuzz FUZZTIME=10m).
@@ -18,6 +18,7 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -tags purego ./...
 
 build:
 	$(GO) build ./...
@@ -32,14 +33,25 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Hardware-vs-software comparison for the family microbenchmarks: the
+# same BenchmarkBackend grid with the BMI2/AES-NI kernels active and
+# with them forced off (SEPE_NOHW=all). Numbers are recorded in
+# BENCH_hw.json.
+benchhw:
+	$(GO) test -bench=BenchmarkBackend -benchmem -run '^$$' .
+	SEPE_NOHW=all $(GO) test -bench=BenchmarkBackend -benchmem -run '^$$' .
+
 # Fuzz every public-surface target for FUZZTIME each: regex parsing,
-# inference, synthesized hashes on arbitrary keys, and the bijective
-# container's off-format guard.
+# inference, synthesized hashes on arbitrary keys, the bijective
+# container's off-format guard, and the hardware kernels against their
+# bit-at-a-time references.
 fuzz:
 	$(GO) test -fuzz=FuzzParseRegex -fuzztime=$(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz=FuzzInfer -fuzztime=$(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz=FuzzSynthesizedHash -fuzztime=$(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz=FuzzBijectiveReject -fuzztime=$(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz=FuzzPextHW -fuzztime=$(FUZZTIME) -run '^$$' ./internal/pext/
+	$(GO) test -fuzz=FuzzAesRoundHW -fuzztime=$(FUZZTIME) -run '^$$' ./internal/aesround/
 
 # Regenerate every table and figure of the paper at full cost
 # (≈25 minutes; writes results_full.txt and results_grid.csv).

@@ -1,0 +1,80 @@
+package sepe_test
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe"
+	"github.com/sepe-go/sepe/internal/cpu"
+)
+
+// The hardware-backend acceptance grid: the same synthesized function
+// benchmarked on the hardware tier (BMI2 PEXT / AES-NI kernels, as
+// the CPU and SEPE_NOHW leave them enabled) and on the software tier
+// (kernels forced off for the duration of synthesis). The fixed-plan
+// Pext and Aes cases must show ≥1.5× on a machine with the
+// instructions; numbers are recorded in BENCH_hw.json. Run via
+// `make benchhw`.
+
+var hwBenchCases = []struct {
+	name string
+	expr string
+	fam  sepe.Family
+}{
+	{"Pext/SSN", `[0-9]{3}-[0-9]{2}-[0-9]{4}`, sepe.Pext},
+	{"Pext/IPv4", `([0-9]{3}\.){3}[0-9]{3}`, sepe.Pext},
+	{"Pext/MAC", `([0-9a-f]{2}-){5}[0-9a-f]{2}`, sepe.Pext},
+	{"Pext/VAR", `key=[a-z]{8,24}`, sepe.Pext},
+	{"Aes/SSN", `[0-9]{3}-[0-9]{2}-[0-9]{4}`, sepe.Aes},
+	{"Aes/URL", `https://example\.com/idx/[a-z]{8}\.html`, sepe.Aes},
+	{"OffXor/SSN", `[0-9]{3}-[0-9]{2}-[0-9]{4}`, sepe.OffXor},
+}
+
+var benchHWSink uint64
+
+func benchBackendSynth(b *testing.B, expr string, fam sepe.Family) (sepe.HashFunc, []string) {
+	b.Helper()
+	f, err := sepe.ParseRegex(expr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := sepe.Synthesize(f, fam)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h.Func(), f.Samples(1024, 42)
+}
+
+func BenchmarkBackend(b *testing.B) {
+	for _, c := range hwBenchCases {
+		c := c
+		b.Run(c.name+"/hw", func(b *testing.B) {
+			need := cpu.BMI2()
+			if c.fam == sepe.Aes {
+				need = cpu.AES()
+			}
+			if !need {
+				b.Skip("hardware kernels unavailable (CPU or SEPE_NOHW)")
+			}
+			fn, keys := benchBackendSynth(b, c.expr, c.fam)
+			b.ResetTimer()
+			var v uint64
+			for i := 0; i < b.N; i++ {
+				v ^= fn(keys[i&1023])
+			}
+			benchHWSink = v
+		})
+		b.Run(c.name+"/sw", func(b *testing.B) {
+			prevB := cpu.SetBMI2(false)
+			prevA := cpu.SetAES(false)
+			fn, keys := benchBackendSynth(b, c.expr, c.fam)
+			cpu.SetBMI2(prevB)
+			cpu.SetAES(prevA)
+			b.ResetTimer()
+			var v uint64
+			for i := 0; i < b.N; i++ {
+				v ^= fn(keys[i&1023])
+			}
+			benchHWSink = v
+		})
+	}
+}

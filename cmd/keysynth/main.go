@@ -184,11 +184,11 @@ func printStats(w io.Writer, tr *telemetry.CollectTracer, plans []*core.Plan) {
 		case p.Fallback:
 			fmt.Fprintf(w, "%-8s fallback to standard hash (format shorter than a word)\n", p.Family)
 		case p.Fixed:
-			fmt.Fprintf(w, "%-8s fixed len=%d loads=%d variable_bits=%d bijective=%v\n",
-				p.Family, p.KeyLen, len(p.Loads), p.HashBits, p.Bijective())
+			fmt.Fprintf(w, "%-8s fixed len=%d loads=%d variable_bits=%d bijective=%v backend=%v\n",
+				p.Family, p.KeyLen, len(p.Loads), p.HashBits, p.Bijective(), p.Backend)
 		default:
-			fmt.Fprintf(w, "%-8s variable len=[%d,%d] skip_loads=%d variable_bits=%d\n",
-				p.Family, p.Pattern.MinLen, p.Pattern.MaxLen, p.SkipLoads, p.HashBits)
+			fmt.Fprintf(w, "%-8s variable len=[%d,%d] skip_loads=%d variable_bits=%d backend=%v\n",
+				p.Family, p.Pattern.MinLen, p.Pattern.MaxLen, p.SkipLoads, p.HashBits, p.Backend)
 		}
 	}
 	fmt.Fprintln(w, "# phases")

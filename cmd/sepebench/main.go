@@ -31,6 +31,7 @@ import (
 	"github.com/sepe-go/sepe/internal/codegen"
 	"github.com/sepe-go/sepe/internal/container"
 	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/cpu"
 	"github.com/sepe-go/sepe/internal/entropy"
 	"github.com/sepe-go/sepe/internal/hashes"
 	"github.com/sepe-go/sepe/internal/infer"
@@ -67,8 +68,15 @@ func main() {
 			"serve live metrics (Prometheus text, or JSON with ?format=json) on this address while experiments run, e.g. :9090")
 		driftInj = flag.String("drift-inject", "",
 			"run the self-healing demo instead of experiments: FROM:TO key types, e.g. ssn:ipv4")
+		noHW = flag.Bool("nohw", false,
+			"disable the BMI2/AES-NI hardware kernels; synthesized functions run on the portable software tier")
 	)
 	flag.Parse()
+
+	if *noHW {
+		cpu.SetBMI2(false)
+		cpu.SetAES(false)
+	}
 
 	if *driftInj != "" {
 		if err := runDriftInject(*driftInj); err != nil {

@@ -1,3 +1,3 @@
 module github.com/sepe-go/sepe
 
-go 1.22
+go 1.24

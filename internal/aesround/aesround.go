@@ -145,7 +145,7 @@ func gmul3(b byte) byte { return xtime(b) ^ b }
 // hash family's trade.
 func PRF(state State, rounds int) State {
 	for i := 0; i < rounds; i++ {
-		state = Encrypt(state, prfKeys[i%len(prfKeys)])
+		state = EncryptHW(state, prfKeys[i%len(prfKeys)])
 	}
 	return state
 }

@@ -1,0 +1,45 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// The aesenc kernels the paper's generated C++ uses directly. State
+// memory order matches the State struct: Lo holds bytes 0–7, Hi
+// bytes 8–15, so packing Lo into the low qword of an XMM register
+// reproduces the instruction's byte indexing exactly. Callers gate on
+// cpu.AES(); these execute AESENC unconditionally.
+
+// func encryptHW(stateLo, stateHi, keyLo, keyHi uint64) (lo, hi uint64)
+TEXT ·encryptHW(SB), NOSPLIT, $0-48
+	MOVQ stateLo+0(FP), X0
+	MOVQ stateHi+8(FP), X1
+	PUNPCKLQDQ X1, X0            // X0 = state (Lo low, Hi high)
+	MOVQ keyLo+16(FP), X2
+	MOVQ keyHi+24(FP), X3
+	PUNPCKLQDQ X3, X2            // X2 = round key
+	AESENC X2, X0
+	MOVQ X0, lo+32(FP)
+	PSRLDQ $8, X0
+	MOVQ X0, hi+40(FP)
+	RET
+
+// func encrypt2XorHW(stateLo, stateHi, k0Lo, k0Hi, k1Lo, k1Hi uint64) uint64
+// The fused fixed-plan combiner: two aesenc rounds and the final
+// Lo^Hi fold of the two-load Aes closure in one call.
+TEXT ·encrypt2XorHW(SB), NOSPLIT, $0-56
+	MOVQ stateLo+0(FP), X0
+	MOVQ stateHi+8(FP), X1
+	PUNPCKLQDQ X1, X0
+	MOVQ k0Lo+16(FP), X2
+	MOVQ k0Hi+24(FP), X3
+	PUNPCKLQDQ X3, X2
+	MOVQ k1Lo+32(FP), X4
+	MOVQ k1Hi+40(FP), X5
+	PUNPCKLQDQ X5, X4
+	AESENC X2, X0
+	AESENC X4, X0
+	MOVQ X0, AX                  // Lo
+	PSRLDQ $8, X0
+	MOVQ X0, BX                  // Hi
+	XORQ BX, AX
+	MOVQ AX, ret+48(FP)
+	RET

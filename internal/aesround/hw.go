@@ -1,0 +1,34 @@
+package aesround
+
+import "github.com/sepe-go/sepe/internal/cpu"
+
+// HW reports whether the AESENC kernels are active: the build carries
+// them (amd64, no purego tag) and the CPU has AES-NI (and it has not
+// been disabled via internal/cpu). The plan compiler captures this at
+// compile time, mirroring SEPE's synthesis-time instruction
+// selection.
+func HW() bool { return hasAsm && cpu.AES() }
+
+// EncryptHW performs one aesenc round through the hardware kernel
+// when active, and through the T-table formulation otherwise. It
+// computes the same function as Encrypt (and the EncryptSlow
+// reference) for every input — the differential fuzz target
+// FuzzAesRoundHW pins this.
+func EncryptHW(state, key State) State {
+	if HW() {
+		lo, hi := encryptHW(state.Lo, state.Hi, key.Lo, key.Hi)
+		return State{Lo: lo, Hi: hi}
+	}
+	return Encrypt(state, key)
+}
+
+// Encrypt2Xor runs the two-round tail of the fixed Aes plans —
+// Encrypt(Encrypt(state, k0), k1), folded to Lo^Hi — fused into one
+// kernel call when the hardware path is active.
+func Encrypt2Xor(state, k0, k1 State) uint64 {
+	if HW() {
+		return encrypt2XorHW(state.Lo, state.Hi, k0.Lo, k0.Hi, k1.Lo, k1.Hi)
+	}
+	st := Encrypt(Encrypt(state, k0), k1)
+	return st.Lo ^ st.Hi
+}

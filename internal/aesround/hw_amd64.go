@@ -1,0 +1,11 @@
+//go:build amd64 && !purego
+
+package aesround
+
+// hasAsm marks builds that carry the AESENC kernels of
+// aesround_amd64.s; cpu.AES() decides whether they run.
+const hasAsm = true
+
+// The assembly kernels; callers gate on HW().
+func encryptHW(stateLo, stateHi, keyLo, keyHi uint64) (lo, hi uint64)
+func encrypt2XorHW(stateLo, stateHi, k0Lo, k0Hi, k1Lo, k1Hi uint64) uint64

@@ -1,0 +1,19 @@
+//go:build !amd64 || purego
+
+package aesround
+
+// hasAsm marks builds without the AESENC kernels; HW() is then false
+// and these bit-identical stand-ins only exist so routing code
+// compiles everywhere.
+const hasAsm = false
+
+func encryptHW(stateLo, stateHi, keyLo, keyHi uint64) (lo, hi uint64) {
+	st := Encrypt(State{Lo: stateLo, Hi: stateHi}, State{Lo: keyLo, Hi: keyHi})
+	return st.Lo, st.Hi
+}
+
+func encrypt2XorHW(stateLo, stateHi, k0Lo, k0Hi, k1Lo, k1Hi uint64) uint64 {
+	lo, hi := encryptHW(stateLo, stateHi, k0Lo, k0Hi)
+	lo, hi = encryptHW(lo, hi, k1Lo, k1Hi)
+	return lo ^ hi
+}

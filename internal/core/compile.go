@@ -6,6 +6,7 @@ import (
 	"github.com/sepe-go/sepe/internal/aesround"
 	"github.com/sepe-go/sepe/internal/hashes"
 	"github.com/sepe-go/sepe/internal/pattern"
+	"github.com/sepe-go/sepe/internal/pext"
 )
 
 // Func is a compiled hash function over string keys.
@@ -19,13 +20,24 @@ var (
 	aesKey1 = aesround.State{Lo: 0xD3535D4A3EC4E2C3, Hi: 0xB924A4A8B1CF7B01}
 )
 
-// Compile lowers the plan to an executable closure. The compiler plays
-// the role of SEPE's emitted C++: fixed plans with few loads become
+// Compile lowers the plan to an executable closure and records the
+// execution tier it selected in p.Backend. The compiler plays the
+// role of SEPE's emitted C++: fixed plans with few loads become
 // straight-line closures (the "unrolled" code of Section 3.2.2),
 // larger or variable plans use the skip-table loop of Section 3.2.1.
+// Like SEPE choosing between the pext intrinsic and its software
+// expansion at generation time, the backend — PEXTQ/AESENC kernels or
+// the portable networks — is chosen here, once, from internal/cpu
+// feature detection; the hot closures carry no feature branches.
 func (p *Plan) Compile() Func {
+	fn, backend := p.compile()
+	p.Backend = backend
+	return fn
+}
+
+func (p *Plan) compile() (Func, Backend) {
 	if p.Fallback {
-		return hashes.STL
+		return hashes.STL, BackendFallback
 	}
 	switch p.Family {
 	case Aes:
@@ -65,23 +77,52 @@ func maxEnd(loads []Load) int {
 	return need
 }
 
+// anyHW reports whether any of the loads' extraction networks
+// selected the hardware kernel — the backend label of the closures
+// that execute extractions through the Extractor rather than the
+// fused kernels.
+func anyHW(loads []Load) bool {
+	for i := range loads {
+		if loads[i].ext != nil && loads[i].ext.HW() {
+			return true
+		}
+	}
+	return false
+}
+
 // compileXorFixed serves Naive, OffXor and Pext on fixed-length keys:
 // the families differ only in which loads exist and which extraction
-// each load carries. Small load counts get dedicated closures so the
-// hot path is straight-line code, as in the paper's generated
-// functions (Figure 5c's OffXor for IPv4 is the two-load case).
-func compileXorFixed(loads []Load) Func {
+// each load carries. The common shapes compile to dedicated
+// straight-line closures with no []Load iteration and no Partial/ext
+// branches — as in the paper's generated functions (Figure 5c's
+// OffXor for IPv4 is the two-load plain case); only load shapes the
+// current planners never emit take the generic path.
+func compileXorFixed(loads []Load) (Func, Backend) {
 	if f := compilePlainXor(loads); f != nil {
-		return f
+		return f, BackendSoftware
 	}
-	if f := compilePextXor(loads); f != nil {
-		return f
+	if f, bk, ok := compilePextXor(loads); ok {
+		return f, bk
 	}
+	if f, bk, ok := compilePartialSingle(loads); ok {
+		return f, bk
+	}
+	return compileGenericXor(loads)
+}
+
+// compileGenericXor is the defensive path for mixed load shapes
+// (partial loads combined with extractions): correct for anything,
+// specialized for nothing.
+func compileGenericXor(loads []Load) (Func, Backend) {
 	need := maxEnd(loads)
+	bk := BackendSoftware
+	if anyHW(loads) {
+		bk = BackendHardware
+	}
 	switch len(loads) {
 	case 0:
 		// Fully-constant format: a single key exists, hash constant.
-		return func(string) uint64 { return 0 }
+		return func(string) uint64 { return 0 }, BackendSoftware
 	case 1:
 		l0 := loads[0]
 		return func(key string) uint64 {
@@ -89,7 +130,7 @@ func compileXorFixed(loads []Load) Func {
 				return hashes.STL(key)
 			}
 			return l0.extract(word(key, &l0))
-		}
+		}, bk
 	case 2:
 		l0, l1 := loads[0], loads[1]
 		return func(key string) uint64 {
@@ -97,7 +138,7 @@ func compileXorFixed(loads []Load) Func {
 				return hashes.STL(key)
 			}
 			return l0.extract(word(key, &l0)) ^ l1.extract(word(key, &l1))
-		}
+		}, bk
 	default:
 		ls := append([]Load(nil), loads...)
 		return func(key string) uint64 {
@@ -109,7 +150,7 @@ func compileXorFixed(loads []Load) Func {
 				h ^= ls[i].extract(word(key, &ls[i]))
 			}
 			return h
-		}
+		}, bk
 	}
 }
 
@@ -123,6 +164,9 @@ func compilePlainXor(loads []Load) Func {
 		if l.ext != nil || l.Shift != 0 || l.Partial != 0 {
 			return nil
 		}
+	}
+	if len(loads) == 0 {
+		return nil // let compileGenericXor own the constant-format case
 	}
 	need := maxEnd(loads)
 	switch len(loads) {
@@ -178,43 +222,113 @@ func compilePlainXor(loads []Load) Func {
 	}
 }
 
-// compilePextXor emits closures for one- and two-load Pext plans —
-// the common fixed-format case (formats with ≤ 64 variable bits fit
-// in two overlapping loads). The extraction networks are captured by
-// value so the hot path has no pointer chasing.
-func compilePextXor(loads []Load) Func {
+// compilePextXor emits closures for one- to three-load Pext plans on
+// full-word loads — the common fixed-format case (formats with ≤ 64
+// variable bits fit in two overlapping loads). With the PEXT hardware
+// active the whole hash — loads, extractions, packing rotations, xor
+// — is one fused assembly kernel (internal/pext.Hash1/2/3), the exact
+// shape of the paper's generated pext code. On the software tier the
+// extraction networks are captured by value and the packing rotation
+// is elided for loads with Shift == 0 (always the first load, by
+// packShifts' construction).
+func compilePextXor(loads []Load) (Func, Backend, bool) {
+	if len(loads) == 0 || len(loads) > 3 {
+		return nil, 0, false
+	}
 	for i := range loads {
 		if loads[i].ext == nil || loads[i].Partial != 0 {
-			return nil
+			return nil, 0, false
 		}
 	}
 	need := maxEnd(loads)
+	if pext.HW() {
+		switch len(loads) {
+		case 1:
+			o0, m0, r0 := loads[0].Offset, loads[0].Mask, uint64(loads[0].Shift)
+			return func(key string) uint64 {
+				if len(key) < need {
+					return hashes.STL(key)
+				}
+				return pext.Hash1(key, o0, m0, r0)
+			}, BackendHardware, true
+		case 2:
+			o0, m0, r0 := loads[0].Offset, loads[0].Mask, uint64(loads[0].Shift)
+			o1, m1, r1 := loads[1].Offset, loads[1].Mask, uint64(loads[1].Shift)
+			return func(key string) uint64 {
+				if len(key) < need {
+					return hashes.STL(key)
+				}
+				return pext.Hash2(key, o0, m0, r0, o1, m1, r1)
+			}, BackendHardware, true
+		default:
+			o0, m0, r0 := loads[0].Offset, loads[0].Mask, uint64(loads[0].Shift)
+			o1, m1, r1 := loads[1].Offset, loads[1].Mask, uint64(loads[1].Shift)
+			o2, m2, r2 := loads[2].Offset, loads[2].Mask, uint64(loads[2].Shift)
+			return func(key string) uint64 {
+				if len(key) < need {
+					return hashes.STL(key)
+				}
+				return pext.Hash3(key, o0, m0, r0, o1, m1, r1, o2, m2, r2)
+			}, BackendHardware, true
+		}
+	}
+	bk := BackendSoftware
+	if anyHW(loads) {
+		bk = BackendHardware
+	}
 	switch len(loads) {
 	case 1:
 		o0, s0 := loads[0].Offset, int(loads[0].Shift)
 		e0 := loads[0].ext.Fn()
+		if s0 == 0 {
+			return func(key string) uint64 {
+				if len(key) < need {
+					return hashes.STL(key)
+				}
+				return e0(hashes.LoadU64(key, o0))
+			}, bk, true
+		}
 		return func(key string) uint64 {
 			if len(key) < need {
 				return hashes.STL(key)
 			}
 			return bits.RotateLeft64(e0(hashes.LoadU64(key, o0)), s0)
-		}
+		}, bk, true
 	case 2:
 		o0, s0 := loads[0].Offset, int(loads[0].Shift)
 		o1, s1 := loads[1].Offset, int(loads[1].Shift)
 		e0, e1 := loads[0].ext.Fn(), loads[1].ext.Fn()
+		if s0 == 0 {
+			return func(key string) uint64 {
+				if len(key) < need {
+					return hashes.STL(key)
+				}
+				return e0(hashes.LoadU64(key, o0)) ^
+					bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1)
+			}, bk, true
+		}
 		return func(key string) uint64 {
 			if len(key) < need {
 				return hashes.STL(key)
 			}
 			return bits.RotateLeft64(e0(hashes.LoadU64(key, o0)), s0) ^
 				bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1)
-		}
-	case 3:
+		}, bk, true
+	default:
 		o0, s0 := loads[0].Offset, int(loads[0].Shift)
 		o1, s1 := loads[1].Offset, int(loads[1].Shift)
 		o2, s2 := loads[2].Offset, int(loads[2].Shift)
 		e0, e1, e2 := loads[0].ext.Fn(), loads[1].ext.Fn(), loads[2].ext.Fn()
+		if s0 == 0 {
+			return func(key string) uint64 {
+				if len(key) < need {
+					return hashes.STL(key)
+				}
+				return e0(hashes.LoadU64(key, o0)) ^
+					bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1) ^
+					bits.RotateLeft64(e2(hashes.LoadU64(key, o2)), s2)
+			}, bk, true
+		}
 		return func(key string) uint64 {
 			if len(key) < need {
 				return hashes.STL(key)
@@ -222,20 +336,73 @@ func compilePextXor(loads []Load) Func {
 			return bits.RotateLeft64(e0(hashes.LoadU64(key, o0)), s0) ^
 				bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1) ^
 				bits.RotateLeft64(e2(hashes.LoadU64(key, o2)), s2)
-		}
-	default:
-		return nil
+		}, bk, true
 	}
+}
+
+// compilePartialSingle serves the short-format plans (buildShortPlan:
+// one partial load at offset 0, possibly extracted) with a dedicated
+// closure instead of the generic word()/extract() path, eliding the
+// rotation when the shift is zero — which it always is for a single
+// load.
+func compilePartialSingle(loads []Load) (Func, Backend, bool) {
+	if len(loads) != 1 || loads[0].Partial == 0 {
+		return nil, 0, false
+	}
+	l := loads[0]
+	o, n := l.Offset, l.Partial
+	need := o + n
+	s := int(l.Shift)
+	if l.ext == nil {
+		if s == 0 {
+			return func(key string) uint64 {
+				if len(key) < need {
+					return hashes.STL(key)
+				}
+				return hashes.LoadTail(key, o, n)
+			}, BackendSoftware, true
+		}
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			return bits.RotateLeft64(hashes.LoadTail(key, o, n), s)
+		}, BackendSoftware, true
+	}
+	bk := BackendSoftware
+	if l.ext.HW() {
+		bk = BackendHardware
+	}
+	e := l.ext.Fn()
+	if s == 0 {
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			return e(hashes.LoadTail(key, o, n))
+		}, bk, true
+	}
+	return func(key string) uint64 {
+		if len(key) < need {
+			return hashes.STL(key)
+		}
+		return bits.RotateLeft64(e(hashes.LoadTail(key, o, n)), s)
+	}, bk, true
 }
 
 // compileXorVariable implements the skip-table loop of Figure 8 for
 // the xor-based families, with a byte tail for the unaligned and
-// beyond-MinLen remainder.
-func compileXorVariable(p *Plan) Func {
+// beyond-MinLen remainder. Pext extractions route through each load's
+// Extractor, which carries its own backend decision.
+func compileXorVariable(p *Plan) (Func, Backend) {
 	skip := append([]int(nil), p.Skip...)
 	nLoads := p.SkipLoads
 	if p.Family == Pext {
 		loads := append([]Load(nil), p.Loads...)
+		bk := BackendSoftware
+		if anyHW(loads) {
+			bk = BackendHardware
+		}
 		return func(key string) uint64 {
 			var h uint64
 			pos := 0
@@ -248,7 +415,7 @@ func compileXorVariable(p *Plan) Func {
 				pos = loads[i].Offset + pattern.WordSize
 			}
 			return h ^ byteTail(key, pos)
-		}
+		}, bk
 	}
 	return func(key string) uint64 {
 		var h uint64
@@ -259,7 +426,7 @@ func compileXorVariable(p *Plan) Func {
 			pos += skip[c+1]
 		}
 		return h ^ byteTail(key, pos)
-	}
+	}, BackendSoftware
 }
 
 // byteTail folds the bytes of key[pos:] into a word — the
@@ -283,24 +450,65 @@ func byteTail(key string, pos int) uint64 {
 // 128-bit state, applying one AES round per pair; for an odd load the
 // word is replicated into both lanes (the paper notes this replication
 // for short keys, and its cost: Aes's 9 true collisions all come from
-// keys shorter than 16 bytes).
-func compileAesFixed(loads []Load) Func {
+// keys shorter than 16 bytes). The common two-load shape — one
+// 128-bit state, two rounds, fold — fuses into a single AESENC kernel
+// call when AES-NI is active.
+func compileAesFixed(loads []Load) (Func, Backend) {
 	ls := append([]Load(nil), loads...)
 	need := maxEnd(ls)
-	if len(ls) == 2 {
-		l0, l1 := ls[0], ls[1]
+	if len(ls) == 1 && ls[0].Partial == 0 {
+		// One load, replicated into both lanes — the generic loop's
+		// odd-load case, flattened to two rounds and a fold.
+		o0 := ls[0].Offset
+		if aesround.HW() {
+			return func(key string) uint64 {
+				if len(key) < need {
+					return hashes.STL(key)
+				}
+				w := hashes.LoadU64(key, o0)
+				return aesround.Encrypt2Xor(aesround.State{Lo: w, Hi: w}, aesKey0, aesKey1)
+			}, BackendHardware
+		}
+		return func(key string) uint64 {
+			if len(key) < need {
+				return hashes.STL(key)
+			}
+			w := hashes.LoadU64(key, o0)
+			st := aesround.Encrypt(aesround.State{Lo: w, Hi: w}, aesKey0)
+			st = aesround.Encrypt(st, aesKey1)
+			return st.Lo ^ st.Hi
+		}, BackendSoftware
+	}
+	if len(ls) == 2 && ls[0].Partial == 0 && ls[1].Partial == 0 {
+		o0, o1 := ls[0].Offset, ls[1].Offset
+		if aesround.HW() {
+			return func(key string) uint64 {
+				if len(key) < need {
+					return hashes.STL(key)
+				}
+				st := aesround.State{
+					Lo: hashes.LoadU64(key, o0),
+					Hi: hashes.LoadU64(key, o1),
+				}
+				return aesround.Encrypt2Xor(st, aesKey0, aesKey1)
+			}, BackendHardware
+		}
 		return func(key string) uint64 {
 			if len(key) < need {
 				return hashes.STL(key)
 			}
 			st := aesround.State{
-				Lo: word(key, &l0),
-				Hi: word(key, &l1),
+				Lo: hashes.LoadU64(key, o0),
+				Hi: hashes.LoadU64(key, o1),
 			}
 			st = aesround.Encrypt(st, aesKey0)
 			st = aesround.Encrypt(st, aesKey1)
 			return st.Lo ^ st.Hi
-		}
+		}, BackendSoftware
+	}
+	bk := BackendSoftware
+	if aesround.HW() {
+		bk = BackendHardware
 	}
 	return func(key string) uint64 {
 		if len(key) < need {
@@ -315,17 +523,22 @@ func compileAesFixed(loads []Load) Func {
 			}
 			st.Lo ^= lo
 			st.Hi ^= hi
-			st = aesround.Encrypt(st, aesKey0)
+			st = aesround.EncryptHW(st, aesKey0)
 		}
-		st = aesround.Encrypt(st, aesKey1)
+		st = aesround.EncryptHW(st, aesKey1)
 		return st.Lo ^ st.Hi
-	}
+	}, bk
 }
 
-// compileAesVariable is the skip-table loop with AES combining.
-func compileAesVariable(p *Plan) Func {
+// compileAesVariable is the skip-table loop with AES combining; the
+// per-pair round routes through the AESENC kernel when active.
+func compileAesVariable(p *Plan) (Func, Backend) {
 	skip := append([]int(nil), p.Skip...)
 	nLoads := p.SkipLoads
+	bk := BackendSoftware
+	if aesround.HW() {
+		bk = BackendHardware
+	}
 	return func(key string) uint64 {
 		var st aesround.State
 		pos := skip[0]
@@ -338,14 +551,14 @@ func compileAesVariable(p *Plan) Func {
 				lane = 1
 			} else {
 				st.Hi ^= w
-				st = aesround.Encrypt(st, aesKey0)
+				st = aesround.EncryptHW(st, aesKey0)
 				lane = 0
 			}
 			pos += skip[c+1]
 		}
 		st.Hi ^= byteTail(key, pos)
-		st = aesround.Encrypt(st, aesKey0)
-		st = aesround.Encrypt(st, aesKey1)
+		st = aesround.EncryptHW(st, aesKey0)
+		st = aesround.EncryptHW(st, aesKey1)
 		return st.Lo ^ st.Hi
-	}
+	}, bk
 }

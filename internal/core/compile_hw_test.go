@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/aesround"
+	"github.com/sepe-go/sepe/internal/cpu"
+	"github.com/sepe-go/sepe/internal/pext"
+)
+
+// withHW runs f once with the hardware kernels enabled (if this
+// machine detects them) and once with both disabled, restoring the
+// previous state afterwards. The label passed to f names the active
+// configuration.
+func withHW(t *testing.T, f func(t *testing.T, label string)) {
+	t.Helper()
+	prevB := cpu.SetBMI2(true)
+	prevA := cpu.SetAES(true)
+	defer func() {
+		cpu.SetBMI2(prevB)
+		cpu.SetAES(prevA)
+	}()
+	t.Run("hw", func(t *testing.T) { f(t, "hw") })
+	cpu.SetBMI2(false)
+	cpu.SetAES(false)
+	t.Run("sw", func(t *testing.T) { f(t, "sw") })
+}
+
+// TestCompileBackendsAgree is the compiler-level differential test:
+// for every family and every test format, the function compiled with
+// the hardware kernels enabled and the one compiled with them forced
+// off must hash every sample key identically. This is what lets the
+// backend be chosen at compile time without changing any observable
+// behaviour — containers keyed by one backend's hashes stay valid
+// under the other.
+func TestCompileBackendsAgree(t *testing.T) {
+	short := format{
+		name: "SHORT",
+		expr: `[0-9]{4}`,
+		gen:  func(i int) string { return fmt4(i) },
+	}
+	vrbl := format{
+		name: "VAR",
+		expr: `key=[a-z]{8,24}`,
+		gen: func(i int) string {
+			n := 8 + i%17
+			b := make([]byte, n)
+			for j := range b {
+				b[j] = byte('a' + (i>>uint(j%8))%26)
+			}
+			return "key=" + string(b)
+		},
+	}
+	formats := append([]format{short, vrbl}, testFormats...)
+	for _, fam := range Families {
+		for _, tf := range formats {
+			pat := mustPattern(t, tf.expr)
+			prevB := cpu.SetBMI2(false)
+			prevA := cpu.SetAES(false)
+			sw, errSW := Synthesize(pat, fam, Options{AllowShort: true})
+			cpu.SetBMI2(prevB)
+			cpu.SetAES(prevA)
+			hw, errHW := Synthesize(pat, fam, Options{AllowShort: true})
+			if errSW != nil || errHW != nil {
+				t.Fatalf("%v/%s: synth errors sw=%v hw=%v", fam, tf.name, errSW, errHW)
+			}
+			if sw.Backend() == BackendHardware {
+				t.Errorf("%v/%s: software synthesis reports hardware backend", fam, tf.name)
+			}
+			for i := 0; i < 2000; i++ {
+				key := tf.gen(i)
+				if g, w := hw.Hash(key), sw.Hash(key); g != w {
+					t.Fatalf("%v/%s (backend %v): hash(%q) = %#x, software = %#x",
+						fam, tf.name, hw.Backend(), key, g, w)
+				}
+			}
+			// Off-format and short keys must agree too: the closures'
+			// guard paths are backend-independent.
+			for _, key := range []string{"", "x", "0123456", "not-a-format-key!!"} {
+				if g, w := hw.Hash(key), sw.Hash(key); g != w {
+					t.Fatalf("%v/%s: off-format hash(%q) = %#x, software = %#x",
+						fam, tf.name, key, g, w)
+				}
+			}
+		}
+	}
+}
+
+func fmt4(i int) string {
+	d := func(n int) byte { return byte('0' + n%10) }
+	return string([]byte{d(i / 1000), d(i / 100), d(i / 10), d(i)})
+}
+
+// TestBackendReporting pins the Backend field: fallback plans report
+// BackendFallback; with kernels force-disabled everything else is
+// software; with kernels active (when the machine has them) the fixed
+// Pext and Aes plans report hardware.
+func TestBackendReporting(t *testing.T) {
+	pat := mustPattern(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+
+	fb, err := Synthesize(mustPattern(t, `[0-9]{4}`), Pext, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Backend() != BackendFallback {
+		t.Errorf("short-format backend = %v, want fallback", fb.Backend())
+	}
+
+	prevB := cpu.SetBMI2(false)
+	prevA := cpu.SetAES(false)
+	for _, fam := range Families {
+		fn, err := Synthesize(pat, fam, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fn.Backend() != BackendSoftware {
+			t.Errorf("%v with kernels disabled: backend = %v, want software", fam, fn.Backend())
+		}
+	}
+	cpu.SetBMI2(prevB)
+	cpu.SetAES(prevA)
+
+	if pext.HW() {
+		fn, err := Synthesize(pat, Pext, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fn.Backend() != BackendHardware {
+			t.Errorf("Pext with BMI2 active: backend = %v, want hardware", fn.Backend())
+		}
+	}
+	if aesround.HW() {
+		fn, err := Synthesize(pat, Aes, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fn.Backend() != BackendHardware {
+			t.Errorf("Aes with AES-NI active: backend = %v, want hardware", fn.Backend())
+		}
+	}
+	// Naive and OffXor have no extraction or AES rounds to accelerate.
+	for _, fam := range []Family{Naive, OffXor} {
+		fn, err := Synthesize(pat, fam, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fn.Backend() != BackendSoftware {
+			t.Errorf("%v: backend = %v, want software", fam, fn.Backend())
+		}
+	}
+}
+
+// TestBackendString covers the names tools print.
+func TestBackendString(t *testing.T) {
+	cases := map[Backend]string{
+		BackendSoftware: "software",
+		BackendHardware: "hardware",
+		BackendFallback: "fallback",
+		Backend(9):      "Backend(9)",
+	}
+	for b, want := range cases {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(b), b.String(), want)
+		}
+	}
+}
+
+// TestInvertBothBackends: plan inversion routes Deposit64 through the
+// hardware PDEP when active; the reconstructed keys must match the
+// software path bit for bit, and round-trip hash∘invert must be the
+// identity on the image under both.
+func TestInvertBothBackends(t *testing.T) {
+	pat := mustPattern(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	withHW(t, func(t *testing.T, label string) {
+		fn, err := Synthesize(pat, Pext, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fn.Plan().Bijective() {
+			t.Fatal("SSN Pext plan must be bijective")
+		}
+		for i := 0; i < 500; i++ {
+			key := testFormats[0].gen(i)
+			h := fn.Hash(key)
+			got, ok := fn.Invert(h)
+			if !ok || got != key {
+				t.Fatalf("[%s] Invert(%#x) = %q, %v; want %q", label, h, got, ok, key)
+			}
+		}
+	})
+}

@@ -102,6 +102,43 @@ func (t Target) Supports(f Family) bool {
 	}
 }
 
+// Backend identifies the execution tier a plan was compiled to. The
+// repository executes synthesized functions on a three-tier stack:
+// single-instruction hardware kernels (PEXTQ/AESENC, selected once at
+// compile time via internal/cpu feature detection), the portable
+// compiled software networks (shift/mask extraction, T-table AES),
+// and — for formats too short to specialize — the standard-library
+// fallback hash. The bit-at-a-time reference implementations in
+// internal/pext and internal/aesround are not a runtime tier; they
+// are the differential-testing oracle all tiers are checked against.
+type Backend int
+
+const (
+	// BackendSoftware is the portable tier: compiled shift/mask
+	// networks and the T-table AES round.
+	BackendSoftware Backend = iota
+	// BackendHardware means the closure executes at least one
+	// single-instruction kernel (PEXTQ or AESENC).
+	BackendHardware
+	// BackendFallback means the plan delegates to the
+	// standard-library hash (format shorter than a machine word).
+	BackendFallback
+)
+
+// String names the backend for reports and tool output.
+func (b Backend) String() string {
+	switch b {
+	case BackendSoftware:
+		return "software"
+	case BackendHardware:
+		return "hardware"
+	case BackendFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
 // Options configure synthesis.
 type Options struct {
 	// Target selects the architecture; the zero value means TargetX86.

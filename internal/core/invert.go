@@ -36,7 +36,7 @@ func (p *Plan) Invert(h uint64) (string, bool) {
 		// Undo the packing rotation, then scatter the extraction back
 		// to its in-word bit positions.
 		extracted := bits.RotateLeft64(h&window, -int(l.Shift))
-		word := pext.Deposit64(extracted, l.Mask)
+		word := pext.Deposit64HW(extracted, l.Mask)
 		for i := 0; i < 8; i++ {
 			m := byte(l.Mask >> (8 * i))
 			if m == 0 {

@@ -75,6 +75,11 @@ type Plan struct {
 	// when ≤ 64 and the family is Pext, the function is a bijection
 	// on the format (zero true collisions, Section 4.2).
 	HashBits int
+	// Backend records the execution tier Compile selected (hardware
+	// kernels, software networks, or the standard-hash fallback).
+	// It is set by Compile; a plan that was never compiled reports
+	// BackendSoftware, the zero value.
+	Backend Backend
 }
 
 // Bijective reports whether the plan provably maps distinct format

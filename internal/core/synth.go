@@ -79,6 +79,9 @@ func (f *Fn) Family() Family { return f.plan.Family }
 // Pattern returns the key format the function is specialized to.
 func (f *Fn) Pattern() *pattern.Pattern { return f.plan.Pattern }
 
+// Backend returns the execution tier the function was compiled to.
+func (f *Fn) Backend() Backend { return f.plan.Backend }
+
 // String summarizes the function.
 func (f *Fn) String() string {
 	p := f.plan

@@ -1,0 +1,80 @@
+// Package cpu detects, at process start, the instruction-set
+// extensions the hardware execution backend needs: BMI2 (the PEXT
+// parallel bit-extract the Pext family is named after) and AES-NI
+// (the AESENC round the Aes family is built on). The rest of the
+// repository asks this package — never /proc or build tags — whether
+// the single-instruction kernels in internal/pext and
+// internal/aesround may be used.
+//
+// Detection is overridable downward only: SetBMI2/SetAES (or the
+// SEPE_NOHW environment variable, read once at init) can disable a
+// feature the CPU has, so CI and benchmarks exercise the portable
+// software path deterministically on any runner, but they can never
+// enable a kernel the CPU would fault on. Builds with the purego tag
+// (and non-amd64 builds) detect nothing, making the software path the
+// only path.
+//
+// SEPE_NOHW accepts a comma-separated list of features to disable:
+// "pext" (or "bmi2"), "aes", or "1"/"all" for everything.
+package cpu
+
+import (
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+// detected* hold what the hardware actually supports; the atomic
+// flags below hold the effective setting (detection ∧ overrides).
+var (
+	detectedBMI2 bool
+	detectedAES  bool
+
+	bmi2 atomic.Bool
+	aes  atomic.Bool
+)
+
+func init() {
+	detectedBMI2, detectedAES = detect()
+	offPext, offAes := parseNoHW(os.Getenv("SEPE_NOHW"))
+	bmi2.Store(detectedBMI2 && !offPext)
+	aes.Store(detectedAES && !offAes)
+}
+
+// parseNoHW interprets the SEPE_NOHW value; it is split from init so
+// tests can exercise the parsing without mutating the environment.
+func parseNoHW(v string) (offPext, offAes bool) {
+	for _, f := range strings.Split(v, ",") {
+		switch strings.ToLower(strings.TrimSpace(f)) {
+		case "1", "all", "true":
+			offPext, offAes = true, true
+		case "pext", "bmi2":
+			offPext = true
+		case "aes", "aesni", "aes-ni":
+			offAes = true
+		}
+	}
+	return offPext, offAes
+}
+
+// BMI2 reports whether the PEXTQ kernels may be used.
+func BMI2() bool { return bmi2.Load() }
+
+// AES reports whether the AESENC kernels may be used.
+func AES() bool { return aes.Load() }
+
+// SetBMI2 enables or disables the PEXTQ kernels and returns the
+// previous effective setting. Enabling is clamped to what the CPU
+// supports: on hardware without BMI2 (or under the purego tag) the
+// feature stays off regardless of on.
+func SetBMI2(on bool) (prev bool) { return bmi2.Swap(on && detectedBMI2) }
+
+// SetAES enables or disables the AESENC kernels and returns the
+// previous effective setting, clamped like SetBMI2.
+func SetAES(on bool) (prev bool) { return aes.Swap(on && detectedAES) }
+
+// DetectedBMI2 reports the raw detection result, before overrides.
+func DetectedBMI2() bool { return detectedBMI2 }
+
+// DetectedAES reports the raw detection result, before overrides.
+func DetectedAES() bool { return detectedAES }

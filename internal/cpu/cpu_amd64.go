@@ -1,0 +1,25 @@
+//go:build amd64 && !purego
+
+package cpu
+
+// cpuid executes the CPUID instruction with the given leaf and
+// subleaf (EAX and ECX inputs). Implemented in cpuid_amd64.s.
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// detect queries the CPU directly. BMI2 is CPUID.(EAX=7,ECX=0):EBX
+// bit 8; AES-NI is CPUID.(EAX=1):ECX bit 25. Neither uses AVX state,
+// so no XGETBV/OS-enablement check is needed: PEXTQ works on
+// general-purpose registers and AESENC on the SSE state every amd64
+// OS context-switches.
+func detect() (hasBMI2, hasAES bool) {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf >= 1 {
+		_, _, ecx, _ := cpuid(1, 0)
+		hasAES = ecx&(1<<25) != 0
+	}
+	if maxLeaf >= 7 {
+		_, ebx, _, _ := cpuid(7, 0)
+		hasBMI2 = ebx&(1<<8) != 0
+	}
+	return hasBMI2, hasAES
+}

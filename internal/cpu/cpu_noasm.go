@@ -1,0 +1,8 @@
+//go:build !amd64 || purego
+
+package cpu
+
+// detect reports no hardware features: non-amd64 builds have no
+// kernels to dispatch to, and the purego tag deliberately excludes
+// them so the portable path can be tested on any machine.
+func detect() (hasBMI2, hasAES bool) { return false, false }

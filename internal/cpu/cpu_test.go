@@ -1,0 +1,88 @@
+package cpu
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestDetectionConsistency: the effective flags can never exceed the
+// detected capability, and purego/non-amd64 builds detect nothing.
+func TestDetectionConsistency(t *testing.T) {
+	if BMI2() && !DetectedBMI2() {
+		t.Fatal("BMI2 effective without detection")
+	}
+	if AES() && !DetectedAES() {
+		t.Fatal("AES effective without detection")
+	}
+	if runtime.GOARCH != "amd64" && (DetectedBMI2() || DetectedAES()) {
+		t.Fatalf("non-amd64 build detected hardware features: bmi2=%v aes=%v",
+			DetectedBMI2(), DetectedAES())
+	}
+}
+
+// TestSettersClampToDetection: disabling always works; enabling never
+// exceeds what the CPU supports.
+func TestSettersClampToDetection(t *testing.T) {
+	defer SetBMI2(DetectedBMI2())
+	defer SetAES(DetectedAES())
+
+	SetBMI2(false)
+	if BMI2() {
+		t.Fatal("SetBMI2(false) did not disable")
+	}
+	SetBMI2(true)
+	if BMI2() != DetectedBMI2() {
+		t.Fatalf("SetBMI2(true): effective %v, detected %v", BMI2(), DetectedBMI2())
+	}
+
+	SetAES(false)
+	if AES() {
+		t.Fatal("SetAES(false) did not disable")
+	}
+	SetAES(true)
+	if AES() != DetectedAES() {
+		t.Fatalf("SetAES(true): effective %v, detected %v", AES(), DetectedAES())
+	}
+}
+
+// TestSettersReturnPrevious: the setters report the prior effective
+// value so callers can save/restore around a scoped override.
+func TestSettersReturnPrevious(t *testing.T) {
+	defer SetBMI2(DetectedBMI2())
+	was := BMI2()
+	if prev := SetBMI2(false); prev != was {
+		t.Fatalf("SetBMI2 returned %v, previous state was %v", prev, was)
+	}
+	if prev := SetBMI2(was); prev != false {
+		t.Fatalf("SetBMI2 returned %v after disable", prev)
+	}
+}
+
+// TestParseNoHW covers the SEPE_NOHW grammar without touching the
+// real environment.
+func TestParseNoHW(t *testing.T) {
+	cases := []struct {
+		in              string
+		offPext, offAes bool
+	}{
+		{"", false, false},
+		{"1", true, true},
+		{"all", true, true},
+		{"true", true, true},
+		{"pext", true, false},
+		{"bmi2", true, false},
+		{"aes", false, true},
+		{"aesni", false, true},
+		{"aes-ni", false, true},
+		{"pext,aes", true, true},
+		{" PEXT , Aes ", true, true},
+		{"garbage", false, false},
+		{"garbage,aes", false, true},
+	}
+	for _, c := range cases {
+		p, a := parseNoHW(c.in)
+		if p != c.offPext || a != c.offAes {
+			t.Errorf("parseNoHW(%q) = %v,%v; want %v,%v", c.in, p, a, c.offPext, c.offAes)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package hashes
+
+import "testing"
+
+// loadTailLoop is the original byte-at-a-time implementation, kept
+// verbatim as the specification the branchless composition is tested
+// against.
+func loadTailLoop(s string, i, n int) uint64 {
+	var v uint64
+	for j := n - 1; j >= 0; j-- {
+		v = v<<8 | uint64(s[i+j])
+	}
+	return v
+}
+
+// TestLoadTailExhaustive: for every n ∈ [1,7] and every offset, the
+// overlapping-load composition equals the loop on data where every
+// byte is distinct (so a swapped, dropped or double-counted byte
+// changes the value).
+func TestLoadTailExhaustive(t *testing.T) {
+	var b [32]byte
+	for i := range b {
+		b[i] = byte(0x11*i + 7) // distinct, high-bit-exercising values
+	}
+	s := string(b[:])
+	for n := 1; n <= 7; n++ {
+		for i := 0; i+n <= len(s); i++ {
+			got, want := LoadTail(s, i, n), loadTailLoop(s, i, n)
+			if got != want {
+				t.Fatalf("LoadTail(s, %d, %d) = %#x, want %#x", i, n, got, want)
+			}
+		}
+	}
+}
+
+// TestLoadTailAllByteValues: every byte value reaches the right
+// position — catches sign-extension and shift-amount bugs the
+// distinct-bytes test could mask.
+func TestLoadTailAllByteValues(t *testing.T) {
+	for v := 0; v < 256; v++ {
+		var b [7]byte
+		for n := 1; n <= 7; n++ {
+			for pos := 0; pos < n; pos++ {
+				for i := range b {
+					b[i] = 0
+				}
+				b[pos] = byte(v)
+				s := string(b[:])
+				want := uint64(v) << (8 * uint(pos))
+				if got := LoadTail(s, 0, n); got != want {
+					t.Fatalf("LoadTail(byte %#x at %d, n=%d) = %#x, want %#x", v, pos, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLoadTailZeroAndNegative: non-positive lengths return 0, like
+// the loop they replace (core's word() never passes them, but the
+// helper is total).
+func TestLoadTailZeroAndNegative(t *testing.T) {
+	if got := LoadTail("abcdef", 2, 0); got != 0 {
+		t.Fatalf("LoadTail(n=0) = %#x, want 0", got)
+	}
+	if got := LoadTail("abcdef", 2, -3); got != 0 {
+		t.Fatalf("LoadTail(n=-3) = %#x, want 0", got)
+	}
+}
+
+// TestLoadU16 pins the new 2-byte load against first principles.
+func TestLoadU16(t *testing.T) {
+	s := "\x34\x12\xff\x00"
+	if got := LoadU16(s, 0); got != 0x1234 {
+		t.Fatalf("LoadU16(0) = %#x, want 0x1234", got)
+	}
+	if got := LoadU16(s, 1); got != 0xff12 {
+		t.Fatalf("LoadU16(1) = %#x, want 0xff12", got)
+	}
+	if got := LoadU16(s, 2); got != 0x00ff {
+		t.Fatalf("LoadU16(2) = %#x, want 0x00ff", got)
+	}
+}
+
+var loadSink uint64
+
+func BenchmarkLoadTail(b *testing.B) {
+	s := "0123456789abcdef"
+	b.Run("branchless", func(b *testing.B) {
+		var v uint64
+		for i := 0; i < b.N; i++ {
+			v ^= LoadTail(s, i&7, 1+i%7)
+		}
+		loadSink = v
+	})
+	b.Run("loop", func(b *testing.B) {
+		var v uint64
+		for i := 0; i < b.N; i++ {
+			v ^= loadTailLoop(s, i&7, 1+i%7)
+		}
+		loadSink = v
+	})
+}

@@ -1,0 +1,68 @@
+package pext
+
+import "github.com/sepe-go/sepe/internal/cpu"
+
+// HW reports whether the single-instruction PEXT kernels are active:
+// the build carries them (amd64, no purego tag) and the CPU has BMI2
+// (and it has not been disabled via internal/cpu). Extractors capture
+// this at Compile time, mirroring SEPE's synthesis-time instruction
+// selection; callers of the raw kernels must check it themselves.
+func HW() bool { return hasAsm && cpu.BMI2() }
+
+// Extract64HW is Extract64 through the hardware path when active: a
+// single PEXTQ instead of the bit-at-a-time loop. It computes the
+// same function as Extract64 for every (src, mask) — the differential
+// fuzz target FuzzPextHW pins this.
+func Extract64HW(src, mask uint64) uint64 {
+	if HW() {
+		return extract64HW(src, mask)
+	}
+	return Extract64(src, mask)
+}
+
+// Deposit64HW is Deposit64 through the hardware path when active
+// (PDEPQ), used by the bijective inverter.
+func Deposit64HW(src, mask uint64) uint64 {
+	if HW() {
+		return deposit64HW(src, mask)
+	}
+	return Deposit64(src, mask)
+}
+
+// ExtractSlice extracts mask from every word of src into dst,
+// returning the number of words processed (min of the lengths). With
+// hardware active the loop body is one PEXTQ; otherwise the mask is
+// compiled once and the shift/mask network is applied per word.
+func ExtractSlice(dst, src []uint64, mask uint64) int {
+	n := min(len(dst), len(src))
+	if HW() {
+		extractSliceHW(dst, src, mask)
+		return n
+	}
+	fn := Compile(mask).softwareFn()
+	for i := 0; i < n; i++ {
+		dst[i] = fn(src[i])
+	}
+	return n
+}
+
+// Hash1, Hash2 and Hash3 are the fused fixed-plan kernels: the loads,
+// extractions, packing rotations and xor combine of a compiled 1/2/3-
+// load Pext plan in a single call. oI/mI/rI are each load's byte
+// offset, pext mask and left rotation. The caller must guarantee
+// len(key) >= oI+8 for every load and should only route here when
+// HW() is true (on builds without the kernels a portable computation
+// of the same value runs instead).
+func Hash1(key string, o0 int, m0, r0 uint64) uint64 {
+	return hash1HW(key, o0, m0, r0)
+}
+
+// Hash2 is the two-load fused kernel; see Hash1.
+func Hash2(key string, o0 int, m0, r0 uint64, o1 int, m1, r1 uint64) uint64 {
+	return hash2HW(key, o0, m0, r0, o1, m1, r1)
+}
+
+// Hash3 is the three-load fused kernel; see Hash1.
+func Hash3(key string, o0 int, m0, r0 uint64, o1 int, m1, r1 uint64, o2 int, m2, r2 uint64) uint64 {
+	return hash3HW(key, o0, m0, r0, o1, m1, r1, o2, m2, r2)
+}

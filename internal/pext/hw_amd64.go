@@ -1,0 +1,20 @@
+//go:build amd64 && !purego
+
+package pext
+
+// hasAsm marks builds that carry the PEXTQ kernels of pext_amd64.s.
+// Whether they are used is still a runtime question (cpu.BMI2()).
+const hasAsm = true
+
+// The assembly kernels. They execute PEXTQ/PDEPQ unconditionally:
+// callers gate on HW().
+func extract64HW(src, mask uint64) uint64
+func deposit64HW(src, mask uint64) uint64
+func extractSliceHW(dst, src []uint64, mask uint64)
+
+// The fused fixed-plan kernels: loads, extractions, rotations and the
+// xor combine of a 1/2/3-load Pext plan in one call. The caller must
+// guarantee len(key) >= oI+8 for every load offset.
+func hash1HW(key string, o0 int, m0, r0 uint64) uint64
+func hash2HW(key string, o0 int, m0, r0 uint64, o1 int, m1, r1 uint64) uint64
+func hash3HW(key string, o0 int, m0, r0 uint64, o1 int, m1, r1 uint64, o2 int, m2, r2 uint64) uint64

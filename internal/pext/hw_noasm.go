@@ -1,0 +1,40 @@
+//go:build !amd64 || purego
+
+package pext
+
+import "math/bits"
+
+// hasAsm marks builds without the assembly kernels; HW() is then
+// false and the functions below are never on a hot path. They are
+// bit-identical stand-ins so routing code compiles (and stays
+// testable) everywhere.
+const hasAsm = false
+
+func extract64HW(src, mask uint64) uint64 { return Extract64(src, mask) }
+func deposit64HW(src, mask uint64) uint64 { return Deposit64(src, mask) }
+
+func extractSliceHW(dst, src []uint64, mask uint64) {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] = Extract64(src[i], mask)
+	}
+}
+
+func load64(key string, o int) uint64 {
+	_ = key[o+7]
+	return uint64(key[o]) | uint64(key[o+1])<<8 | uint64(key[o+2])<<16 |
+		uint64(key[o+3])<<24 | uint64(key[o+4])<<32 | uint64(key[o+5])<<40 |
+		uint64(key[o+6])<<48 | uint64(key[o+7])<<56
+}
+
+func hash1HW(key string, o0 int, m0, r0 uint64) uint64 {
+	return bits.RotateLeft64(Extract64(load64(key, o0), m0), int(r0))
+}
+
+func hash2HW(key string, o0 int, m0, r0 uint64, o1 int, m1, r1 uint64) uint64 {
+	return hash1HW(key, o0, m0, r0) ^ hash1HW(key, o1, m1, r1)
+}
+
+func hash3HW(key string, o0 int, m0, r0 uint64, o1 int, m1, r1 uint64, o2 int, m2, r2 uint64) uint64 {
+	return hash2HW(key, o0, m0, r0, o1, m1, r1) ^ hash1HW(key, o2, m2, r2)
+}

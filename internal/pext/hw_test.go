@@ -1,0 +1,217 @@
+package pext
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"github.com/sepe-go/sepe/internal/cpu"
+)
+
+// withBMI2 runs f twice, once per backend setting the CPU supports:
+// hardware enabled (a no-op on machines without BMI2) and hardware
+// disabled. Extractors compiled inside f capture the active setting.
+func withBMI2(t *testing.T, f func(t *testing.T, hw bool)) {
+	t.Helper()
+	defer cpu.SetBMI2(cpu.DetectedBMI2())
+	for _, on := range []bool{true, false} {
+		cpu.SetBMI2(on)
+		name := "software"
+		if HW() {
+			name = "hardware"
+		}
+		t.Run(name, func(t *testing.T) { f(t, HW()) })
+	}
+}
+
+// edgeMasks are the masks most likely to expose an off-by-one in a
+// kernel: empty, full, single bits at the extremes, alternating
+// patterns, and the digit mask of the paper's SSN example.
+var edgeMasks = []uint64{
+	0, ^uint64(0), 1, 1 << 63, 0x8000000000000001,
+	0x5555555555555555, 0xAAAAAAAAAAAAAAAA,
+	0x0F0F0F0F0F0F0F0F, 0xF0F0F0F0F0F0F0F0,
+	0x00000000FFFFFFFF, 0xFFFFFFFF00000000,
+	0x0F0F0F0F0F000F0F, // SSN digit mask with the dash skipped
+}
+
+// TestExtract64HWMatchesReference: the routed kernel is bit-identical
+// to the Figure 11 bit-at-a-time specification on edge masks and
+// arbitrary inputs, with hardware on and off.
+func TestExtract64HWMatchesReference(t *testing.T) {
+	withBMI2(t, func(t *testing.T, hw bool) {
+		for _, mask := range edgeMasks {
+			for _, src := range []uint64{0, ^uint64(0), 0xDEADBEEFCAFEBABE, 0x0123456789ABCDEF} {
+				if got, want := Extract64HW(src, mask), Extract64(src, mask); got != want {
+					t.Fatalf("hw=%v: Extract64HW(%#x, %#x) = %#x, want %#x", hw, src, mask, got, want)
+				}
+			}
+		}
+		if err := quick.Check(func(src, mask uint64) bool {
+			return Extract64HW(src, mask) == Extract64(src, mask)
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestDeposit64HWMatchesReference mirrors the extract test for PDEPQ.
+func TestDeposit64HWMatchesReference(t *testing.T) {
+	withBMI2(t, func(t *testing.T, hw bool) {
+		if err := quick.Check(func(src, mask uint64) bool {
+			return Deposit64HW(src, mask) == Deposit64(src, mask)
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestExtractorBothBackends: extractors compiled under each backend
+// agree with the reference, report their backend honestly, and the
+// software network stays reachable (SoftwareExtract) even when the
+// hardware path was selected.
+func TestExtractorBothBackends(t *testing.T) {
+	withBMI2(t, func(t *testing.T, hw bool) {
+		for _, mask := range edgeMasks {
+			e := Compile(mask)
+			if e.HW() && !hw {
+				t.Fatalf("mask %#x: extractor claims hardware with BMI2 disabled", mask)
+			}
+			if e.HW() && e.Steps() < hwMinSteps {
+				t.Fatalf("mask %#x: hardware selected below the %d-step threshold", mask, hwMinSteps)
+			}
+			fn := e.Fn()
+			for _, src := range []uint64{0, ^uint64(0), 0xDEADBEEFCAFEBABE, 0x5A5A5A5A5A5A5A5A} {
+				want := Extract64(src, mask)
+				if got := e.Extract(src); got != want {
+					t.Fatalf("hw=%v mask=%#x: Extract(%#x) = %#x, want %#x", e.HW(), mask, src, got, want)
+				}
+				if got := e.SoftwareExtract(src); got != want {
+					t.Fatalf("mask=%#x: SoftwareExtract(%#x) = %#x, want %#x", mask, src, got, want)
+				}
+				if got := fn(src); got != want {
+					t.Fatalf("hw=%v mask=%#x: Fn()(%#x) = %#x, want %#x", e.HW(), mask, src, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestExtractSliceBothPaths: the batch kernel equals per-word
+// reference extraction and honours the min-length contract.
+func TestExtractSliceBothPaths(t *testing.T) {
+	withBMI2(t, func(t *testing.T, hw bool) {
+		src := make([]uint64, 37)
+		state := uint64(0x9E3779B97F4A7C15)
+		for i := range src {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			src[i] = state
+		}
+		for _, mask := range edgeMasks {
+			dst := make([]uint64, len(src))
+			if n := ExtractSlice(dst, src, mask); n != len(src) {
+				t.Fatalf("ExtractSlice processed %d words, want %d", n, len(src))
+			}
+			for i, w := range src {
+				if want := Extract64(w, mask); dst[i] != want {
+					t.Fatalf("hw=%v mask=%#x: dst[%d] = %#x, want %#x", hw, mask, i, dst[i], want)
+				}
+			}
+			// Short destination: only the prefix is written.
+			short := make([]uint64, 5)
+			if n := ExtractSlice(short, src, mask); n != 5 {
+				t.Fatalf("short ExtractSlice processed %d, want 5", n)
+			}
+			// Short source: trailing destination words untouched.
+			dst2 := make([]uint64, len(src))
+			for i := range dst2 {
+				dst2[i] = 0xDEAD
+			}
+			if n := ExtractSlice(dst2, src[:3], mask); n != 3 {
+				t.Fatalf("short-src ExtractSlice processed %d, want 3", n)
+			}
+			for i := 3; i < len(dst2); i++ {
+				if dst2[i] != 0xDEAD {
+					t.Fatalf("ExtractSlice wrote past the source length at %d", i)
+				}
+			}
+		}
+	})
+}
+
+// hashRef composes the fused kernels' semantics from the reference
+// pieces: little-endian 8-byte load, bit-at-a-time extract, rotate.
+func hashRef(key string, o int, m, r uint64) uint64 {
+	var w uint64
+	for j := 7; j >= 0; j-- {
+		w = w<<8 | uint64(key[o+j])
+	}
+	return bits.RotateLeft64(Extract64(w, m), int(r))
+}
+
+// TestFusedHashKernels: Hash1/2/3 equal the composed reference on a
+// representative key for every edge mask, offset and rotation.
+func TestFusedHashKernels(t *testing.T) {
+	key := "078-05-1120\x00\xff fused kernel probe"
+	for _, m := range edgeMasks {
+		for _, o := range []int{0, 1, 3, len(key) - 8} {
+			for _, r := range []uint64{0, 1, 17, 52, 63} {
+				want1 := hashRef(key, o, m, r)
+				if got := Hash1(key, o, m, r); got != want1 {
+					t.Fatalf("Hash1(o=%d m=%#x r=%d) = %#x, want %#x", o, m, r, got, want1)
+				}
+				o1, m1, r1 := (o+5)%(len(key)-8), m>>1|1, (r+23)%64
+				want2 := want1 ^ hashRef(key, o1, m1, r1)
+				if got := Hash2(key, o, m, r, o1, m1, r1); got != want2 {
+					t.Fatalf("Hash2 = %#x, want %#x", got, want2)
+				}
+				o2, m2, r2 := (o+9)%(len(key)-8), m^0xFF00FF00FF00FF00, (r+41)%64
+				want3 := want2 ^ hashRef(key, o2, m2, r2)
+				if got := Hash3(key, o, m, r, o1, m1, r1, o2, m2, r2); got != want3 {
+					t.Fatalf("Hash3 = %#x, want %#x", got, want3)
+				}
+			}
+		}
+	}
+}
+
+// FuzzPextHW is the differential fuzz target of the hardware backend:
+// on arbitrary (src, mask) pairs the PEXTQ/PDEPQ kernels must agree
+// bit-for-bit with the bit-at-a-time reference specifications, and a
+// freshly compiled extractor (whichever backend it selects) must
+// agree on Extract, SoftwareExtract and Fn. On builds or machines
+// without BMI2 the kernel wrappers route to the reference and the
+// target degenerates to a self-check — intentionally, so the same
+// corpus runs everywhere.
+func FuzzPextHW(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0))
+	f.Add(uint64(0x3031323334353637), uint64(0x0F0F0F0F0F0F0F0F))
+	f.Add(uint64(0xDEADBEEFCAFEBABE), uint64(0x8000000000000001))
+	f.Fuzz(func(t *testing.T, src, mask uint64) {
+		want := Extract64(src, mask)
+		if got := Extract64HW(src, mask); got != want {
+			t.Fatalf("Extract64HW(%#x, %#x) = %#x, want %#x", src, mask, got, want)
+		}
+		if got, want := Deposit64HW(src, mask), Deposit64(src, mask); got != want {
+			t.Fatalf("Deposit64HW(%#x, %#x) = %#x, want %#x", src, mask, got, want)
+		}
+		e := Compile(mask)
+		if got := e.Extract(src); got != want {
+			t.Fatalf("Extract(%#x) [mask %#x, hw=%v] = %#x, want %#x", src, mask, e.HW(), got, want)
+		}
+		if got := e.SoftwareExtract(src); got != want {
+			t.Fatalf("SoftwareExtract(%#x) [mask %#x] = %#x, want %#x", src, mask, got, want)
+		}
+		if got := e.Fn()(src); got != want {
+			t.Fatalf("Fn()(%#x) [mask %#x, hw=%v] = %#x, want %#x", src, mask, e.HW(), got, want)
+		}
+		// Round-trip: depositing an extraction back through the same
+		// mask reproduces exactly the masked bits.
+		if got, want := Deposit64HW(want, mask), src&mask; got != want {
+			t.Fatalf("deposit∘extract(%#x, %#x) = %#x, want %#x", src, mask, got, want)
+		}
+	})
+}

@@ -1,0 +1,107 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// The single-instruction kernels real SEPE emits (Section 3.2.3): the
+// x86 PEXT instruction replaces the whole compiled shift/mask
+// network. Callers must gate on cpu.BMI2(); these functions execute
+// PEXTQ unconditionally.
+
+// func extract64HW(src, mask uint64) uint64
+TEXT ·extract64HW(SB), NOSPLIT, $0-24
+	MOVQ  src+0(FP), AX
+	PEXTQ mask+8(FP), AX, AX
+	MOVQ  AX, ret+16(FP)
+	RET
+
+// func deposit64HW(src, mask uint64) uint64
+TEXT ·deposit64HW(SB), NOSPLIT, $0-24
+	MOVQ  src+0(FP), AX
+	PDEPQ mask+8(FP), AX, AX
+	MOVQ  AX, ret+16(FP)
+	RET
+
+// func extractSliceHW(dst, src []uint64, mask uint64)
+// Batch extraction: dst[i] = pext(src[i], mask) for i < min(len(dst),
+// len(src)). The bound is computed here so the loop body is just
+// load, PEXTQ, store.
+TEXT ·extractSliceHW(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), BX
+	MOVQ mask+48(FP), R8
+	CMPQ BX, DX
+	CMOVQLT BX, DX       // DX = min(len(dst), len(src))
+	XORQ CX, CX
+
+loop:
+	CMPQ CX, DX
+	JGE  done
+	MOVQ (SI)(CX*8), AX
+	PEXTQ R8, AX, AX
+	MOVQ AX, (DI)(CX*8)
+	INCQ CX
+	JMP  loop
+
+done:
+	RET
+
+// The fused fixed-plan kernels: the entire hot path of a compiled
+// Pext plan — unaligned 8-byte loads from the key, one PEXTQ per
+// load, the packing rotation, and the xor combine — in one
+// straight-line assembly function, exactly the shape of the paper's
+// generated C++. The Go caller has already verified
+// len(key) >= offset+8 for every load, so the loads here are in
+// bounds by contract.
+
+// func hash1HW(key string, o0 int, m0, r0 uint64) uint64
+TEXT ·hash1HW(SB), NOSPLIT, $0-48
+	MOVQ  key_base+0(FP), SI
+	MOVQ  o0+16(FP), DI
+	MOVQ  (SI)(DI*1), AX
+	PEXTQ m0+24(FP), AX, AX
+	MOVQ  r0+32(FP), CX
+	ROLQ  CL, AX
+	MOVQ  AX, ret+40(FP)
+	RET
+
+// func hash2HW(key string, o0 int, m0, r0 uint64, o1 int, m1, r1 uint64) uint64
+TEXT ·hash2HW(SB), NOSPLIT, $0-72
+	MOVQ  key_base+0(FP), SI
+	MOVQ  o0+16(FP), DI
+	MOVQ  (SI)(DI*1), AX
+	PEXTQ m0+24(FP), AX, AX
+	MOVQ  r0+32(FP), CX
+	ROLQ  CL, AX
+	MOVQ  o1+40(FP), DI
+	MOVQ  (SI)(DI*1), BX
+	PEXTQ m1+48(FP), BX, BX
+	MOVQ  r1+56(FP), CX
+	ROLQ  CL, BX
+	XORQ  BX, AX
+	MOVQ  AX, ret+64(FP)
+	RET
+
+// func hash3HW(key string, o0 int, m0, r0 uint64, o1 int, m1, r1 uint64, o2 int, m2, r2 uint64) uint64
+TEXT ·hash3HW(SB), NOSPLIT, $0-96
+	MOVQ  key_base+0(FP), SI
+	MOVQ  o0+16(FP), DI
+	MOVQ  (SI)(DI*1), AX
+	PEXTQ m0+24(FP), AX, AX
+	MOVQ  r0+32(FP), CX
+	ROLQ  CL, AX
+	MOVQ  o1+40(FP), DI
+	MOVQ  (SI)(DI*1), BX
+	PEXTQ m1+48(FP), BX, BX
+	MOVQ  r1+56(FP), CX
+	ROLQ  CL, BX
+	XORQ  BX, AX
+	MOVQ  o2+64(FP), DI
+	MOVQ  (SI)(DI*1), BX
+	PEXTQ m2+72(FP), BX, BX
+	MOVQ  r2+80(FP), CX
+	ROLQ  CL, BX
+	XORQ  BX, AX
+	MOVQ  AX, ret+88(FP)
+	RET

@@ -66,6 +66,28 @@ var Families = []Family{Naive, OffXor, Aes, Pext}
 // String returns the paper's name of the family.
 func (f Family) String() string { return core.Family(f).String() }
 
+// Backend identifies the execution tier a synthesized function runs
+// on. Functions execute on a three-tier stack: hardware kernels
+// (BMI2 PEXT, AES-NI — selected once at synthesis time from CPU
+// feature detection), the portable compiled software networks, and
+// the standard-library fallback hash for formats too short to
+// specialize. Set SEPE_NOHW=1 (or pext / aes, comma-separated) to
+// pin synthesis to the software tier.
+type Backend = core.Backend
+
+// The execution tiers.
+const (
+	// BackendSoftware is the portable tier: compiled shift/mask
+	// networks and the table-driven AES round.
+	BackendSoftware = core.BackendSoftware
+	// BackendHardware means the function executes at least one
+	// single-instruction kernel (PEXT or AESENC).
+	BackendHardware = core.BackendHardware
+	// BackendFallback is the standard-library hash (format shorter
+	// than a machine word).
+	BackendFallback = core.BackendFallback
+)
+
 // Target describes the machine the function is synthesized for. The
 // aarch64 target lacks a parallel bit-extract instruction, so the Pext
 // family is unavailable there (the paper's RQ4).
@@ -237,6 +259,12 @@ func (h *Hash) Invert(v uint64) (string, bool) { return h.fn.Invert(v) }
 // Fallback reports whether synthesis fell back to the standard hash
 // because the format is shorter than a machine word.
 func (h *Hash) Fallback() bool { return h.fn.Plan().Fallback }
+
+// Backend returns the execution tier the function was compiled to —
+// hardware kernels, software networks, or the standard-hash fallback.
+// The tier is fixed at synthesis time; re-synthesizing after changing
+// the CPU feature overrides may select a different one.
+func (h *Hash) Backend() Backend { return h.fn.Backend() }
 
 // GoSource emits the function as Go source (one file; compile it with
 // SupportSource in the same package).

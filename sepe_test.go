@@ -451,3 +451,40 @@ func TestRecommend(t *testing.T) {
 		t.Error("nil format must fail")
 	}
 }
+
+func TestHashBackend(t *testing.T) {
+	format, err := ParseRegex(`[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Synthesize(format, Pext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever tier was chosen, it must name itself and must not be
+	// the fallback (SSNs are long enough to specialize).
+	switch h.Backend() {
+	case BackendHardware, BackendSoftware:
+	default:
+		t.Errorf("Backend() = %v, want hardware or software", h.Backend())
+	}
+	if h.Backend().String() == "" {
+		t.Error("Backend must stringify")
+	}
+	short, err := Synthesize(mustParse(t, `[0-9]{4}`), Pext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Backend() != BackendFallback || !short.Fallback() {
+		t.Errorf("short format backend = %v, want fallback", short.Backend())
+	}
+}
+
+func mustParse(t *testing.T, expr string) *Format {
+	t.Helper()
+	f, err := ParseRegex(expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
