@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench benchhw fuzz repro repro-quick examples golden clean
+.PHONY: all build test vet check bench benchhw benchparallel fuzz repro repro-quick examples golden clean
 
 # Seconds of fuzzing per target for `make fuzz` (CI smoke uses a short
 # burst; raise locally for a real session, e.g. make fuzz FUZZTIME=10m).
@@ -41,6 +41,14 @@ benchhw:
 	$(GO) test -bench=BenchmarkBackend -benchmem -run '^$$' .
 	SEPE_NOHW=all $(GO) test -bench=BenchmarkBackend -benchmem -run '^$$' .
 
+# Concurrency grid: sharded vs mutex-wrapped containers at 1, 4 and
+# GOMAXPROCS goroutines, plus the batch-vs-loop amortization pairs.
+# Numbers are recorded in BENCH_parallel.json (note the GOMAXPROCS
+# caveat there: lock striping needs real cores to show parallel
+# speedup).
+benchparallel:
+	$(GO) test -bench 'BenchmarkParallelMap|BenchmarkParallelSet|BenchmarkHashBatch|BenchmarkPutGetBatch' -benchmem -count=3 -run '^$$' .
+
 # Fuzz every public-surface target for FUZZTIME each: regex parsing,
 # inference, synthesized hashes on arbitrary keys, the bijective
 # container's off-format guard, and the hardware kernels against their
@@ -52,6 +60,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzBijectiveReject -fuzztime=$(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz=FuzzPextHW -fuzztime=$(FUZZTIME) -run '^$$' ./internal/pext/
 	$(GO) test -fuzz=FuzzAesRoundHW -fuzztime=$(FUZZTIME) -run '^$$' ./internal/aesround/
+	$(GO) test -fuzz=FuzzShardedMapOps -fuzztime=$(FUZZTIME) -run '^$$' ./internal/shard/
 
 # Regenerate every table and figure of the paper at full cost
 # (≈25 minutes; writes results_full.txt and results_grid.csv).
@@ -70,6 +79,7 @@ examples:
 	$(GO) run ./examples/invertible
 	$(GO) run ./examples/observed -dur 2s -addr 127.0.0.1:0
 	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/concurrent
 
 # Refresh the codegen golden files after an intended emitter change.
 golden:

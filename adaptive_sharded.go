@@ -1,0 +1,268 @@
+package sepe
+
+import (
+	"sync/atomic"
+
+	"github.com/sepe-go/sepe/internal/adaptive"
+	"github.com/sepe-go/sepe/internal/shard"
+)
+
+// Sharded adaptive containers: the concurrent containers bound to an
+// AdaptiveHash. They combine the two orthogonal mechanisms — lock
+// striping for parallelism, generation-watching for self-healing —
+// into containers that serve parallel traffic AND re-bucket
+// incrementally when the hash swaps. The migration is per shard: each
+// shard runs its own dual-region drain, stepped round-robin by
+// subsequent operations, so the post-swap work is spread over both
+// time (incremental steps) and shards (bounded step scope), and other
+// shards' readers never wait on a draining shard.
+//
+// Shard routing keeps using the hash that was active at construction.
+// Routing needs only determinism and spread, not format fidelity, so
+// it stays correct across any number of generation swaps; only bucket
+// probing inside each shard follows the active function.
+
+// HashBatch hashes keys[i] into out[i] with the active function
+// pinned once for the whole batch (one atomic load per batch instead
+// of per key). Drift sampling still applies per key, so batch callers
+// detect format drift at the same rate as single-call loops.
+func (h *AdaptiveHash) HashBatch(keys []string, out []uint64) { h.a.HashBatch(keys, out) }
+
+// shardedAdaptiveCore is the concurrent counterpart of adaptiveCore:
+// the same duties (sampled observation, swap detection, bounded
+// migration steps) made safe for many goroutines. The generation CAS
+// elects exactly one operation to start each migration.
+type shardedAdaptiveCore struct {
+	h         *adaptive.Hash
+	gen       atomic.Uint64
+	ops       atomic.Uint64
+	migrating atomic.Bool
+}
+
+// tick runs the per-operation adaptive duties. The healthy steady
+// state costs one atomic increment and two loads. During a migration
+// every operation drains a bounded batch of retired buckets from the
+// next shard in round-robin order, so concurrent traffic parallelizes
+// the drain itself.
+func (c *shardedAdaptiveCore) tick(key string, m migratable) {
+	ops := c.ops.Add(1)
+	if c.migrating.Load() {
+		if !m.MigrateStep(adaptiveMigrateStep) {
+			c.migrating.Store(false)
+		}
+	}
+	if ops&(adaptiveCheckEvery-1) != 0 {
+		return
+	}
+	if ops&(adaptiveObserveEvery-1) == 0 {
+		c.h.Observe(key)
+		// Re-arm after a lost race: a goroutine clearing the flag at
+		// the end of one migration can overwrite the set of a migration
+		// that began concurrently. The periodic scan restores it.
+		if !c.migrating.Load() && m.Migrating() {
+			c.migrating.Store(true)
+		}
+	}
+	g := c.h.Generation()
+	if old := c.gen.Load(); g != old && c.gen.CompareAndSwap(old, g) {
+		m.BeginMigration(c.h.Current())
+		c.migrating.Store(true)
+	}
+}
+
+// ShardedAdaptiveMap is a ShardedMap bound to an AdaptiveHash. All
+// methods are safe for concurrent use.
+type ShardedAdaptiveMap[V any] struct {
+	c shardedAdaptiveCore
+	m *shard.Map[V]
+}
+
+// NewShardedMapAdaptive returns an empty concurrent adaptive map over h.
+func NewShardedMapAdaptive[V any](h *AdaptiveHash, opts ...ShardOption) *ShardedAdaptiveMap[V] {
+	m := &ShardedAdaptiveMap[V]{m: shard.NewMap[V](h.a.Current(), opts...)}
+	m.c.h = h.a
+	m.c.gen.Store(h.a.Generation())
+	return m
+}
+
+// Put maps key to val, reporting whether the key was new.
+func (m *ShardedAdaptiveMap[V]) Put(key string, val V) bool {
+	m.c.tick(key, m.m)
+	return m.m.Put(key, val)
+}
+
+// Get returns the value mapped to key.
+func (m *ShardedAdaptiveMap[V]) Get(key string) (V, bool) {
+	m.c.tick(key, m.m)
+	return m.m.Get(key)
+}
+
+// Delete removes the mapping for key.
+func (m *ShardedAdaptiveMap[V]) Delete(key string) int {
+	m.c.tick(key, m.m)
+	return m.m.Delete(key)
+}
+
+// Len returns the total entry count.
+func (m *ShardedAdaptiveMap[V]) Len() int { return m.m.Len() }
+
+// Stats returns merged bucket measurements.
+func (m *ShardedAdaptiveMap[V]) Stats() TableStats { return fromStats(m.m.Stats()) }
+
+// ShardStats returns each shard's bucket measurements.
+func (m *ShardedAdaptiveMap[V]) ShardStats() []TableStats { return fromStatsSlice(m.m.ShardStats()) }
+
+// Shards returns the shard count.
+func (m *ShardedAdaptiveMap[V]) Shards() int { return m.m.Shards() }
+
+// Migrating reports whether any shard's re-bucket is in progress.
+func (m *ShardedAdaptiveMap[V]) Migrating() bool { return m.m.Migrating() }
+
+// Hash returns the adaptive hash the map is bound to.
+func (m *ShardedAdaptiveMap[V]) Hash() *AdaptiveHash { return &AdaptiveHash{a: m.c.h} }
+
+// ShardedAdaptiveSet is a ShardedSet bound to an AdaptiveHash.
+type ShardedAdaptiveSet struct {
+	c shardedAdaptiveCore
+	s *shard.Set
+}
+
+// NewShardedSetAdaptive returns an empty concurrent adaptive set over h.
+func NewShardedSetAdaptive(h *AdaptiveHash, opts ...ShardOption) *ShardedAdaptiveSet {
+	s := &ShardedAdaptiveSet{s: shard.NewSet(h.a.Current(), opts...)}
+	s.c.h = h.a
+	s.c.gen.Store(h.a.Generation())
+	return s
+}
+
+// Add inserts key, reporting whether it was new.
+func (s *ShardedAdaptiveSet) Add(key string) bool {
+	s.c.tick(key, s.s)
+	return s.s.Add(key)
+}
+
+// Has reports membership.
+func (s *ShardedAdaptiveSet) Has(key string) bool {
+	s.c.tick(key, s.s)
+	return s.s.Search(key)
+}
+
+// Delete removes key.
+func (s *ShardedAdaptiveSet) Delete(key string) int {
+	s.c.tick(key, s.s)
+	return s.s.Erase(key)
+}
+
+// Len returns the total member count.
+func (s *ShardedAdaptiveSet) Len() int { return s.s.Len() }
+
+// Stats returns merged bucket measurements.
+func (s *ShardedAdaptiveSet) Stats() TableStats { return fromStats(s.s.Stats()) }
+
+// Shards returns the shard count.
+func (s *ShardedAdaptiveSet) Shards() int { return s.s.Shards() }
+
+// Migrating reports whether any shard's re-bucket is in progress.
+func (s *ShardedAdaptiveSet) Migrating() bool { return s.s.Migrating() }
+
+// ShardedAdaptiveMultiMap is a ShardedMultiMap bound to an AdaptiveHash.
+type ShardedAdaptiveMultiMap[V any] struct {
+	c shardedAdaptiveCore
+	m *shard.MultiMap[V]
+}
+
+// NewShardedMultiMapAdaptive returns an empty concurrent adaptive
+// multimap over h.
+func NewShardedMultiMapAdaptive[V any](h *AdaptiveHash, opts ...ShardOption) *ShardedAdaptiveMultiMap[V] {
+	m := &ShardedAdaptiveMultiMap[V]{m: shard.NewMultiMap[V](h.a.Current(), opts...)}
+	m.c.h = h.a
+	m.c.gen.Store(h.a.Generation())
+	return m
+}
+
+// Put adds one key→val entry; duplicates are kept.
+func (m *ShardedAdaptiveMultiMap[V]) Put(key string, val V) {
+	m.c.tick(key, m.m)
+	m.m.Put(key, val)
+}
+
+// GetAll returns every value mapped to key.
+func (m *ShardedAdaptiveMultiMap[V]) GetAll(key string) []V {
+	m.c.tick(key, m.m)
+	return m.m.GetAll(key)
+}
+
+// Count returns the number of entries for key.
+func (m *ShardedAdaptiveMultiMap[V]) Count(key string) int {
+	m.c.tick(key, m.m)
+	return m.m.Count(key)
+}
+
+// Delete removes all entries for key.
+func (m *ShardedAdaptiveMultiMap[V]) Delete(key string) int {
+	m.c.tick(key, m.m)
+	return m.m.Delete(key)
+}
+
+// Len returns the total entry count.
+func (m *ShardedAdaptiveMultiMap[V]) Len() int { return m.m.Len() }
+
+// Stats returns merged bucket measurements.
+func (m *ShardedAdaptiveMultiMap[V]) Stats() TableStats { return fromStats(m.m.Stats()) }
+
+// Shards returns the shard count.
+func (m *ShardedAdaptiveMultiMap[V]) Shards() int { return m.m.Shards() }
+
+// Migrating reports whether any shard's re-bucket is in progress.
+func (m *ShardedAdaptiveMultiMap[V]) Migrating() bool { return m.m.Migrating() }
+
+// ShardedAdaptiveMultiSet is a ShardedMultiSet bound to an AdaptiveHash.
+type ShardedAdaptiveMultiSet struct {
+	c shardedAdaptiveCore
+	s *shard.MultiSet
+}
+
+// NewShardedMultiSetAdaptive returns an empty concurrent adaptive
+// multiset over h.
+func NewShardedMultiSetAdaptive(h *AdaptiveHash, opts ...ShardOption) *ShardedAdaptiveMultiSet {
+	s := &ShardedAdaptiveMultiSet{s: shard.NewMultiSet(h.a.Current(), opts...)}
+	s.c.h = h.a
+	s.c.gen.Store(h.a.Generation())
+	return s
+}
+
+// Add inserts one occurrence of key.
+func (s *ShardedAdaptiveMultiSet) Add(key string) {
+	s.c.tick(key, s.s)
+	s.s.Insert(key)
+}
+
+// Count returns the number of occurrences of key.
+func (s *ShardedAdaptiveMultiSet) Count(key string) int {
+	s.c.tick(key, s.s)
+	return s.s.Count(key)
+}
+
+// Has reports whether key occurs at least once.
+func (s *ShardedAdaptiveMultiSet) Has(key string) bool {
+	s.c.tick(key, s.s)
+	return s.s.Search(key)
+}
+
+// Delete removes all occurrences of key.
+func (s *ShardedAdaptiveMultiSet) Delete(key string) int {
+	s.c.tick(key, s.s)
+	return s.s.Erase(key)
+}
+
+// Len returns the total occurrence count.
+func (s *ShardedAdaptiveMultiSet) Len() int { return s.s.Len() }
+
+// Stats returns merged bucket measurements.
+func (s *ShardedAdaptiveMultiSet) Stats() TableStats { return fromStats(s.s.Stats()) }
+
+// Shards returns the shard count.
+func (s *ShardedAdaptiveMultiSet) Shards() int { return s.s.Shards() }
+
+// Migrating reports whether any shard's re-bucket is in progress.
+func (s *ShardedAdaptiveMultiSet) Migrating() bool { return s.s.Migrating() }

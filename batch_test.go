@@ -1,0 +1,145 @@
+package sepe_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sepe-go/sepe"
+	"github.com/sepe-go/sepe/internal/cpu"
+)
+
+// The HashBatch differential property: batch hashing is a dispatch
+// optimization, never a semantic change, so its output must be
+// bytewise identical to looped single-key Hash calls — for every
+// family, on every execution tier, and for off-format keys (whose
+// values are unspecified-but-deterministic, hence still comparable).
+// The software tier is exercised by re-synthesizing with the hardware
+// kernels forced off; the SEPE_NOHW environment path is the same
+// clamp and is covered by the CI step that re-runs the whole test
+// suite under SEPE_NOHW=1.
+
+func checkBatchMatchesLoop(t *testing.T, label string, h *sepe.Hash, keys []string) {
+	t.Helper()
+	batch := make([]uint64, len(keys))
+	h.HashBatch(keys, batch)
+	for i, k := range keys {
+		if want := h.Hash(k); batch[i] != want {
+			t.Fatalf("%s: HashBatch[%d] (%q) = %#x, looped Hash = %#x", label, i, k, batch[i], want)
+		}
+	}
+}
+
+func TestHashBatchMatchesLoop(t *testing.T) {
+	cases := []struct{ name, expr string }{
+		{"ssn", `[0-9]{3}-[0-9]{2}-[0-9]{4}`},
+		{"mac", `([0-9a-f]{2}-){5}[0-9a-f]{2}`},
+		{"var", `key=[a-z]{8,24}`}, // variable length: exercises tail loads
+	}
+	offFormat := []string{
+		"", "x", "completely different", "no-format-at-all-123456",
+		"\x00\x01\x02\x03\x04\x05\x06\x07\x08\x09",
+	}
+	for _, c := range cases {
+		format, err := sepe.ParseRegex(c.expr)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		keys := format.Samples(256, 7)
+		for _, fam := range sepe.Families {
+			t.Run(fmt.Sprintf("%s/%s", c.name, fam), func(t *testing.T) {
+				hw, err := sepe.Synthesize(format, fam)
+				if err != nil {
+					t.Fatalf("synthesize: %v", err)
+				}
+				checkBatchMatchesLoop(t, "in-format/"+hw.Backend().String(), hw, keys)
+				checkBatchMatchesLoop(t, "off-format/"+hw.Backend().String(), hw, offFormat)
+
+				// Same family on the software tier: force the kernels off
+				// for the duration of a second synthesis.
+				prevB := cpu.SetBMI2(false)
+				prevA := cpu.SetAES(false)
+				sw, err := sepe.Synthesize(format, fam)
+				cpu.SetBMI2(prevB)
+				cpu.SetAES(prevA)
+				if err != nil {
+					t.Fatalf("software synthesize: %v", err)
+				}
+				if sw.Backend() == sepe.BackendHardware {
+					t.Fatalf("software-tier synthesis still reports hardware backend")
+				}
+				checkBatchMatchesLoop(t, "in-format/"+sw.Backend().String(), sw, keys)
+				checkBatchMatchesLoop(t, "off-format/"+sw.Backend().String(), sw, offFormat)
+
+				// Tiers must agree with each other too, not just each with
+				// its own loop: hardware and software compile one plan.
+				for _, k := range keys {
+					if hw.Hash(k) != sw.Hash(k) {
+						t.Fatalf("tier divergence on %q: hw %#x, sw %#x", k, hw.Hash(k), sw.Hash(k))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestHashBatchFallbackTier covers the third tier: a format shorter
+// than a machine word falls back to the standard-library hash, and
+// the batch path must agree there as well.
+func TestHashBatchFallbackTier(t *testing.T) {
+	format, err := sepe.ParseRegex(`[0-9]{4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sepe.Synthesize(format, sepe.Pext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Backend() != sepe.BackendFallback {
+		t.Fatalf("4-byte format synthesized to %v, want fallback tier", h.Backend())
+	}
+	keys := append(format.Samples(64, 9), "", "off-format-key")
+	checkBatchMatchesLoop(t, "fallback", h, keys)
+}
+
+// TestHashBatchShortOut pins the contract: out shorter than keys
+// panics (slice bounds), rather than silently truncating the batch.
+func TestHashBatchShortOut(t *testing.T) {
+	format, err := sepe.ParseRegex(`[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sepe.Synthesize(format, sepe.OffXor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("HashBatch with short out did not panic")
+		}
+	}()
+	h.HashBatch([]string{"078-05-1120", "219-09-9999"}, make([]uint64, 1))
+}
+
+// TestAdaptiveHashBatch checks the adaptive wrapper's batch path:
+// identical to looped calls while healthy, and consistent within a
+// batch (one generation per batch) across a concurrent swap.
+func TestAdaptiveHashBatch(t *testing.T) {
+	format, err := sepe.ParseRegex(`[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sepe.NewAdaptiveHash("batch-test", format, sepe.Pext, sepe.AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	keys := format.Samples(128, 11)
+	out := make([]uint64, len(keys))
+	h.HashBatch(keys, out)
+	cur := h.Current()
+	for i, k := range keys {
+		if want := cur(k); out[i] != want {
+			t.Fatalf("adaptive HashBatch[%d] = %#x, pinned current = %#x", i, out[i], want)
+		}
+	}
+}

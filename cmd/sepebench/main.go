@@ -70,12 +70,22 @@ func main() {
 			"run the self-healing demo instead of experiments: FROM:TO key types, e.g. ssn:ipv4")
 		noHW = flag.Bool("nohw", false,
 			"disable the BMI2/AES-NI hardware kernels; synthesized functions run on the portable software tier")
+		parallelN = flag.Int("parallel", 0,
+			"run the concurrent-container drive from N goroutines instead of experiments (0 = off; negative = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	if *noHW {
 		cpu.SetBMI2(false)
 		cpu.SetAES(false)
+	}
+
+	if *parallelN != 0 {
+		if err := runParallel(*parallelN); err != nil {
+			fmt.Fprintln(os.Stderr, "sepebench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *driftInj != "" {

@@ -28,6 +28,14 @@ func fromStats(s container.Stats) TableStats {
 	}
 }
 
+func fromStatsSlice(ss []container.Stats) []TableStats {
+	out := make([]TableStats, len(ss))
+	for i, s := range ss {
+		out[i] = fromStats(s)
+	}
+	return out
+}
+
 // Map is a string-keyed hash map with chained buckets, prime growth
 // and modulo indexing — the std::unordered_map equivalent of the
 // paper's driver.

@@ -309,6 +309,24 @@ func (h *Hash) Hash(key string) uint64 {
 	return hv
 }
 
+// HashBatch hashes keys[i] into out[i] with the active function
+// pinned once for the whole batch — one atomic pointer load instead
+// of one per key. Drift sampling is applied per key exactly as in
+// Hash, so a batch caller keeps the same observation rate as a loop
+// of single calls. A swap that lands mid-batch takes effect on the
+// next batch; within one batch the function is consistent.
+func (h *Hash) HashBatch(keys []string, out []uint64) {
+	v := h.cur.Load()
+	out = out[:len(keys)]
+	for i, k := range keys {
+		hv := v.fn(k)
+		out[i] = hv
+		if (hv+hv>>32+uint64(len(k)))&h.mask == 0 {
+			h.Observe(k)
+		}
+	}
+}
+
 // Func returns the self-switching function value.
 func (h *Hash) Func() hashes.Func { return h.Hash }
 

@@ -120,10 +120,12 @@ func (t *table[V]) oldBucket(key string) (*[]entry[V], uint64) {
 	return &t.old[t.index(oh, len(t.old))], oh
 }
 
-// put inserts key→val. Non-multi tables replace an existing mapping
-// and report whether the key was new; multi tables always append.
-func (t *table[V]) put(key string, val V) bool {
-	h := t.hash(key)
+// put inserts key→val under its precomputed hash h (h must equal
+// t.hash(key); the sharded layer passes the value it already computed
+// for shard routing, every other caller computes it on entry).
+// Non-multi tables replace an existing mapping and report whether the
+// key was new; multi tables always append.
+func (t *table[V]) put(h uint64, key string, val V) bool {
 	b := t.bucketOf(h)
 	if !t.multi {
 		chain := t.buckets[b]
@@ -172,9 +174,8 @@ func (t *table[V]) put(key string, val V) bool {
 	return true
 }
 
-// get returns the first value mapped to key.
-func (t *table[V]) get(key string) (V, bool) {
-	h := t.hash(key)
+// get returns the first value mapped to key (stored under hash h).
+func (t *table[V]) get(h uint64, key string) (V, bool) {
 	chain := t.buckets[t.bucketOf(h)]
 	for i := range chain {
 		if chain[i].hash == h && chain[i].key == key {
@@ -205,8 +206,7 @@ func (t *table[V]) get(key string) (V, bool) {
 }
 
 // count returns the number of entries with the given key.
-func (t *table[V]) count(key string) int {
-	h := t.hash(key)
+func (t *table[V]) count(h uint64, key string) int {
 	chain := t.buckets[t.bucketOf(h)]
 	n := 0
 	for i := range chain {
@@ -231,8 +231,7 @@ func (t *table[V]) count(key string) int {
 }
 
 // collect returns every value mapped to key (multimap GetAll).
-func (t *table[V]) collect(key string) []V {
-	h := t.hash(key)
+func (t *table[V]) collect(h uint64, key string) []V {
 	chain := t.buckets[t.bucketOf(h)]
 	var out []V
 	for i := range chain {
@@ -288,8 +287,7 @@ func delFrom[V any](bucket *[]entry[V], h uint64, key string) (probes, removed, 
 
 // del removes all entries with the given key, returning how many were
 // removed (erase(key) semantics of the unordered containers).
-func (t *table[V]) del(key string) int {
-	h := t.hash(key)
+func (t *table[V]) del(h uint64, key string) int {
 	probes, removed, collDelta := delFrom(&t.buckets[t.bucketOf(h)], h, key)
 	if t.old != nil {
 		ochain, oh := t.oldBucket(key)

@@ -81,13 +81,13 @@ func NewMap[V any](hash hashes.Func, index Indexer) *Map[V] {
 
 // Put maps key to val, replacing any existing mapping; it reports
 // whether the key was new.
-func (m *Map[V]) Put(key string, val V) bool { return m.t.put(key, val) }
+func (m *Map[V]) Put(key string, val V) bool { return m.t.put(m.t.hash(key), key, val) }
 
 // Get returns the value mapped to key.
-func (m *Map[V]) Get(key string) (V, bool) { return m.t.get(key) }
+func (m *Map[V]) Get(key string) (V, bool) { return m.t.get(m.t.hash(key), key) }
 
 // Delete removes the mapping, reporting how many entries went away.
-func (m *Map[V]) Delete(key string) int { return m.t.del(key) }
+func (m *Map[V]) Delete(key string) int { return m.t.del(m.t.hash(key), key) }
 
 // Len returns the number of entries.
 func (m *Map[V]) Len() int { return m.t.size }
@@ -124,13 +124,13 @@ func (m *Map[V]) MigrateStep(k int) bool { return m.t.drain(k) }
 func (m *Map[V]) Migrating() bool { return m.t.migrating() }
 
 // Insert implements Container with a zero value.
-func (m *Map[V]) Insert(key string) { var zero V; m.t.put(key, zero) }
+func (m *Map[V]) Insert(key string) { var zero V; m.t.put(m.t.hash(key), key, zero) }
 
 // Search implements Container.
-func (m *Map[V]) Search(key string) bool { _, ok := m.t.get(key); return ok }
+func (m *Map[V]) Search(key string) bool { _, ok := m.t.get(m.t.hash(key), key); return ok }
 
 // Erase implements Container.
-func (m *Map[V]) Erase(key string) int { return m.t.del(key) }
+func (m *Map[V]) Erase(key string) int { return m.t.del(m.t.hash(key), key) }
 
 // Set is the std::unordered_set equivalent.
 type Set struct{ t *table[struct{}] }
@@ -141,16 +141,16 @@ func NewSet(hash hashes.Func, index Indexer) *Set {
 }
 
 // Insert adds key.
-func (s *Set) Insert(key string) { s.t.put(key, struct{}{}) }
+func (s *Set) Insert(key string) { s.t.put(s.t.hash(key), key, struct{}{}) }
 
 // Add adds key, reporting whether it was new.
-func (s *Set) Add(key string) bool { return s.t.put(key, struct{}{}) }
+func (s *Set) Add(key string) bool { return s.t.put(s.t.hash(key), key, struct{}{}) }
 
 // Search reports membership.
-func (s *Set) Search(key string) bool { _, ok := s.t.get(key); return ok }
+func (s *Set) Search(key string) bool { _, ok := s.t.get(s.t.hash(key), key); return ok }
 
 // Erase removes key.
-func (s *Set) Erase(key string) int { return s.t.del(key) }
+func (s *Set) Erase(key string) int { return s.t.del(s.t.hash(key), key) }
 
 // Len returns the number of members.
 func (s *Set) Len() int { return s.t.size }
@@ -190,16 +190,16 @@ func NewMultiMap[V any](hash hashes.Func, index Indexer) *MultiMap[V] {
 }
 
 // Put adds one key→val entry (duplicates allowed).
-func (m *MultiMap[V]) Put(key string, val V) { m.t.put(key, val) }
+func (m *MultiMap[V]) Put(key string, val V) { m.t.put(m.t.hash(key), key, val) }
 
 // GetAll returns every value mapped to key.
-func (m *MultiMap[V]) GetAll(key string) []V { return m.t.collect(key) }
+func (m *MultiMap[V]) GetAll(key string) []V { return m.t.collect(m.t.hash(key), key) }
 
 // Count returns the number of entries for key.
-func (m *MultiMap[V]) Count(key string) int { return m.t.count(key) }
+func (m *MultiMap[V]) Count(key string) int { return m.t.count(m.t.hash(key), key) }
 
 // Delete removes all entries for key.
-func (m *MultiMap[V]) Delete(key string) int { return m.t.del(key) }
+func (m *MultiMap[V]) Delete(key string) int { return m.t.del(m.t.hash(key), key) }
 
 // Len returns the total entry count.
 func (m *MultiMap[V]) Len() int { return m.t.size }
@@ -224,13 +224,13 @@ func (m *MultiMap[V]) MigrateStep(k int) bool { return m.t.drain(k) }
 func (m *MultiMap[V]) Migrating() bool { return m.t.migrating() }
 
 // Insert implements Container.
-func (m *MultiMap[V]) Insert(key string) { var zero V; m.t.put(key, zero) }
+func (m *MultiMap[V]) Insert(key string) { var zero V; m.t.put(m.t.hash(key), key, zero) }
 
 // Search implements Container.
-func (m *MultiMap[V]) Search(key string) bool { _, ok := m.t.get(key); return ok }
+func (m *MultiMap[V]) Search(key string) bool { _, ok := m.t.get(m.t.hash(key), key); return ok }
 
 // Erase implements Container.
-func (m *MultiMap[V]) Erase(key string) int { return m.t.del(key) }
+func (m *MultiMap[V]) Erase(key string) int { return m.t.del(m.t.hash(key), key) }
 
 // MultiSet is the std::unordered_multiset equivalent.
 type MultiSet struct{ t *table[struct{}] }
@@ -241,16 +241,16 @@ func NewMultiSet(hash hashes.Func, index Indexer) *MultiSet {
 }
 
 // Insert adds one occurrence of key.
-func (s *MultiSet) Insert(key string) { s.t.put(key, struct{}{}) }
+func (s *MultiSet) Insert(key string) { s.t.put(s.t.hash(key), key, struct{}{}) }
 
 // Count returns the number of occurrences of key.
-func (s *MultiSet) Count(key string) int { return s.t.count(key) }
+func (s *MultiSet) Count(key string) int { return s.t.count(s.t.hash(key), key) }
 
 // Search reports whether key occurs at least once.
-func (s *MultiSet) Search(key string) bool { _, ok := s.t.get(key); return ok }
+func (s *MultiSet) Search(key string) bool { _, ok := s.t.get(s.t.hash(key), key); return ok }
 
 // Erase removes all occurrences of key.
-func (s *MultiSet) Erase(key string) int { return s.t.del(key) }
+func (s *MultiSet) Erase(key string) int { return s.t.del(s.t.hash(key), key) }
 
 // Len returns the total occurrence count.
 func (s *MultiSet) Len() int { return s.t.size }
@@ -273,6 +273,59 @@ func (s *MultiSet) MigrateStep(k int) bool { return s.t.drain(k) }
 
 // Migrating reports whether an incremental migration is in progress.
 func (s *MultiSet) Migrating() bool { return s.t.migrating() }
+
+// Precomputed-hash entry points. The sharded layer routes a key to a
+// shard with the top bits of its hash and must not pay for hashing
+// twice, so each container exposes its operations with the hash
+// supplied by the caller. The contract is strict: h must equal the
+// value the container's own hash function returns for key — the
+// chains compare stored hashes before keys, and the bucket index is
+// derived from h. Passing any other value silently corrupts lookups.
+// Hashed entry points must not be mixed with BeginMigration: once the
+// table's hash function changes, only the plain methods know the
+// current function.
+
+// PutHashed is Put with the key's hash precomputed by the caller.
+func (m *Map[V]) PutHashed(h uint64, key string, val V) bool { return m.t.put(h, key, val) }
+
+// GetHashed is Get with the key's hash precomputed by the caller.
+func (m *Map[V]) GetHashed(h uint64, key string) (V, bool) { return m.t.get(h, key) }
+
+// DeleteHashed is Delete with the key's hash precomputed by the caller.
+func (m *Map[V]) DeleteHashed(h uint64, key string) int { return m.t.del(h, key) }
+
+// AddHashed is Add with the key's hash precomputed by the caller.
+func (s *Set) AddHashed(h uint64, key string) bool { return s.t.put(h, key, struct{}{}) }
+
+// SearchHashed is Search with the key's hash precomputed by the caller.
+func (s *Set) SearchHashed(h uint64, key string) bool { _, ok := s.t.get(h, key); return ok }
+
+// EraseHashed is Erase with the key's hash precomputed by the caller.
+func (s *Set) EraseHashed(h uint64, key string) int { return s.t.del(h, key) }
+
+// PutHashed is Put with the key's hash precomputed by the caller.
+func (m *MultiMap[V]) PutHashed(h uint64, key string, val V) { m.t.put(h, key, val) }
+
+// GetAllHashed is GetAll with the key's hash precomputed by the caller.
+func (m *MultiMap[V]) GetAllHashed(h uint64, key string) []V { return m.t.collect(h, key) }
+
+// CountHashed is Count with the key's hash precomputed by the caller.
+func (m *MultiMap[V]) CountHashed(h uint64, key string) int { return m.t.count(h, key) }
+
+// DeleteHashed is Delete with the key's hash precomputed by the caller.
+func (m *MultiMap[V]) DeleteHashed(h uint64, key string) int { return m.t.del(h, key) }
+
+// InsertHashed is Insert with the key's hash precomputed by the caller.
+func (s *MultiSet) InsertHashed(h uint64, key string) { s.t.put(h, key, struct{}{}) }
+
+// CountHashed is Count with the key's hash precomputed by the caller.
+func (s *MultiSet) CountHashed(h uint64, key string) int { return s.t.count(h, key) }
+
+// SearchHashed is Search with the key's hash precomputed by the caller.
+func (s *MultiSet) SearchHashed(h uint64, key string) bool { _, ok := s.t.get(h, key); return ok }
+
+// EraseHashed is Erase with the key's hash precomputed by the caller.
+func (s *MultiSet) EraseHashed(h uint64, key string) int { return s.t.del(h, key) }
 
 func stats[V any](t *table[V]) Stats {
 	return Stats{

@@ -67,6 +67,19 @@ func SynthesizeAll(pat *pattern.Pattern, opts Options) (map[Family]*Fn, error) {
 // for; other keys still hash deterministically but may collide more.
 func (f *Fn) Hash(key string) uint64 { return f.hash(key) }
 
+// HashBatch hashes keys[i] into out[i] for every i. The compiled
+// closure (and its captured plan constants) is loaded once for the
+// whole batch instead of once per call, which is what the sharded
+// containers' batch operations amortize. out must be at least as long
+// as keys. Results are bit-identical to per-key Hash calls.
+func (f *Fn) HashBatch(keys []string, out []uint64) {
+	h := f.hash
+	out = out[:len(keys)]
+	for i, k := range keys {
+		out[i] = h(k)
+	}
+}
+
 // Func returns the compiled closure, for registering in hash tables.
 func (f *Fn) Func() Func { return f.hash }
 

@@ -1,0 +1,851 @@
+package shard
+
+import (
+	"github.com/sepe-go/sepe/internal/container"
+	"github.com/sepe-go/sepe/internal/hashes"
+)
+
+// New builds a sharded container of the given kind over a hash
+// function — the concurrent counterpart of container.New, satisfying
+// the same driver interface.
+func New(k container.Kind, hash hashes.Func, opts ...Option) container.Container {
+	switch k {
+	case container.MapKind:
+		return NewMap[int](hash, opts...)
+	case container.SetKind:
+		return NewSet(hash, opts...)
+	case container.MultiMapKind:
+		return NewMultiMap[int](hash, opts...)
+	case container.MultiSetKind:
+		return NewMultiSet(hash, opts...)
+	default:
+		panic("shard: unknown kind")
+	}
+}
+
+// Map is the concurrent std::unordered_map equivalent: a lock-striped
+// set of chained-bucket tables. All methods are safe for concurrent
+// use. Whole-container views (Len, Stats, ForEach) visit shards one
+// lock at a time and are not atomic snapshots.
+type Map[V any] struct {
+	core
+	tabs []*container.Map[V]
+}
+
+// NewMap returns an empty sharded map over hash.
+func NewMap[V any](hash hashes.Func, opts ...Option) *Map[V] {
+	n := resolveShards(opts)
+	m := &Map[V]{tabs: make([]*container.Map[V], n)}
+	m.init(hash, n)
+	for i := range m.tabs {
+		m.tabs[i] = container.NewMap[V](hash, nil)
+	}
+	return m
+}
+
+// Put maps key to val, reporting whether the key was new.
+func (m *Map[V]) Put(key string, val V) bool {
+	h := m.router(key)
+	s := m.shardOf(h)
+	m.locks[s].Lock()
+	var isNew bool
+	if m.hashed.Load() {
+		isNew = m.tabs[s].PutHashed(h, key, val)
+	} else {
+		isNew = m.tabs[s].Put(key, val)
+	}
+	m.locks[s].Unlock()
+	return isNew
+}
+
+// Get returns the value mapped to key.
+func (m *Map[V]) Get(key string) (V, bool) {
+	h := m.router(key)
+	s := m.shardOf(h)
+	m.locks[s].RLock()
+	var v V
+	var ok bool
+	if m.hashed.Load() {
+		v, ok = m.tabs[s].GetHashed(h, key)
+	} else {
+		v, ok = m.tabs[s].Get(key)
+	}
+	m.locks[s].RUnlock()
+	return v, ok
+}
+
+// Delete removes the mapping, reporting how many entries went away.
+func (m *Map[V]) Delete(key string) int {
+	h := m.router(key)
+	s := m.shardOf(h)
+	m.locks[s].Lock()
+	var n int
+	if m.hashed.Load() {
+		n = m.tabs[s].DeleteHashed(h, key)
+	} else {
+		n = m.tabs[s].Delete(key)
+	}
+	m.locks[s].Unlock()
+	return n
+}
+
+// PutBatch inserts keys[i]→vals[i] for every i, grouping the keys by
+// shard so each shard's lock is taken once per batch rather than once
+// per key. Within a shard the batch applies in key order; across
+// shards the order is unspecified (shards are independent key sets,
+// so for a non-multi map the final state is order-independent).
+func (m *Map[V]) PutBatch(keys []string, vals []V) {
+	vals = vals[:len(keys)]
+	hs := make([]uint64, len(keys))
+	order, start := m.group(keys, hs)
+	fast := m.hashed.Load()
+	for s := range m.tabs {
+		lo, hi := start[s], start[s+1]
+		if lo == hi {
+			continue
+		}
+		m.locks[s].Lock()
+		if fast && m.hashed.Load() {
+			for _, i := range order[lo:hi] {
+				m.tabs[s].PutHashed(hs[i], keys[i], vals[i])
+			}
+		} else {
+			for _, i := range order[lo:hi] {
+				m.tabs[s].Put(keys[i], vals[i])
+			}
+		}
+		m.locks[s].Unlock()
+	}
+}
+
+// GetBatch looks up every key, writing vals[i], found[i] for keys[i].
+// Like PutBatch it takes each shard's read lock once per batch.
+func (m *Map[V]) GetBatch(keys []string, vals []V, found []bool) {
+	vals = vals[:len(keys)]
+	found = found[:len(keys)]
+	hs := make([]uint64, len(keys))
+	order, start := m.group(keys, hs)
+	fast := m.hashed.Load()
+	for s := range m.tabs {
+		lo, hi := start[s], start[s+1]
+		if lo == hi {
+			continue
+		}
+		m.locks[s].RLock()
+		if fast && m.hashed.Load() {
+			for _, i := range order[lo:hi] {
+				vals[i], found[i] = m.tabs[s].GetHashed(hs[i], keys[i])
+			}
+		} else {
+			for _, i := range order[lo:hi] {
+				vals[i], found[i] = m.tabs[s].Get(keys[i])
+			}
+		}
+		m.locks[s].RUnlock()
+	}
+}
+
+// Len returns the total entry count across shards.
+func (m *Map[V]) Len() int {
+	n := 0
+	for i := range m.tabs {
+		m.locks[i].RLock()
+		n += m.tabs[i].Len()
+		m.locks[i].RUnlock()
+	}
+	return n
+}
+
+// Stats returns bucket measurements merged across shards (sizes and
+// collision counts summed, MaxBucketLen the maximum).
+func (m *Map[V]) Stats() container.Stats { return mergeStats(m.ShardStats()) }
+
+// ShardStats returns each shard's bucket measurements.
+func (m *Map[V]) ShardStats() []container.Stats {
+	out := make([]container.Stats, len(m.tabs))
+	for i := range m.tabs {
+		m.locks[i].RLock()
+		out[i] = m.tabs[i].Stats()
+		m.locks[i].RUnlock()
+	}
+	return out
+}
+
+// ForEach visits every entry, one shard at a time. Entries inserted
+// or removed concurrently in shards not yet visited may or may not be
+// seen.
+func (m *Map[V]) ForEach(f func(key string, val V)) {
+	for i := range m.tabs {
+		m.locks[i].RLock()
+		m.tabs[i].ForEach(f)
+		m.locks[i].RUnlock()
+	}
+}
+
+// Reserve pre-sizes every shard so that n total entries fit without
+// rehashing, assuming an even spread.
+func (m *Map[V]) Reserve(n int) {
+	per := n/len(m.tabs) + 1
+	for i := range m.tabs {
+		m.locks[i].Lock()
+		m.tabs[i].Reserve(per)
+		m.locks[i].Unlock()
+	}
+}
+
+// Clear removes every entry.
+func (m *Map[V]) Clear() {
+	for i := range m.tabs {
+		m.locks[i].Lock()
+		m.tabs[i].Clear()
+		m.locks[i].Unlock()
+	}
+}
+
+// SetShardHooks installs per-shard observation hooks: f is called
+// once per shard index and may return distinct hook blocks (per-shard
+// telemetry) or the same one. A nil f removes all hooks.
+func (m *Map[V]) SetShardHooks(f func(shard int) *container.Hooks) {
+	for i := range m.tabs {
+		m.locks[i].Lock()
+		if f == nil {
+			m.tabs[i].SetHooks(nil)
+		} else {
+			m.tabs[i].SetHooks(f(i))
+		}
+		m.locks[i].Unlock()
+	}
+}
+
+// BeginMigration starts an incremental re-bucket of every shard under
+// a new hash function: each shard opens its own dual-region migration
+// and drains independently, so the per-step work stays bounded by one
+// shard's buckets. Keys do not move between shards — routing keeps
+// using the original hash, which stays correct (routing needs only
+// determinism and spread) while probing inside each shard switches to
+// the new function.
+func (m *Map[V]) BeginMigration(newHash hashes.Func) {
+	m.hashed.Store(false)
+	for i := range m.tabs {
+		m.locks[i].Lock()
+		m.tabs[i].BeginMigration(newHash)
+		m.locks[i].Unlock()
+	}
+}
+
+// MigrateStep drains up to k retired buckets from the next shard in
+// round-robin order, returning true while any shard is still
+// migrating.
+func (m *Map[V]) MigrateStep(k int) bool {
+	s := int(m.cursor.Add(1)-1) % len(m.tabs)
+	m.locks[s].Lock()
+	more := m.tabs[s].MigrateStep(k)
+	m.locks[s].Unlock()
+	if more {
+		return true
+	}
+	return m.Migrating()
+}
+
+// Migrating reports whether any shard's migration is in progress.
+func (m *Map[V]) Migrating() bool {
+	for i := range m.tabs {
+		m.locks[i].RLock()
+		mg := m.tabs[i].Migrating()
+		m.locks[i].RUnlock()
+		if mg {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert implements container.Container with a zero value.
+func (m *Map[V]) Insert(key string) { var zero V; m.Put(key, zero) }
+
+// Search implements container.Container.
+func (m *Map[V]) Search(key string) bool { _, ok := m.Get(key); return ok }
+
+// Erase implements container.Container.
+func (m *Map[V]) Erase(key string) int { return m.Delete(key) }
+
+// Set is the concurrent std::unordered_set equivalent.
+type Set struct {
+	core
+	tabs []*container.Set
+}
+
+// NewSet returns an empty sharded set over hash.
+func NewSet(hash hashes.Func, opts ...Option) *Set {
+	n := resolveShards(opts)
+	s := &Set{tabs: make([]*container.Set, n)}
+	s.init(hash, n)
+	for i := range s.tabs {
+		s.tabs[i] = container.NewSet(hash, nil)
+	}
+	return s
+}
+
+// Add inserts key, reporting whether it was new.
+func (s *Set) Add(key string) bool {
+	h := s.router(key)
+	i := s.shardOf(h)
+	s.locks[i].Lock()
+	var isNew bool
+	if s.hashed.Load() {
+		isNew = s.tabs[i].AddHashed(h, key)
+	} else {
+		isNew = s.tabs[i].Add(key)
+	}
+	s.locks[i].Unlock()
+	return isNew
+}
+
+// Search reports membership.
+func (s *Set) Search(key string) bool {
+	h := s.router(key)
+	i := s.shardOf(h)
+	s.locks[i].RLock()
+	var ok bool
+	if s.hashed.Load() {
+		ok = s.tabs[i].SearchHashed(h, key)
+	} else {
+		ok = s.tabs[i].Search(key)
+	}
+	s.locks[i].RUnlock()
+	return ok
+}
+
+// Erase removes key.
+func (s *Set) Erase(key string) int {
+	h := s.router(key)
+	i := s.shardOf(h)
+	s.locks[i].Lock()
+	var n int
+	if s.hashed.Load() {
+		n = s.tabs[i].EraseHashed(h, key)
+	} else {
+		n = s.tabs[i].Erase(key)
+	}
+	s.locks[i].Unlock()
+	return n
+}
+
+// Insert implements container.Container.
+func (s *Set) Insert(key string) { s.Add(key) }
+
+// AddBatch inserts every key, taking each shard's lock once.
+func (s *Set) AddBatch(keys []string) {
+	hs := make([]uint64, len(keys))
+	order, start := s.group(keys, hs)
+	fast := s.hashed.Load()
+	for sh := range s.tabs {
+		lo, hi := start[sh], start[sh+1]
+		if lo == hi {
+			continue
+		}
+		s.locks[sh].Lock()
+		if fast && s.hashed.Load() {
+			for _, i := range order[lo:hi] {
+				s.tabs[sh].AddHashed(hs[i], keys[i])
+			}
+		} else {
+			for _, i := range order[lo:hi] {
+				s.tabs[sh].Add(keys[i])
+			}
+		}
+		s.locks[sh].Unlock()
+	}
+}
+
+// SearchBatch writes found[i] = membership of keys[i], taking each
+// shard's read lock once.
+func (s *Set) SearchBatch(keys []string, found []bool) {
+	found = found[:len(keys)]
+	hs := make([]uint64, len(keys))
+	order, start := s.group(keys, hs)
+	fast := s.hashed.Load()
+	for sh := range s.tabs {
+		lo, hi := start[sh], start[sh+1]
+		if lo == hi {
+			continue
+		}
+		s.locks[sh].RLock()
+		if fast && s.hashed.Load() {
+			for _, i := range order[lo:hi] {
+				found[i] = s.tabs[sh].SearchHashed(hs[i], keys[i])
+			}
+		} else {
+			for _, i := range order[lo:hi] {
+				found[i] = s.tabs[sh].Search(keys[i])
+			}
+		}
+		s.locks[sh].RUnlock()
+	}
+}
+
+// Len returns the total member count.
+func (s *Set) Len() int {
+	n := 0
+	for i := range s.tabs {
+		s.locks[i].RLock()
+		n += s.tabs[i].Len()
+		s.locks[i].RUnlock()
+	}
+	return n
+}
+
+// Stats returns merged bucket measurements.
+func (s *Set) Stats() container.Stats { return mergeStats(s.ShardStats()) }
+
+// ShardStats returns each shard's bucket measurements.
+func (s *Set) ShardStats() []container.Stats {
+	out := make([]container.Stats, len(s.tabs))
+	for i := range s.tabs {
+		s.locks[i].RLock()
+		out[i] = s.tabs[i].Stats()
+		s.locks[i].RUnlock()
+	}
+	return out
+}
+
+// Reserve pre-sizes every shard for n total members.
+func (s *Set) Reserve(n int) {
+	per := n/len(s.tabs) + 1
+	for i := range s.tabs {
+		s.locks[i].Lock()
+		s.tabs[i].Reserve(per)
+		s.locks[i].Unlock()
+	}
+}
+
+// Clear removes every member.
+func (s *Set) Clear() {
+	for i := range s.tabs {
+		s.locks[i].Lock()
+		s.tabs[i].Clear()
+		s.locks[i].Unlock()
+	}
+}
+
+// SetShardHooks installs per-shard observation hooks (see Map).
+func (s *Set) SetShardHooks(f func(shard int) *container.Hooks) {
+	for i := range s.tabs {
+		s.locks[i].Lock()
+		if f == nil {
+			s.tabs[i].SetHooks(nil)
+		} else {
+			s.tabs[i].SetHooks(f(i))
+		}
+		s.locks[i].Unlock()
+	}
+}
+
+// BeginMigration starts a per-shard incremental re-bucket (see Map).
+func (s *Set) BeginMigration(newHash hashes.Func) {
+	s.hashed.Store(false)
+	for i := range s.tabs {
+		s.locks[i].Lock()
+		s.tabs[i].BeginMigration(newHash)
+		s.locks[i].Unlock()
+	}
+}
+
+// MigrateStep drains the next shard, true while any shard migrates.
+func (s *Set) MigrateStep(k int) bool {
+	i := int(s.cursor.Add(1)-1) % len(s.tabs)
+	s.locks[i].Lock()
+	more := s.tabs[i].MigrateStep(k)
+	s.locks[i].Unlock()
+	if more {
+		return true
+	}
+	return s.Migrating()
+}
+
+// Migrating reports whether any shard's migration is in progress.
+func (s *Set) Migrating() bool {
+	for i := range s.tabs {
+		s.locks[i].RLock()
+		mg := s.tabs[i].Migrating()
+		s.locks[i].RUnlock()
+		if mg {
+			return true
+		}
+	}
+	return false
+}
+
+// MultiMap is the concurrent std::unordered_multimap equivalent.
+type MultiMap[V any] struct {
+	core
+	tabs []*container.MultiMap[V]
+}
+
+// NewMultiMap returns an empty sharded multimap over hash.
+func NewMultiMap[V any](hash hashes.Func, opts ...Option) *MultiMap[V] {
+	n := resolveShards(opts)
+	m := &MultiMap[V]{tabs: make([]*container.MultiMap[V], n)}
+	m.init(hash, n)
+	for i := range m.tabs {
+		m.tabs[i] = container.NewMultiMap[V](hash, nil)
+	}
+	return m
+}
+
+// Put adds one key→val entry (duplicates allowed).
+func (m *MultiMap[V]) Put(key string, val V) {
+	h := m.router(key)
+	s := m.shardOf(h)
+	m.locks[s].Lock()
+	if m.hashed.Load() {
+		m.tabs[s].PutHashed(h, key, val)
+	} else {
+		m.tabs[s].Put(key, val)
+	}
+	m.locks[s].Unlock()
+}
+
+// GetAll returns every value mapped to key.
+func (m *MultiMap[V]) GetAll(key string) []V {
+	h := m.router(key)
+	s := m.shardOf(h)
+	m.locks[s].RLock()
+	var out []V
+	if m.hashed.Load() {
+		out = m.tabs[s].GetAllHashed(h, key)
+	} else {
+		out = m.tabs[s].GetAll(key)
+	}
+	m.locks[s].RUnlock()
+	return out
+}
+
+// Count returns the number of entries for key.
+func (m *MultiMap[V]) Count(key string) int {
+	h := m.router(key)
+	s := m.shardOf(h)
+	m.locks[s].RLock()
+	var n int
+	if m.hashed.Load() {
+		n = m.tabs[s].CountHashed(h, key)
+	} else {
+		n = m.tabs[s].Count(key)
+	}
+	m.locks[s].RUnlock()
+	return n
+}
+
+// Delete removes all entries for key.
+func (m *MultiMap[V]) Delete(key string) int {
+	h := m.router(key)
+	s := m.shardOf(h)
+	m.locks[s].Lock()
+	var n int
+	if m.hashed.Load() {
+		n = m.tabs[s].DeleteHashed(h, key)
+	} else {
+		n = m.tabs[s].Delete(key)
+	}
+	m.locks[s].Unlock()
+	return n
+}
+
+// PutBatch adds keys[i]→vals[i] for every i, one lock per shard. The
+// per-key relative order of duplicate keys is preserved (duplicates
+// route to the same shard and apply in batch order there).
+func (m *MultiMap[V]) PutBatch(keys []string, vals []V) {
+	vals = vals[:len(keys)]
+	hs := make([]uint64, len(keys))
+	order, start := m.group(keys, hs)
+	fast := m.hashed.Load()
+	for s := range m.tabs {
+		lo, hi := start[s], start[s+1]
+		if lo == hi {
+			continue
+		}
+		m.locks[s].Lock()
+		if fast && m.hashed.Load() {
+			for _, i := range order[lo:hi] {
+				m.tabs[s].PutHashed(hs[i], keys[i], vals[i])
+			}
+		} else {
+			for _, i := range order[lo:hi] {
+				m.tabs[s].Put(keys[i], vals[i])
+			}
+		}
+		m.locks[s].Unlock()
+	}
+}
+
+// Len returns the total entry count.
+func (m *MultiMap[V]) Len() int {
+	n := 0
+	for i := range m.tabs {
+		m.locks[i].RLock()
+		n += m.tabs[i].Len()
+		m.locks[i].RUnlock()
+	}
+	return n
+}
+
+// Stats returns merged bucket measurements.
+func (m *MultiMap[V]) Stats() container.Stats { return mergeStats(m.ShardStats()) }
+
+// ShardStats returns each shard's bucket measurements.
+func (m *MultiMap[V]) ShardStats() []container.Stats {
+	out := make([]container.Stats, len(m.tabs))
+	for i := range m.tabs {
+		m.locks[i].RLock()
+		out[i] = m.tabs[i].Stats()
+		m.locks[i].RUnlock()
+	}
+	return out
+}
+
+// Clear removes every entry.
+func (m *MultiMap[V]) Clear() {
+	for i := range m.tabs {
+		m.locks[i].Lock()
+		m.tabs[i].Clear()
+		m.locks[i].Unlock()
+	}
+}
+
+// SetShardHooks installs per-shard observation hooks (see Map).
+func (m *MultiMap[V]) SetShardHooks(f func(shard int) *container.Hooks) {
+	for i := range m.tabs {
+		m.locks[i].Lock()
+		if f == nil {
+			m.tabs[i].SetHooks(nil)
+		} else {
+			m.tabs[i].SetHooks(f(i))
+		}
+		m.locks[i].Unlock()
+	}
+}
+
+// BeginMigration starts a per-shard incremental re-bucket (see Map).
+func (m *MultiMap[V]) BeginMigration(newHash hashes.Func) {
+	m.hashed.Store(false)
+	for i := range m.tabs {
+		m.locks[i].Lock()
+		m.tabs[i].BeginMigration(newHash)
+		m.locks[i].Unlock()
+	}
+}
+
+// MigrateStep drains the next shard, true while any shard migrates.
+func (m *MultiMap[V]) MigrateStep(k int) bool {
+	s := int(m.cursor.Add(1)-1) % len(m.tabs)
+	m.locks[s].Lock()
+	more := m.tabs[s].MigrateStep(k)
+	m.locks[s].Unlock()
+	if more {
+		return true
+	}
+	return m.Migrating()
+}
+
+// Migrating reports whether any shard's migration is in progress.
+func (m *MultiMap[V]) Migrating() bool {
+	for i := range m.tabs {
+		m.locks[i].RLock()
+		mg := m.tabs[i].Migrating()
+		m.locks[i].RUnlock()
+		if mg {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert implements container.Container.
+func (m *MultiMap[V]) Insert(key string) { var zero V; m.Put(key, zero) }
+
+// Search implements container.Container.
+func (m *MultiMap[V]) Search(key string) bool { return m.Count(key) > 0 }
+
+// Erase implements container.Container.
+func (m *MultiMap[V]) Erase(key string) int { return m.Delete(key) }
+
+// MultiSet is the concurrent std::unordered_multiset equivalent.
+type MultiSet struct {
+	core
+	tabs []*container.MultiSet
+}
+
+// NewMultiSet returns an empty sharded multiset over hash.
+func NewMultiSet(hash hashes.Func, opts ...Option) *MultiSet {
+	n := resolveShards(opts)
+	s := &MultiSet{tabs: make([]*container.MultiSet, n)}
+	s.init(hash, n)
+	for i := range s.tabs {
+		s.tabs[i] = container.NewMultiSet(hash, nil)
+	}
+	return s
+}
+
+// Insert adds one occurrence of key.
+func (s *MultiSet) Insert(key string) {
+	h := s.router(key)
+	i := s.shardOf(h)
+	s.locks[i].Lock()
+	if s.hashed.Load() {
+		s.tabs[i].InsertHashed(h, key)
+	} else {
+		s.tabs[i].Insert(key)
+	}
+	s.locks[i].Unlock()
+}
+
+// Count returns the number of occurrences of key.
+func (s *MultiSet) Count(key string) int {
+	h := s.router(key)
+	i := s.shardOf(h)
+	s.locks[i].RLock()
+	var n int
+	if s.hashed.Load() {
+		n = s.tabs[i].CountHashed(h, key)
+	} else {
+		n = s.tabs[i].Count(key)
+	}
+	s.locks[i].RUnlock()
+	return n
+}
+
+// Search reports whether key occurs at least once.
+func (s *MultiSet) Search(key string) bool {
+	h := s.router(key)
+	i := s.shardOf(h)
+	s.locks[i].RLock()
+	var ok bool
+	if s.hashed.Load() {
+		ok = s.tabs[i].SearchHashed(h, key)
+	} else {
+		ok = s.tabs[i].Search(key)
+	}
+	s.locks[i].RUnlock()
+	return ok
+}
+
+// Erase removes all occurrences of key.
+func (s *MultiSet) Erase(key string) int {
+	h := s.router(key)
+	i := s.shardOf(h)
+	s.locks[i].Lock()
+	var n int
+	if s.hashed.Load() {
+		n = s.tabs[i].EraseHashed(h, key)
+	} else {
+		n = s.tabs[i].Erase(key)
+	}
+	s.locks[i].Unlock()
+	return n
+}
+
+// InsertBatch adds one occurrence of every key, one lock per shard.
+func (s *MultiSet) InsertBatch(keys []string) {
+	hs := make([]uint64, len(keys))
+	order, start := s.group(keys, hs)
+	fast := s.hashed.Load()
+	for sh := range s.tabs {
+		lo, hi := start[sh], start[sh+1]
+		if lo == hi {
+			continue
+		}
+		s.locks[sh].Lock()
+		if fast && s.hashed.Load() {
+			for _, i := range order[lo:hi] {
+				s.tabs[sh].InsertHashed(hs[i], keys[i])
+			}
+		} else {
+			for _, i := range order[lo:hi] {
+				s.tabs[sh].Insert(keys[i])
+			}
+		}
+		s.locks[sh].Unlock()
+	}
+}
+
+// Len returns the total occurrence count.
+func (s *MultiSet) Len() int {
+	n := 0
+	for i := range s.tabs {
+		s.locks[i].RLock()
+		n += s.tabs[i].Len()
+		s.locks[i].RUnlock()
+	}
+	return n
+}
+
+// Stats returns merged bucket measurements.
+func (s *MultiSet) Stats() container.Stats { return mergeStats(s.ShardStats()) }
+
+// ShardStats returns each shard's bucket measurements.
+func (s *MultiSet) ShardStats() []container.Stats {
+	out := make([]container.Stats, len(s.tabs))
+	for i := range s.tabs {
+		s.locks[i].RLock()
+		out[i] = s.tabs[i].Stats()
+		s.locks[i].RUnlock()
+	}
+	return out
+}
+
+// Clear removes every occurrence.
+func (s *MultiSet) Clear() {
+	for i := range s.tabs {
+		s.locks[i].Lock()
+		s.tabs[i].Clear()
+		s.locks[i].Unlock()
+	}
+}
+
+// SetShardHooks installs per-shard observation hooks (see Map).
+func (s *MultiSet) SetShardHooks(f func(shard int) *container.Hooks) {
+	for i := range s.tabs {
+		s.locks[i].Lock()
+		if f == nil {
+			s.tabs[i].SetHooks(nil)
+		} else {
+			s.tabs[i].SetHooks(f(i))
+		}
+		s.locks[i].Unlock()
+	}
+}
+
+// BeginMigration starts a per-shard incremental re-bucket (see Map).
+func (s *MultiSet) BeginMigration(newHash hashes.Func) {
+	s.hashed.Store(false)
+	for i := range s.tabs {
+		s.locks[i].Lock()
+		s.tabs[i].BeginMigration(newHash)
+		s.locks[i].Unlock()
+	}
+}
+
+// MigrateStep drains the next shard, true while any shard migrates.
+func (s *MultiSet) MigrateStep(k int) bool {
+	i := int(s.cursor.Add(1)-1) % len(s.tabs)
+	s.locks[i].Lock()
+	more := s.tabs[i].MigrateStep(k)
+	s.locks[i].Unlock()
+	if more {
+		return true
+	}
+	return s.Migrating()
+}
+
+// Migrating reports whether any shard's migration is in progress.
+func (s *MultiSet) Migrating() bool {
+	for i := range s.tabs {
+		s.locks[i].RLock()
+		mg := s.tabs[i].Migrating()
+		s.locks[i].RUnlock()
+		if mg {
+			return true
+		}
+	}
+	return false
+}

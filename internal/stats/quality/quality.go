@@ -1,0 +1,254 @@
+// Package quality implements an SMHasher-lite statistical test
+// battery for synthesized hash functions: the avalanche matrix, the
+// bit-independence criterion, chi-squared bucket uniformity, and
+// collision counting, all over in-format sample keys.
+//
+// The battery differs from SMHasher in what "pass" means per family.
+// The linear families (Naive, OffXor, Pext) are xor/shift networks:
+// flipping an input bit flips a fixed set of output bits for every
+// key, so their avalanche probabilities are exactly 0 or 1 by
+// construction and a bias-near-0.5 criterion is meaningless. What
+// they must guarantee instead is liveness — every input bit that
+// varies within the format influences the hash (a dead varying bit
+// collapses distinct keys) — plus bucket uniformity modulo a prime,
+// which is what the paper's containers consume (RQ5/RQ6). Only the
+// Aes family advertises nonlinear mixing, so only it is held to
+// bias and bit-independence thresholds.
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/sepe-go/sepe/internal/hashes"
+	"github.com/sepe-go/sepe/internal/stats"
+)
+
+// AvalancheReport is the flip-probability matrix of a hash over a set
+// of equal-length keys: P[i][o] is the fraction of keys for which
+// flipping input bit i flipped output bit o. Input bit i is bit
+// (i%8) of byte i/8, output bits are the 64 hash bits.
+type AvalancheReport struct {
+	InBits int
+	P      [][]float64
+}
+
+// Avalanche computes the flip-probability matrix of fn over keys,
+// which must be non-empty and share one length (the battery runs on
+// fixed-length formats so every input bit is defined for every key).
+func Avalanche(fn hashes.Func, keys []string) (*AvalancheReport, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("quality: no keys")
+	}
+	l := len(keys[0])
+	for _, k := range keys {
+		if len(k) != l {
+			return nil, fmt.Errorf("quality: mixed key lengths %d and %d", l, len(k))
+		}
+	}
+	in := l * 8
+	counts := make([][]int, in)
+	for i := range counts {
+		counts[i] = make([]int, 64)
+	}
+	buf := make([]byte, l)
+	for _, k := range keys {
+		h0 := fn(k)
+		for i := 0; i < in; i++ {
+			copy(buf, k)
+			buf[i/8] ^= 1 << (i % 8)
+			d := h0 ^ fn(string(buf))
+			for o := 0; o < 64; o++ {
+				if d&(1<<o) != 0 {
+					counts[i][o]++
+				}
+			}
+		}
+	}
+	r := &AvalancheReport{InBits: in, P: make([][]float64, in)}
+	n := float64(len(keys))
+	for i := range counts {
+		r.P[i] = make([]float64, 64)
+		for o, c := range counts[i] {
+			r.P[i][o] = float64(c) / n
+		}
+	}
+	return r, nil
+}
+
+// MaxBias returns max over the matrix of |P − 0.5|, restricted to the
+// input bits marked true in varying (nil means all). 0 is perfect
+// avalanche; 0.5 means some output bit never (or always) flips.
+func (r *AvalancheReport) MaxBias(varying []bool) float64 {
+	worst := 0.0
+	for i, row := range r.P {
+		if varying != nil && !varying[i] {
+			continue
+		}
+		for _, p := range row {
+			if b := math.Abs(p - 0.5); b > worst {
+				worst = b
+			}
+		}
+	}
+	return worst
+}
+
+// MeanBias returns the mean of |P − 0.5| over the same restriction.
+func (r *AvalancheReport) MeanBias(varying []bool) float64 {
+	sum, n := 0.0, 0
+	for i, row := range r.P {
+		if varying != nil && !varying[i] {
+			continue
+		}
+		for _, p := range row {
+			sum += math.Abs(p - 0.5)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// DeadBits returns the input bits that are marked varying yet never
+// flipped any output bit for any key — bits the hash provably
+// ignores. For a specialized function this is the fatal defect: two
+// format keys differing only in a dead bit collide with certainty.
+func (r *AvalancheReport) DeadBits(varying []bool) []int {
+	var dead []int
+	for i, row := range r.P {
+		if varying != nil && !varying[i] {
+			continue
+		}
+		live := false
+		for _, p := range row {
+			if p > 0 {
+				live = true
+				break
+			}
+		}
+		if !live {
+			dead = append(dead, i)
+		}
+	}
+	return dead
+}
+
+// VaryingBits reports, for each input bit of the equal-length keys,
+// whether it takes both values somewhere in the sample. Only such
+// bits carry information the hash is obliged to preserve; format
+// constants are legitimately ignored by the OffXor/Aes/Pext families.
+func VaryingBits(keys []string) []bool {
+	if len(keys) == 0 {
+		return nil
+	}
+	l := len(keys[0])
+	varying := make([]bool, l*8)
+	base := keys[0]
+	for _, k := range keys[1:] {
+		for b := 0; b < l; b++ {
+			if d := k[b] ^ base[b]; d != 0 {
+				for j := 0; j < 8; j++ {
+					if d&(1<<j) != 0 {
+						varying[b*8+j] = true
+					}
+				}
+			}
+		}
+	}
+	return varying
+}
+
+// BitIndependence computes the bit-independence criterion: the worst
+// absolute correlation, over all input bits and all pairs of output
+// bits, between the two output bits' flip indicators. 0 means every
+// output-bit pair flips independently; 1 means some pair is perfectly
+// coupled (always the case for the linear families, whose flips are
+// deterministic).
+func BitIndependence(fn hashes.Func, keys []string, varying []bool) (float64, error) {
+	if len(keys) == 0 {
+		return 0, fmt.Errorf("quality: no keys")
+	}
+	l := len(keys[0])
+	for _, k := range keys {
+		if len(k) != l {
+			return 0, fmt.Errorf("quality: mixed key lengths %d and %d", l, len(k))
+		}
+	}
+	n := len(keys)
+	diffs := make([]uint64, n)
+	buf := make([]byte, l)
+	worst := 0.0
+	for i := 0; i < l*8; i++ {
+		if varying != nil && !varying[i] {
+			continue
+		}
+		for ki, k := range keys {
+			copy(buf, k)
+			buf[i/8] ^= 1 << (i % 8)
+			diffs[ki] = fn(k) ^ fn(string(buf))
+		}
+		// Per-output-bit flip counts, then pair correlations.
+		var ones [64]int
+		for _, d := range diffs {
+			for o := 0; o < 64; o++ {
+				if d&(1<<o) != 0 {
+					ones[o]++
+				}
+			}
+		}
+		for a := 0; a < 64; a++ {
+			if ones[a] == 0 || ones[a] == n {
+				continue // constant indicator: correlation undefined
+			}
+			for b := a + 1; b < 64; b++ {
+				if ones[b] == 0 || ones[b] == n {
+					continue
+				}
+				both := 0
+				for _, d := range diffs {
+					if d&(1<<a) != 0 && d&(1<<b) != 0 {
+						both++
+					}
+				}
+				pa := float64(ones[a]) / float64(n)
+				pb := float64(ones[b]) / float64(n)
+				pab := float64(both) / float64(n)
+				corr := (pab - pa*pb) / math.Sqrt(pa*(1-pa)*pb*(1-pb))
+				if c := math.Abs(corr); c > worst {
+					worst = c
+				}
+			}
+		}
+	}
+	return worst, nil
+}
+
+// ChiSquareBuckets bins the keys' hashes into buckets bucket-counts
+// by the containers' own indexing (hash modulo a prime bucket count)
+// and returns the χ² statistic and its p-value under uniformity. A
+// tiny p-value means the function starves or floods buckets — the
+// low-mixing failure of the paper's RQ7.
+func ChiSquareBuckets(fn hashes.Func, keys []string, buckets int) (chi2, p float64, err error) {
+	if buckets < 2 {
+		return 0, 0, fmt.Errorf("quality: need at least 2 buckets")
+	}
+	obs := make([]int, buckets)
+	for _, k := range keys {
+		obs[fn(k)%uint64(buckets)]++
+	}
+	return stats.ChiSquareUniform(obs)
+}
+
+// Collisions returns the number of 64-bit hash collisions among the
+// distinct keys: len(keys) − #distinct hash values. For a bijective
+// Pext function on in-format keys it must be exactly 0.
+func Collisions(fn hashes.Func, keys []string) int {
+	seen := make(map[uint64]struct{}, len(keys))
+	for _, k := range keys {
+		seen[fn(k)] = struct{}{}
+	}
+	return len(keys) - len(seen)
+}

@@ -1,0 +1,224 @@
+package quality
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/rex"
+	"github.com/sepe-go/sepe/internal/rng"
+)
+
+// The battery's fixtures: fixed-length formats spanning the paper's
+// dataset shapes (Table 2's SSN/IPV4-style keys), sampled with a
+// fixed seed so every threshold below is deterministic. Samples come
+// from the quad-widened format — the key set the functions are
+// actually specialized to.
+const qualitySeed = 42
+
+var formats = []struct {
+	name string
+	expr string
+	// aesBIC is the bit-independence bound asserted for the Aes
+	// family. One AES round mixes within 32-bit columns, so formats
+	// with few variable bits can leave an output-bit pair perfectly
+	// coupled (SSN measures exactly 1.0); wider formats must mix.
+	aesBIC float64
+}{
+	{"ssn", `[0-9]{3}-[0-9]{2}-[0-9]{4}`, 1.0},
+	{"hex16", `[0-9a-f]{16}`, 0.5},
+	{"mac", `[0-9a-f]{2}:[0-9a-f]{2}:[0-9a-f]{2}:[0-9a-f]{2}:[0-9a-f]{2}:[0-9a-f]{2}`, 0.5},
+}
+
+var families = []core.Family{core.Naive, core.OffXor, core.Aes, core.Pext}
+
+func sampleKeys(t *testing.T, expr string) []string {
+	t.Helper()
+	pat, err := rex.ParseAndLower(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	keys := pat.SampleN(rng.New(qualitySeed), 512)
+	seen := make(map[string]struct{}, len(keys))
+	uniq := keys[:0]
+	for _, k := range keys {
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		uniq = append(uniq, k)
+	}
+	return uniq
+}
+
+func synthFor(t *testing.T, expr string, fam core.Family) *core.Fn {
+	t.Helper()
+	pat, err := rex.ParseAndLower(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	fn, err := core.Synthesize(pat, fam, core.Options{})
+	if err != nil {
+		t.Fatalf("synthesize %s for %q: %v", fam, expr, err)
+	}
+	return fn
+}
+
+// TestAvalancheLiveness is the battery's load-bearing assertion for
+// every family: no input bit that varies within the format may be
+// dead. A dead varying bit means two admissible keys collide with
+// certainty — the defect the OffXor/Pext constant-elision must never
+// introduce.
+func TestAvalancheLiveness(t *testing.T) {
+	for _, f := range formats {
+		keys := sampleKeys(t, f.expr)
+		varying := VaryingBits(keys)
+		for _, fam := range families {
+			fn := synthFor(t, f.expr, fam)
+			av, err := Avalanche(fn.Func(), keys)
+			if err != nil {
+				t.Fatalf("family=%s format=%s: %v", fam, f.name, err)
+			}
+			if dead := av.DeadBits(varying); len(dead) != 0 {
+				t.Errorf("family=%s format=%s: dead varying input bits %v — admissible keys differing only there collide",
+					fam, f.name, dead)
+			}
+		}
+	}
+}
+
+// TestAvalancheLinearity pins the linear families' structural
+// property: every (varying input bit, output bit) flip probability is
+// exactly 0 or 1 — the flips are key-independent. If this drifts, a
+// family silently changed character (or the compiler introduced
+// key-dependent control flow).
+func TestAvalancheLinearity(t *testing.T) {
+	for _, f := range formats {
+		keys := sampleKeys(t, f.expr)
+		varying := VaryingBits(keys)
+		for _, fam := range []core.Family{core.Naive, core.OffXor, core.Pext} {
+			fn := synthFor(t, f.expr, fam)
+			av, err := Avalanche(fn.Func(), keys)
+			if err != nil {
+				t.Fatalf("family=%s format=%s: %v", fam, f.name, err)
+			}
+			for i, row := range av.P {
+				if !varying[i] {
+					continue
+				}
+				for o, p := range row {
+					if p != 0 && p != 1 {
+						t.Fatalf("family=%s format=%s: in-bit %d out-bit %d flips with p=%.3f — linear family became key-dependent",
+							fam, f.name, i, o, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAvalancheAesBias holds the one nonlinear family to SMHasher's
+// actual criterion: flip probabilities near 0.5. Thresholds are ~4x
+// the measured values (mean 0.026, max 0.16 at seed 42), loose enough
+// to be deterministic across the hardware and software AES tiers
+// (both compute the same round function bit-exactly).
+func TestAvalancheAesBias(t *testing.T) {
+	for _, f := range formats {
+		keys := sampleKeys(t, f.expr)
+		varying := VaryingBits(keys)
+		fn := synthFor(t, f.expr, core.Aes)
+		av, err := Avalanche(fn.Func(), keys)
+		if err != nil {
+			t.Fatalf("family=Aes format=%s: %v", f.name, err)
+		}
+		if mb := av.MeanBias(varying); mb > 0.10 {
+			t.Errorf("family=Aes format=%s: mean avalanche bias %.3f > 0.10", f.name, mb)
+		}
+		if mb := av.MaxBias(varying); mb > 0.35 {
+			t.Errorf("family=Aes format=%s: max avalanche bias %.3f > 0.35", f.name, mb)
+		}
+	}
+}
+
+// TestBitIndependence runs the BIC over every family. The linear
+// families' flip indicators are constant per input bit, so their BIC
+// is 0 by construction and asserted exactly; Aes is held to the
+// per-format bound in the fixture table.
+func TestBitIndependence(t *testing.T) {
+	for _, f := range formats {
+		keys := sampleKeys(t, f.expr)
+		varying := VaryingBits(keys)
+		for _, fam := range families {
+			fn := synthFor(t, f.expr, fam)
+			bic, err := BitIndependence(fn.Func(), keys, varying)
+			if err != nil {
+				t.Fatalf("family=%s format=%s: %v", fam, f.name, err)
+			}
+			limit := f.aesBIC
+			if fam != core.Aes {
+				limit = 0 // deterministic flips: no defined correlations at all
+			}
+			if bic > limit {
+				t.Errorf("family=%s format=%s: bit-independence correlation %.3f > %.3f", fam, f.name, bic, limit)
+			}
+		}
+	}
+}
+
+// TestChiSquareBuckets checks bucket uniformity under the containers'
+// own indexing (modulo a prime), for every family. The p-value floor
+// is far below the 8.2e-3 worst case measured at seed 42; a collapse
+// to near-zero p is the RQ7 low-mixing failure.
+func TestChiSquareBuckets(t *testing.T) {
+	const buckets = 61
+	for _, f := range formats {
+		keys := sampleKeys(t, f.expr)
+		for _, fam := range families {
+			fn := synthFor(t, f.expr, fam)
+			chi2, p, err := ChiSquareBuckets(fn.Func(), keys, buckets)
+			if err != nil {
+				t.Fatalf("family=%s format=%s: %v", fam, f.name, err)
+			}
+			if p < 1e-4 {
+				t.Errorf("family=%s format=%s: bucket distribution chi2=%.1f p=%.2e — buckets starved/flooded",
+					fam, f.name, chi2, p)
+			}
+		}
+	}
+}
+
+// TestCollisions counts 64-bit collisions over the distinct sample
+// keys: exactly zero where the plan proves bijectivity, near-zero
+// everywhere else.
+func TestCollisions(t *testing.T) {
+	for _, f := range formats {
+		keys := sampleKeys(t, f.expr)
+		for _, fam := range families {
+			fn := synthFor(t, f.expr, fam)
+			coll := Collisions(fn.Func(), keys)
+			if fn.Plan().Bijective() {
+				if coll != 0 {
+					t.Errorf("family=%s format=%s: %d collisions from a provably bijective plan", fam, f.name, coll)
+				}
+			} else if coll > 2 {
+				t.Errorf("family=%s format=%s: %d collisions among %d keys", fam, f.name, coll, len(keys))
+			}
+		}
+	}
+}
+
+// TestMetricErrors pins the battery's input validation.
+func TestMetricErrors(t *testing.T) {
+	fn := func(string) uint64 { return 0 }
+	if _, err := Avalanche(fn, nil); err == nil {
+		t.Error("Avalanche accepted empty key set")
+	}
+	if _, err := Avalanche(fn, []string{"ab", "abc"}); err == nil {
+		t.Error("Avalanche accepted mixed-length keys")
+	}
+	if _, err := BitIndependence(fn, []string{"ab", "abc"}, nil); err == nil {
+		t.Error("BitIndependence accepted mixed-length keys")
+	}
+	if _, _, err := ChiSquareBuckets(fn, []string{"a"}, 1); err == nil {
+		t.Error("ChiSquareBuckets accepted 1 bucket")
+	}
+}

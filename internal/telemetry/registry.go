@@ -52,6 +52,21 @@ func (r *Registry) NewContainer(name string) *ContainerMetrics {
 	return m
 }
 
+// NewContainerShards creates one ContainerMetrics block per shard of
+// a sharded container, named name.shard0 … name.shard<n-1>, and
+// registers each. Callers merge the per-shard snapshots with
+// MergeContainerSnapshots when a whole-container view is wanted.
+func (r *Registry) NewContainerShards(name string, n int) []*ContainerMetrics {
+	ms := make([]*ContainerMetrics, n)
+	for i := range ms {
+		ms[i] = NewContainerMetrics(fmt.Sprintf("%s.shard%d", name, i))
+	}
+	r.mu.Lock()
+	r.containers = append(r.containers, ms...)
+	r.mu.Unlock()
+	return ms
+}
+
 // NewDrift creates a DriftMonitor and registers it.
 func (r *Registry) NewDrift(name string, matches func(string) bool, cfg DriftConfig) *DriftMonitor {
 	d := NewDriftMonitor(name, matches, cfg)

@@ -292,6 +292,34 @@ type ContainerSnapshot struct {
 	ProbeMax uint64 `json:"probe_max"`
 }
 
+// MergeContainerSnapshots folds per-shard snapshots into one block
+// for a sharded container. Operation counts, rehashes and the running
+// bucket-collision total are additive across disjoint shards. The
+// probe quantiles take the MAXIMUM across shards: ProbeMax is a
+// worst-case bound and P50/P99 are reported as conservative upper
+// bounds — averaging them would advertise a probe distribution no
+// shard actually has (a single hot shard must stay visible).
+func MergeContainerSnapshots(name string, parts []ContainerSnapshot) ContainerSnapshot {
+	out := ContainerSnapshot{Name: name}
+	for _, p := range parts {
+		out.Puts += p.Puts
+		out.Gets += p.Gets
+		out.Deletes += p.Deletes
+		out.Rehashes += p.Rehashes
+		out.BucketCollisions += p.BucketCollisions
+		if p.ProbeP50 > out.ProbeP50 {
+			out.ProbeP50 = p.ProbeP50
+		}
+		if p.ProbeP99 > out.ProbeP99 {
+			out.ProbeP99 = p.ProbeP99
+		}
+		if p.ProbeMax > out.ProbeMax {
+			out.ProbeMax = p.ProbeMax
+		}
+	}
+	return out
+}
+
 // Snapshot copies the metrics' current state.
 func (m *ContainerMetrics) Snapshot() ContainerSnapshot {
 	p := m.probes.Snapshot()

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -226,4 +227,51 @@ func TestMultiTracerAndWriterTracer(t *testing.T) {
 func TestStartSpanNilTracer(t *testing.T) {
 	done := StartSpan(nil, "x")
 	done() // must not panic
+}
+
+func TestMergeContainerSnapshots(t *testing.T) {
+	parts := []ContainerSnapshot{
+		{Name: "t.shard0", Puts: 10, Gets: 100, Deletes: 1, Rehashes: 2, BucketCollisions: 5, ProbeP50: 1, ProbeP99: 4, ProbeMax: 9},
+		{Name: "t.shard1", Puts: 20, Gets: 50, Deletes: 2, Rehashes: 1, BucketCollisions: 3, ProbeP50: 2, ProbeP99: 8, ProbeMax: 3},
+		{Name: "t.shard2"},
+	}
+	got := MergeContainerSnapshots("t", parts)
+	if got.Name != "t" {
+		t.Errorf("Name = %q, want %q", got.Name, "t")
+	}
+	if got.Puts != 30 || got.Gets != 150 || got.Deletes != 3 || got.Rehashes != 3 || got.BucketCollisions != 8 {
+		t.Errorf("additive fields wrong: %+v", got)
+	}
+	// Probe quantiles are worst-case measures: max across shards, never
+	// averaged (the hot shard must stay visible).
+	if got.ProbeP50 != 2 || got.ProbeP99 != 8 || got.ProbeMax != 9 {
+		t.Errorf("probe quantiles %+v, want max-merge (2, 8, 9)", got)
+	}
+	empty := MergeContainerSnapshots("e", nil)
+	if empty.Puts != 0 || empty.ProbeMax != 0 || empty.Name != "e" {
+		t.Errorf("empty merge = %+v", empty)
+	}
+}
+
+func TestNewContainerShards(t *testing.T) {
+	r := NewRegistry()
+	ms := r.NewContainerShards("tbl", 4)
+	if len(ms) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(ms))
+	}
+	for i, m := range ms {
+		if want := fmt.Sprintf("tbl.shard%d", i); m.Name() != want {
+			t.Errorf("block %d named %q, want %q", i, m.Name(), want)
+		}
+	}
+	ms[0].Put(1)
+	ms[3].Get(2)
+	snap := r.Snapshot()
+	if len(snap.Containers) != 4 {
+		t.Fatalf("snapshot has %d container blocks, want 4", len(snap.Containers))
+	}
+	merged := MergeContainerSnapshots("tbl", snap.Containers)
+	if merged.Puts != 1 || merged.Gets != 1 {
+		t.Errorf("merged ops %+v, want 1 put + 1 get", merged)
+	}
 }

@@ -115,6 +115,70 @@ func containerHooks(cm *ContainerMetrics) *container.Hooks {
 	}
 }
 
+// MergeContainerSnapshots folds the per-shard snapshots of a sharded
+// container into one whole-container block named name: operation and
+// collision counts are summed, probe quantiles take the maximum
+// across shards (worst-case measures are not averageable — a single
+// hot shard must stay visible in the merged view).
+func MergeContainerSnapshots(name string, parts []ContainerSnapshot) ContainerSnapshot {
+	return telemetry.MergeContainerSnapshots(name, parts)
+}
+
+// shardHooksOf builds the per-shard hook selector for a sharded
+// observed container: shard i feeds ms[i]. The ContainerMetrics hot
+// paths are atomic, so concurrent shard operations update their
+// blocks without coordination.
+func shardHooksOf(ms []*ContainerMetrics) func(int) *container.Hooks {
+	return func(i int) *container.Hooks { return containerHooks(ms[i]) }
+}
+
+// NewShardedMapObserved returns a ShardedMap with one metric block
+// per shard, created in and registered with r (nil selects the
+// default registry) under name.shard0 … name.shard<n-1>. Merge the
+// per-shard snapshots with MergeContainerSnapshots for a
+// whole-container view.
+func NewShardedMapObserved[V any](hash HashFunc, r *MetricsRegistry, name string, opts ...ShardOption) *ShardedMap[V] {
+	if r == nil {
+		r = telemetry.Default
+	}
+	m := NewShardedMap[V](hash, opts...)
+	m.m.SetShardHooks(shardHooksOf(r.NewContainerShards(name, m.m.Shards())))
+	return m
+}
+
+// NewShardedSetObserved returns a ShardedSet with per-shard metrics
+// (see NewShardedMapObserved).
+func NewShardedSetObserved(hash HashFunc, r *MetricsRegistry, name string, opts ...ShardOption) *ShardedSet {
+	if r == nil {
+		r = telemetry.Default
+	}
+	s := NewShardedSet(hash, opts...)
+	s.s.SetShardHooks(shardHooksOf(r.NewContainerShards(name, s.s.Shards())))
+	return s
+}
+
+// NewShardedMultiMapObserved returns a ShardedMultiMap with per-shard
+// metrics (see NewShardedMapObserved).
+func NewShardedMultiMapObserved[V any](hash HashFunc, r *MetricsRegistry, name string, opts ...ShardOption) *ShardedMultiMap[V] {
+	if r == nil {
+		r = telemetry.Default
+	}
+	m := NewShardedMultiMap[V](hash, opts...)
+	m.m.SetShardHooks(shardHooksOf(r.NewContainerShards(name, m.m.Shards())))
+	return m
+}
+
+// NewShardedMultiSetObserved returns a ShardedMultiSet with per-shard
+// metrics (see NewShardedMapObserved).
+func NewShardedMultiSetObserved(hash HashFunc, r *MetricsRegistry, name string, opts ...ShardOption) *ShardedMultiSet {
+	if r == nil {
+		r = telemetry.Default
+	}
+	s := NewShardedMultiSet(hash, opts...)
+	s.s.SetShardHooks(shardHooksOf(r.NewContainerShards(name, s.s.Shards())))
+	return s
+}
+
 // NewMapObserved returns a Map whose operations feed cm: per-op probe
 // counts, rehashes, and a running bucket-collision (B-Coll) count. A
 // nil cm yields a plain, unobserved Map.

@@ -231,6 +231,12 @@ func SynthesizeAll(f *Format, opts ...Option) (map[Family]*Hash, error) {
 // weaker collision guarantees.
 func (h *Hash) Hash(key string) uint64 { return h.fn.Hash(key) }
 
+// HashBatch hashes keys[i] into out[i] for every i, amortizing the
+// per-call closure dispatch over the batch. out must be at least as
+// long as keys. The results are bit-identical to calling Hash on each
+// key — the batch path changes dispatch, never the function.
+func (h *Hash) HashBatch(keys []string, out []uint64) { h.fn.HashBatch(keys, out) }
+
 // Func returns the function value, for use with the containers.
 func (h *Hash) Func() HashFunc { return h.fn.Func() }
 

@@ -155,3 +155,54 @@ func TestTableStatsAllContainers(t *testing.T) {
 		})
 	}
 }
+
+// TestShardedTableStatsMerge pins the public merge semantics of the
+// sharded containers' Stats: at shard count 1 the merged view must
+// equal a plain container fed identical operations (the regression
+// guard for the MaxBucketLen max-vs-average fix), and at any shard
+// count the additive fields must sum across ShardStats while
+// MaxBucketLen is their maximum.
+func TestShardedTableStatsMerge(t *testing.T) {
+	hash := sepe.STLHash
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+
+	single := sepe.NewShardedMap[int](hash, sepe.WithShards(1))
+	plain := sepe.NewMap[int](hash)
+	for i, k := range keys {
+		single.Put(k, i)
+		plain.Put(k, i)
+	}
+	for i := 0; i < len(keys); i += 3 {
+		single.Delete(keys[i])
+		plain.Delete(keys[i])
+	}
+	if got, want := single.Stats(), plain.Stats(); got != want {
+		t.Errorf("shard count 1: merged stats %+v != plain container stats %+v", got, want)
+	}
+
+	many := sepe.NewShardedMap[int](hash, sepe.WithShards(8))
+	for i, k := range keys {
+		many.Put(k, i)
+	}
+	merged := many.Stats()
+	var sumSize, sumBuckets, sumColl, maxChain int
+	for _, s := range many.ShardStats() {
+		sumSize += s.Size
+		sumBuckets += s.Buckets
+		sumColl += s.BucketCollisions
+		if s.MaxBucketLen > maxChain {
+			maxChain = s.MaxBucketLen
+		}
+	}
+	if merged.Size != sumSize || merged.Buckets != sumBuckets || merged.BucketCollisions != sumColl {
+		t.Errorf("additive fields: merged %+v, shard sums size=%d buckets=%d bcoll=%d",
+			merged, sumSize, sumBuckets, sumColl)
+	}
+	if merged.MaxBucketLen != maxChain {
+		t.Errorf("MaxBucketLen: merged %d, max across shards %d (must be max, not average)",
+			merged.MaxBucketLen, maxChain)
+	}
+}
