@@ -1,0 +1,76 @@
+package sepe
+
+import (
+	"errors"
+	"testing"
+)
+
+// The public certificate surface must agree with the internal
+// certifier: a bijective Pext function certifies cleanly, and the
+// certificate carries the proof parameters.
+func TestHashCertificateBijective(t *testing.T) {
+	format, err := ParseRegex(`[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Synthesize(format, Pext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := h.Certificate()
+	if !c.Bijective {
+		t.Fatalf("SSN Pext not certified bijective: %s", c.Reason)
+	}
+	if c.Rank != 36 || c.VariableBits != 36 {
+		t.Errorf("rank/bits = %d/%d, want 36/36", c.Rank, c.VariableBits)
+	}
+	if len(c.Findings) != 0 {
+		t.Errorf("unexpected findings: %v", c.Findings)
+	}
+}
+
+// A non-injective family must fail RequireCertifiedBijective with the
+// shared ErrNotBijective sentinel, and produce a verified
+// counterexample through the certificate.
+func TestRequireCertifiedBijective(t *testing.T) {
+	format, err := ParseRegex(`[0-9]{16}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthesize(format, Naive, RequireCertifiedBijective()); !errors.Is(err, ErrNotBijective) {
+		t.Fatalf("Naive synthesis err = %v, want ErrNotBijective", err)
+	}
+	// Without the option the same synthesis succeeds, and its
+	// certificate explains the failure with a real collision.
+	h, err := Synthesize(format, Naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := h.Certificate()
+	if c.Bijective {
+		t.Fatal("16-digit Naive must not be bijective")
+	}
+	ce := c.Counterexample
+	if ce == nil {
+		t.Fatal("want a counterexample for a non-bijective plan")
+	}
+	if ce.Key1 == ce.Key2 || !h.Matches(ce.Key1) || !h.Matches(ce.Key2) {
+		t.Fatalf("counterexample keys invalid: %q %q", ce.Key1, ce.Key2)
+	}
+	if h.Hash(ce.Key1) != h.Hash(ce.Key2) {
+		t.Fatal("counterexample keys do not collide")
+	}
+	// The certifier's rank analysis admits plans the conservative
+	// predicate cannot: RequireCertifiedBijective accepts them.
+	eight, err := ParseRegex(`[0-9]{8}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Synthesize(eight, OffXor, RequireCertifiedBijective())
+	if err != nil {
+		t.Fatalf("single-word OffXor should certify bijective: %v", err)
+	}
+	if h2.Bijective() {
+		t.Fatal("conservative predicate unexpectedly proves OffXor bijective (test premise broken)")
+	}
+}

@@ -7,10 +7,13 @@
 //
 // By default it emits Go source for all families the target supports,
 // plus the shared support helpers. The C++ output matches the paper's
-// Figure 5c functor shape.
+// Figure 5c functor shape. With -lint it certifies the plans instead
+// of emitting code: one JSON certificate per family, non-zero exit on
+// any certifier finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +24,7 @@ import (
 	"github.com/sepe-go/sepe/internal/codegen"
 	"github.com/sepe-go/sepe/internal/core"
 	"github.com/sepe-go/sepe/internal/infer"
+	"github.com/sepe-go/sepe/internal/pattern"
 	"github.com/sepe-go/sepe/internal/rex"
 	"github.com/sepe-go/sepe/internal/rng"
 	"github.com/sepe-go/sepe/internal/telemetry"
@@ -39,6 +43,8 @@ func main() {
 		"print N sample keys instead of code (drawn from the quad-widened format, so a [0-9] slot may show ':'..'?')")
 	flag.BoolVar(&cfg.stats, "stats", false,
 		"print per-phase synthesis timings and a plan summary to stderr")
+	flag.BoolVar(&cfg.lint, "lint", false,
+		"certify the plans instead of emitting code: print one JSON certificate per family (bijectivity proof or counterexample, dead entropy, funnels) and exit non-zero on any finding")
 	fromKeys := flag.Bool("from-keys", false,
 		"treat the argument as a file of example keys (or '-' for stdin) and infer the format, fusing keybuilder|keysynth into one command")
 	flag.Parse()
@@ -92,6 +98,7 @@ type config struct {
 	allowShort bool
 	samples    int
 	stats      bool
+	lint       bool
 	// statsOut receives the -stats report; main leaves it nil for
 	// os.Stderr, tests substitute a buffer.
 	statsOut io.Writer
@@ -118,6 +125,9 @@ func run(cfg config, out io.Writer) error {
 		return err
 	}
 	opts := core.Options{Target: tgt, AllowShort: cfg.allowShort}
+	if cfg.lint {
+		return lint(pat, fams, opts, out)
+	}
 	var tracer *telemetry.CollectTracer
 	if cfg.stats {
 		tracer = &telemetry.CollectTracer{}
@@ -164,6 +174,33 @@ func run(cfg config, out io.Writer) error {
 	}
 	if cfg.stats {
 		printStats(cfg.statsWriter(), tracer, plans)
+	}
+	return nil
+}
+
+// lint certifies one plan per family and prints the certificates as a
+// JSON array. Any certificate finding (a violated plan invariant, as
+// opposed to mere non-bijectivity) makes the run fail, which is what
+// turns keysynth into a CI lint step for checked-in formats.
+func lint(pat *pattern.Pattern, fams []core.Family, opts core.Options, out io.Writer) error {
+	var certs []*core.Certificate
+	findings := 0
+	for _, fam := range fams {
+		plan, err := core.BuildPlan(pat, fam, opts)
+		if err != nil {
+			return err
+		}
+		c := core.Certify(plan)
+		findings += len(c.Findings)
+		certs = append(certs, c)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(certs); err != nil {
+		return err
+	}
+	if findings > 0 {
+		return fmt.Errorf("certification failed: %d finding(s)", findings)
 	}
 	return nil
 }

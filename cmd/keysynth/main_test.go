@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
+
+	"github.com/sepe-go/sepe/internal/core"
 )
 
 func TestRunGoAllFamilies(t *testing.T) {
@@ -162,5 +165,36 @@ func TestInferExprFromFile(t *testing.T) {
 	}
 	if _, err := inferExpr(dir + "/missing.txt"); err == nil {
 		t.Error("missing file must fail")
+	}
+}
+
+func TestLintMode(t *testing.T) {
+	var out strings.Builder
+	cfg := config{
+		expr: `[0-9]{3}-[0-9]{2}-[0-9]{4}`, family: "all",
+		target: "x86-64", lint: true,
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	var certs []*core.Certificate
+	if err := json.Unmarshal([]byte(out.String()), &certs); err != nil {
+		t.Fatalf("-lint output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(certs) != 4 {
+		t.Fatalf("want 4 certificates, got %d", len(certs))
+	}
+	byFam := map[string]*core.Certificate{}
+	for _, c := range certs {
+		if len(c.Findings) != 0 {
+			t.Errorf("%s: unexpected findings %v", c.Family, c.Findings)
+		}
+		byFam[c.Family] = c
+	}
+	if c := byFam["Pext"]; c == nil || !c.Bijective {
+		t.Error("Pext certificate must prove bijectivity for the SSN format")
+	}
+	if c := byFam["Naive"]; c == nil || c.Bijective || c.Counterexample == nil {
+		t.Error("Naive certificate must carry a counterexample")
 	}
 }

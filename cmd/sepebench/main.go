@@ -72,12 +72,22 @@ func main() {
 			"disable the BMI2/AES-NI hardware kernels; synthesized functions run on the portable software tier")
 		parallelN = flag.Int("parallel", 0,
 			"run the concurrent-container drive from N goroutines instead of experiments (0 = off; negative = GOMAXPROCS)")
+		certify = flag.Bool("certify", false,
+			"certify every family over the eight RQ key formats instead of running experiments: emit the JSON certificate report (BENCH_certify.json) and exit non-zero on any certifier finding")
 	)
 	flag.Parse()
 
 	if *noHW {
 		cpu.SetBMI2(false)
 		cpu.SetAES(false)
+	}
+
+	if *certify {
+		if err := runCertify(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "sepebench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *parallelN != 0 {

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// The repository must stay free of sepevet diagnostics: this is the
+// same gate CI runs, kept in the standard test tier so a regression
+// is visible from a plain `go test ./...`.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var out bytes.Buffer
+	n, err := run("../..", []string{"./..."}, "", false, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("sepevet found %d diagnostics:\n%s", n, out.String())
+	}
+}
+
+func TestJSONOutputAndOnlyFilter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var out bytes.Buffer
+	n, err := run("../..", []string{"./internal/telemetry/..."}, "spancheck", true, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("unexpected diagnostics: %s", out.String())
+	}
+	var list []jsonDiagnostic
+	if err := json.Unmarshal(out.Bytes(), &list); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(list) != 0 {
+		t.Fatalf("want empty diagnostic array, got %v", list)
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	if _, err := run("../..", nil, "nonexistent", false, &bytes.Buffer{}); err == nil {
+		t.Fatal("want error for -only nonexistent")
+	}
+}

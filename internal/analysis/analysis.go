@@ -1,0 +1,64 @@
+// Package analysis is a self-contained static-analysis framework in
+// the shape of golang.org/x/tools/go/analysis, built only on the
+// standard library's go/ast, go/parser, go/token and go/types: the
+// module deliberately has no dependencies, so the x/tools driver
+// stack is out of reach, and this package supplies the three pieces
+// of it the sepevet analyzers need — an Analyzer unit, a typed Pass
+// over one package, and a loader (Load) that parses and type-checks a
+// module's packages via `go list -deps -json`. The API mirrors
+// x/tools closely enough that the analyzers would port to a real
+// multichecker by changing imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name for diagnostics, a doc
+// string, and the Run function applied to each package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command
+	// line (lower case, no spaces).
+	Name string
+	// Doc is the analyzer's documentation: first line a one-sentence
+	// summary, then details.
+	Doc string
+	// Run applies the check to a single package, reporting findings
+	// through pass.Report. The error return is for operational
+	// failures, not findings.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file of the load.
+	Fset *token.FileSet
+	// Files holds the package's parsed syntax trees.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records the type-checker's facts about the syntax.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message describes it.
+	Message string
+	// Analyzer names the check that produced it (filled by Run).
+	Analyzer string
+}

@@ -1,0 +1,75 @@
+// Package analysistest runs analyzers over small synthetic modules:
+// the stdlib-only counterpart of golang.org/x/tools/go/analysis/
+// analysistest. A test supplies sources as path→content pairs; the
+// harness materializes them as a throwaway module, loads it through
+// the real loader (so the tests exercise the same go list + go/types
+// pipeline sepevet uses), runs the analyzers, and returns rendered
+// diagnostics as "relative/path.go:line: [analyzer] message" strings.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/analysis"
+)
+
+// Module is the import path synthetic test modules use. Analyzer
+// matching is suffix-based (package *paths* like .../internal/shard,
+// package *names* like telemetry), so tests can mimic the real tree
+// under this root.
+const Module = "sepevet.test/m"
+
+// Run materializes files as a module, loads ./..., applies the
+// analyzers and returns the rendered diagnostics.
+func Run(t *testing.T, files map[string]string, analyzers ...*analysis.Analyzer) []string {
+	t.Helper()
+	dir := t.TempDir()
+	gomod := fmt.Sprintf("module %s\n\ngo 1.24\n", Module)
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fset := token.NewFileSet()
+	pkgs, err := analysis.Load(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, d := range analysis.Run(fset, pkgs, analyzers) {
+		pos := fset.Position(d.Pos)
+		rel, err := filepath.Rel(dir, pos.Filename)
+		if err != nil {
+			rel = pos.Filename
+		}
+		out = append(out, fmt.Sprintf("%s:%d: [%s] %s",
+			filepath.ToSlash(rel), pos.Line, d.Analyzer, d.Message))
+	}
+	return out
+}
+
+// Expect asserts that got contains exactly len(want) diagnostics and
+// that got[i] contains want[i] as a substring.
+func Expect(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i, w := range want {
+		if !strings.Contains(got[i], w) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, got[i], w)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package atomicfield guards the hot-swap paths: a memory location
+// accessed through sync/atomic anywhere must be accessed that way
+// everywhere. Two patterns are enforced:
+//
+//  1. Typed atomics (atomic.Pointer[T], atomic.Uint64, atomic.Bool,
+//     …) may only be touched through their methods or by address;
+//     copying one by value smuggles out an unsynchronized snapshot
+//     and, after the copy, a plain word. Reported wherever a typed
+//     atomic appears as a plain value.
+//
+//  2. Plain fields used with the function-style API (a field whose
+//     address is passed to atomic.LoadUint64, atomic.StoreUint64,
+//     atomic.AddUint64, atomic.SwapUint64, atomic.CompareAndSwap*…)
+//     must never be read or written directly: one plain access makes
+//     every concurrent atomic access a data race. The analyzer
+//     collects the fields passed by address to sync/atomic functions
+//     in a first pass, then flags any other appearance of the same
+//     field object.
+//
+// The check is per package: a field atomically accessed in one file
+// and plainly accessed in another is exactly the bug class this
+// exists to catch.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/sepe-go/sepe/internal/analysis"
+)
+
+// Analyzer is the atomicfield analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "check that atomically accessed fields are never read or written plainly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1 over the whole package: fields whose address reaches a
+	// sync/atomic function, and the selector nodes through which they
+	// legitimately did.
+	atomicFields := map[types.Object]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pass, call) {
+				return true
+			}
+			for _, a := range call.Args {
+				un, ok := a.(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if s, found := pass.TypesInfo.Selections[sel]; found && s.Kind() == types.FieldVal {
+					atomicFields[s.Obj()] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	// Pass 2: every other access to those fields, and every by-value
+	// use of a typed atomic.
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, found := pass.TypesInfo.Selections[sel]
+			if !found || s.Kind() != types.FieldVal {
+				return true
+			}
+			parent := parentOf(stack)
+			if atomicFields[s.Obj()] && !sanctioned[sel] {
+				pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed with sync/atomic elsewhere in this package",
+					types.ExprString(sel))
+				return true
+			}
+			if isTypedAtomic(pass.TypesInfo.TypeOf(sel)) && isPlainValueUse(pass, sel, parent) {
+				pass.Reportf(sel.Pos(), "typed atomic %s copied or read by value; use its methods",
+					types.ExprString(sel))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// parentOf returns the node enclosing the top of the stack.
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}
+
+// isAtomicFuncCall reports whether call invokes a function of package
+// sync/atomic (the function-style API: LoadUint64, StoreUint32, …).
+func isAtomicFuncCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed
+// wrappers (Bool, Int32, Int64, Uint32, Uint64, Uintptr, Pointer[T],
+// Value).
+func isTypedAtomic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isPlainValueUse reports whether the selector is used as a plain
+// value: not the receiver of a method call, not under &, not the base
+// of a deeper field selection.
+func isPlainValueUse(pass *analysis.Pass, sel *ast.SelectorExpr, parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		if p.X != sel {
+			return true
+		}
+		// x.field.Method(...) or x.field.sub: method calls on the
+		// atomic are the sanctioned use; deeper field selection on an
+		// atomic struct does not exist in the API, treat as plain.
+		if fn, ok := pass.TypesInfo.Uses[p.Sel].(*types.Func); ok && fn != nil {
+			return false
+		}
+		return true
+	case *ast.UnaryExpr:
+		return p.Op.String() != "&"
+	case *ast.CallExpr:
+		// Appearing as an argument (by value) is a copy; being the
+		// Fun cannot happen for a field of struct type.
+		for _, a := range p.Args {
+			if a == sel {
+				return true
+			}
+		}
+		return false
+	case nil:
+		return false
+	default:
+		// Assignment source/target, composite literal element, return
+		// value, range operand, binary operand: all by-value uses.
+		switch parent.(type) {
+		case *ast.AssignStmt, *ast.CompositeLit, *ast.ReturnStmt,
+			*ast.KeyValueExpr, *ast.BinaryExpr, *ast.RangeStmt, *ast.ValueSpec:
+			return true
+		}
+		return false
+	}
+}

@@ -1,0 +1,129 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/analysis/analysistest"
+	"github.com/sepe-go/sepe/internal/analysis/atomicfield"
+)
+
+func run(t *testing.T, src string) []string {
+	t.Helper()
+	return analysistest.Run(t, map[string]string{"app/app.go": src}, atomicfield.Analyzer)
+}
+
+func TestPlainReadOfAtomicallyAccessedField(t *testing.T) {
+	got := run(t, `package app
+
+import "sync/atomic"
+
+type S struct{ n uint64 }
+
+func inc(s *S) { atomic.AddUint64(&s.n, 1) }
+
+func peek(s *S) uint64 { return s.n }
+`)
+	analysistest.Expect(t, got, "plain access to field s.n")
+}
+
+func TestPlainWriteOfAtomicallyAccessedField(t *testing.T) {
+	got := run(t, `package app
+
+import "sync/atomic"
+
+type S struct{ n uint64 }
+
+func load(s *S) uint64 { return atomic.LoadUint64(&s.n) }
+
+func reset(s *S) { s.n = 0 }
+`)
+	analysistest.Expect(t, got, "plain access to field s.n")
+}
+
+func TestConsistentAtomicUseIsClean(t *testing.T) {
+	got := run(t, `package app
+
+import "sync/atomic"
+
+type S struct{ n uint64 }
+
+func inc(s *S) uint64 { return atomic.AddUint64(&s.n, 1) }
+
+func load(s *S) uint64 { return atomic.LoadUint64(&s.n) }
+
+func swap(s *S, v uint64) bool { return atomic.CompareAndSwapUint64(&s.n, 0, v) }
+`)
+	analysistest.Expect(t, got)
+}
+
+func TestTypedAtomicCopy(t *testing.T) {
+	got := run(t, `package app
+
+import "sync/atomic"
+
+type S struct{ gen atomic.Uint64 }
+
+func snapshot(s *S) atomic.Uint64 { return s.gen }
+`)
+	analysistest.Expect(t, got, "typed atomic s.gen copied or read by value")
+}
+
+func TestTypedAtomicAssignmentCopy(t *testing.T) {
+	got := run(t, `package app
+
+import "sync/atomic"
+
+type S struct{ gen atomic.Uint64 }
+
+func snapshot(s *S) uint64 {
+	g := s.gen
+	return g.Load()
+}
+`)
+	analysistest.Expect(t, got, "copied or read by value")
+}
+
+func TestTypedAtomicMethodsAreClean(t *testing.T) {
+	got := run(t, `package app
+
+import "sync/atomic"
+
+type S struct {
+	gen atomic.Uint64
+	ptr atomic.Pointer[S]
+	ok  atomic.Bool
+}
+
+func use(s *S) uint64 {
+	s.gen.Add(1)
+	s.ok.Store(true)
+	if p := s.ptr.Load(); p != nil {
+		return p.gen.Load()
+	}
+	return s.gen.Load()
+}
+
+func addr(s *S) *atomic.Uint64 { return &s.gen }
+`)
+	analysistest.Expect(t, got)
+}
+
+// A field touched plainly in one file and atomically in another must
+// still be caught: the collection pass is per package, not per file.
+func TestCrossFileDetection(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"app/a.go": `package app
+
+import "sync/atomic"
+
+type S struct{ n uint64 }
+
+func inc(s *S) { atomic.AddUint64(&s.n, 1) }
+`,
+		"app/b.go": `package app
+
+func peek(s *S) uint64 { return s.n }
+`,
+	}, atomicfield.Analyzer)
+	analysistest.Expect(t, got, "plain access to field s.n")
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	// PkgPath is the import path.
+	PkgPath string
+	// Dir is the package's source directory.
+	Dir string
+	// GoFiles lists the parsed files (absolute paths).
+	GoFiles []string
+	// Syntax holds the parsed trees, parallel to GoFiles.
+	Syntax []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// TypesInfo records the checker's facts (target packages only).
+	TypesInfo *types.Info
+	// Target reports whether the package belongs to the analyzed
+	// module (go list DepOnly == false); analyzers run only on
+	// target packages, dependencies exist to type-check against.
+	Target bool
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// mapImporter resolves import strings against the loaded package set.
+// Standard-library vendoring makes source import strings differ from
+// go list's import paths (`golang.org/x/...` vs `vendor/golang.org/
+// x/...`), so packages are registered under both spellings.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("analysis: package %q not loaded", path)
+}
+
+func (m mapImporter) register(path string, p *types.Package) {
+	m[path] = p
+	if rest, ok := strings.CutPrefix(path, "vendor/"); ok {
+		m[rest] = p
+	}
+	// Toolchain-internal vendoring of std dependencies.
+	if i := strings.Index(path, "/vendor/"); i >= 0 {
+		m[path[i+len("/vendor/"):]] = p
+	}
+}
+
+// Load lists the patterns' packages plus their full dependency
+// closure with `go list -deps -json`, parses every package and
+// type-checks them in dependency order, and returns the target
+// (in-module) packages ready for analysis. Dependency packages are
+// checked with IgnoreFuncBodies — the analyzers need their exported
+// types, not their code — and their type errors are tolerated; a
+// target package that fails to parse or check is a load error.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	imp := mapImporter{}
+	var out []*Package
+	for _, lp := range listed {
+		if lp.ImportPath == "unsafe" {
+			imp.register("unsafe", types.Unsafe)
+			continue
+		}
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg := &Package{
+			PkgPath: lp.ImportPath,
+			Dir:     lp.Dir,
+			Target:  !lp.DepOnly,
+		}
+		var files []*ast.File
+		for _, f := range lp.GoFiles {
+			path := f
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(lp.Dir, f)
+			}
+			tree, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				if pkg.Target {
+					return nil, fmt.Errorf("analysis: %w", err)
+				}
+				continue
+			}
+			pkg.GoFiles = append(pkg.GoFiles, path)
+			files = append(files, tree)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		var firstErr error
+		conf := types.Config{
+			Importer:         imp,
+			IgnoreFuncBodies: !pkg.Target,
+			Error: func(err error) {
+				if firstErr == nil {
+					firstErr = err
+				}
+			},
+		}
+		tpkg, _ := conf.Check(lp.ImportPath, fset, files, info)
+		if pkg.Target && firstErr != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", lp.ImportPath, firstErr)
+		}
+		imp.register(lp.ImportPath, tpkg)
+		if !pkg.Target {
+			continue
+		}
+		pkg.Syntax = files
+		pkg.Types = tpkg
+		pkg.TypesInfo = info
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -deps -json patterns...` in dir and decodes
+// the JSON stream. The -deps order is topological: dependencies
+// before dependents, exactly the order type-checking needs.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Pure-Go std variants: the type-checker cannot see through cgo.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %w", err)
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: go list output: %w", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %w", err)
+	}
+	return listed, nil
+}
+
+// Run applies every analyzer to every target package and returns the
+// diagnostics sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = name
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, Diagnostic{
+					Pos:      token.NoPos,
+					Message:  fmt.Sprintf("internal error: %v", err),
+					Analyzer: name,
+				})
+			}
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags
+}

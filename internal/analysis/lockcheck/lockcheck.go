@@ -1,0 +1,323 @@
+// Package lockcheck enforces the shard-lock discipline documented in
+// internal/shard: no operation holds one shard's lock while acquiring
+// another lock, and no user-supplied callback runs under a shard
+// lock. The first rule is what makes the striped containers
+// deadlock-free by construction (no lock order exists because no
+// nesting exists); the second keeps user code — iteration callbacks,
+// hook constructors — from re-entering the container (self-deadlock)
+// or observing a shard mid-update.
+//
+// The analysis runs only on packages named "shard" (the invariant's
+// home) and walks each function body keeping the set of held locks:
+// a call to Lock/RLock on a sync.Mutex/RWMutex value enters the set,
+// Unlock/RUnlock leaves it, a deferred unlock pins it to function
+// exit. While the set is non-empty it reports:
+//
+//   - acquiring any further mutex (rule 1);
+//   - calling a func-typed variable, parameter or field — dynamic
+//     dispatch into code the package does not control (rule 2) —
+//     unless the value was bound to a function literal in the same
+//     function, which is package-internal code;
+//   - forwarding such a func value to a synchronous iteration method
+//     (ForEach, Range, Visit, Do), which calls it back under the lock.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/sepe-go/sepe/internal/analysis"
+)
+
+// Analyzer is the lockcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "check that shard code never nests shard locks or runs user callbacks under them",
+	Run:  run,
+}
+
+// iterMethods are callee names that synchronously invoke func-typed
+// arguments; forwarding an external callback to one under a lock runs
+// the callback locked.
+var iterMethods = map[string]bool{
+	"ForEach": true, "Range": true, "Visit": true, "Do": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "shard" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				w := &walker{pass: pass, litBound: map[types.Object]bool{}}
+				w.collectLitBindings(body)
+				w.stmts(body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// walker carries one function's analysis state.
+type walker struct {
+	pass *analysis.Pass
+	// litBound marks local objects bound to function literals: these
+	// are package-internal code, safe to call under a lock.
+	litBound map[types.Object]bool
+}
+
+// collectLitBindings records vars whose every assignment in this
+// function is a function literal.
+func (w *walker) collectLitBindings(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := w.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = w.pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if _, isLit := as.Rhs[i].(*ast.FuncLit); isLit {
+				if _, seen := w.litBound[obj]; !seen {
+					w.litBound[obj] = true
+				}
+			} else {
+				w.litBound[obj] = false
+			}
+		}
+		return true
+	})
+}
+
+// mutexCall classifies a call as a mutex operation, returning the
+// lock's rendered receiver expression and the method name.
+func (w *walker) mutexCall(call *ast.CallExpr) (lockExpr, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := w.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+// held renders one element of the held set for diagnostics.
+func anyHeld(held map[string]bool) string {
+	for k := range held {
+		return k
+	}
+	return ""
+}
+
+// stmts walks a statement list threading the held-lock set through it.
+// The set is mutated in place for sequential flow and copied at
+// branches.
+func (w *walker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func copySet(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *walker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.DeferStmt:
+		if lock, method, ok := w.mutexCall(s.Call); ok {
+			switch method {
+			case "Unlock", "RUnlock":
+				// Deferred unlock: the lock stays held to function
+				// exit; nothing to update, the region simply extends.
+				_ = lock
+				return
+			}
+		}
+		w.expr(s.Call, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, copySet(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copySet(held))
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		inner := copySet(held)
+		w.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, copySet(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			w.stmts(cl.(*ast.CaseClause).Body, copySet(held))
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			w.stmts(cl.(*ast.CaseClause).Body, copySet(held))
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			w.stmts(cl.(*ast.CommClause).Body, copySet(held))
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.GoStmt:
+		// A spawned goroutine does not inherit the held set.
+		w.exprUnlocked(s.Call)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	}
+}
+
+// expr walks an expression under the current held set, updating it
+// for mutex calls and reporting violations.
+func (w *walker) expr(e ast.Expr, held map[string]bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		// Recurse structurally for non-call expressions.
+		ast.Inspect(e, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok && inner != e {
+				w.expr(inner, held)
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok && n != e {
+				return false // analyzed as its own function
+			}
+			return true
+		})
+		return
+	}
+	if lock, method, ok := w.mutexCall(call); ok {
+		switch method {
+		case "Lock", "RLock":
+			if len(held) > 0 {
+				w.pass.Reportf(call.Pos(), "acquires %s.%s while already holding shard lock %s",
+					lock, method, anyHeld(held))
+			}
+			held[lock] = true
+		case "Unlock", "RUnlock":
+			delete(held, lock)
+		}
+		return
+	}
+	// Arguments first (they evaluate before the call).
+	for _, a := range call.Args {
+		w.expr(a, held)
+	}
+	if len(held) == 0 {
+		return
+	}
+	// Dynamic dispatch under a held lock: calling a func value that is
+	// not package-internal code.
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj, isVar := w.pass.TypesInfo.Uses[fun].(*types.Var); isVar && !w.litBound[obj] {
+			w.pass.Reportf(call.Pos(), "calls func value %s under shard lock %s (user code must not run locked)",
+				fun.Name, anyHeld(held))
+		}
+	case *ast.SelectorExpr:
+		if sel, found := w.pass.TypesInfo.Selections[fun]; found && sel.Kind() == types.FieldVal {
+			w.pass.Reportf(call.Pos(), "calls func field %s under shard lock %s (user code must not run locked)",
+				types.ExprString(fun), anyHeld(held))
+		}
+		// Forwarding a func value to a synchronous iterator runs it
+		// under the lock.
+		if iterMethods[fun.Sel.Name] {
+			for _, a := range call.Args {
+				if w.isExternalFuncValue(a) {
+					w.pass.Reportf(a.Pos(), "passes callback %s to %s under shard lock %s (runs user code locked)",
+						types.ExprString(a), fun.Sel.Name, anyHeld(held))
+				}
+			}
+		}
+	}
+}
+
+// exprUnlocked walks an expression with an empty held set (goroutine
+// bodies).
+func (w *walker) exprUnlocked(e ast.Expr) { w.expr(e, map[string]bool{}) }
+
+// isExternalFuncValue reports whether e is a func-typed variable,
+// parameter or field not bound to a local function literal.
+func (w *walker) isExternalFuncValue(e ast.Expr) bool {
+	t := w.pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if _, isSig := t.Underlying().(*types.Signature); !isSig {
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj, isVar := w.pass.TypesInfo.Uses[e].(*types.Var)
+		return isVar && !w.litBound[obj]
+	case *ast.SelectorExpr:
+		sel, found := w.pass.TypesInfo.Selections[e]
+		return found && sel.Kind() == types.FieldVal
+	}
+	return false
+}

@@ -1,0 +1,152 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/analysis/analysistest"
+	"github.com/sepe-go/sepe/internal/analysis/lockcheck"
+)
+
+// shardHeader declares a miniature of internal/shard's core: a lock
+// stripe, per-shard tables with a synchronous iterator, and a stored
+// callback field.
+const shardHeader = `package shard
+
+import "sync"
+
+type tab struct{}
+
+func (tab) Put(k int)            {}
+func (tab) ForEach(f func(int))  {}
+func (tab) Len() int             { return 0 }
+
+type T struct {
+	locks []sync.RWMutex
+	tabs  []tab
+	cb    func(int)
+}
+`
+
+func run(t *testing.T, body string) []string {
+	t.Helper()
+	return analysistest.Run(t, map[string]string{
+		"internal/shard/shard.go": shardHeader,
+		"internal/shard/ops.go":   "package shard\n\n" + body,
+	}, lockcheck.Analyzer)
+}
+
+func TestNestedLocks(t *testing.T) {
+	got := run(t, `
+func (t *T) bad() {
+	t.locks[0].Lock()
+	t.locks[1].Lock()
+	t.locks[1].Unlock()
+	t.locks[0].Unlock()
+}
+`)
+	analysistest.Expect(t, got, "while already holding shard lock")
+}
+
+func TestSequentialLocksAreClean(t *testing.T) {
+	got := run(t, `
+func (t *T) good() int {
+	n := 0
+	for i := range t.tabs {
+		t.locks[i].RLock()
+		n += t.tabs[i].Len()
+		t.locks[i].RUnlock()
+	}
+	return n
+}
+
+func (t *T) deferred(i int) int {
+	t.locks[i].Lock()
+	defer t.locks[i].Unlock()
+	return t.tabs[i].Len()
+}
+`)
+	analysistest.Expect(t, got)
+}
+
+func TestCallbackFieldUnderLock(t *testing.T) {
+	got := run(t, `
+func (t *T) bad(i int) {
+	t.locks[i].Lock()
+	t.cb(i)
+	t.locks[i].Unlock()
+}
+`)
+	analysistest.Expect(t, got, "calls func field t.cb under shard lock")
+}
+
+func TestCallbackParamUnderLock(t *testing.T) {
+	got := run(t, `
+func (t *T) bad(i int, f func(int)) {
+	t.locks[i].Lock()
+	f(i)
+	t.locks[i].Unlock()
+}
+`)
+	analysistest.Expect(t, got, "calls func value f under shard lock")
+}
+
+func TestForwardedCallbackUnderLock(t *testing.T) {
+	got := run(t, `
+func (t *T) bad(f func(int)) {
+	for i := range t.tabs {
+		t.locks[i].RLock()
+		t.tabs[i].ForEach(f)
+		t.locks[i].RUnlock()
+	}
+}
+`)
+	analysistest.Expect(t, got, "passes callback f to ForEach under shard lock")
+}
+
+// The snapshot idiom must stay clean: collect under the lock with a
+// locally defined literal, call the user callback after unlocking.
+func TestSnapshotIdiomIsClean(t *testing.T) {
+	got := run(t, `
+func (t *T) good(f func(int)) {
+	for i := range t.tabs {
+		var keys []int
+		collect := func(k int) { keys = append(keys, k) }
+		t.locks[i].RLock()
+		t.tabs[i].ForEach(collect)
+		t.locks[i].RUnlock()
+		for _, k := range keys {
+			f(k)
+		}
+	}
+}
+
+func (t *T) hoisted(f func(int) int, i int) {
+	v := f(i)
+	t.locks[i].Lock()
+	t.tabs[i].Put(v)
+	t.locks[i].Unlock()
+}
+`)
+	analysistest.Expect(t, got)
+}
+
+func TestOtherPackagesIgnored(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"other/other.go": `package other
+
+import "sync"
+
+type T struct {
+	locks []sync.RWMutex
+	cb    func(int)
+}
+
+func (t *T) wouldBeBad(i int) {
+	t.locks[i].Lock()
+	t.cb(i)
+	t.locks[i].Unlock()
+}
+`,
+	}, lockcheck.Analyzer)
+	analysistest.Expect(t, got)
+}

@@ -1,0 +1,164 @@
+package spancheck_test
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/analysis/analysistest"
+	"github.com/sepe-go/sepe/internal/analysis/spancheck"
+)
+
+// fakeTelemetry mimics the real package's StartSpan shape closely
+// enough for the suffix-based matcher.
+const fakeTelemetry = `package telemetry
+
+type Attr struct{ Key, Val string }
+
+type Tracer interface{ Span(name string, attrs ...Attr) }
+
+func StartSpan(t Tracer, name string, attrs ...Attr) func(attrs ...Attr) {
+	return func(...Attr) {}
+}
+`
+
+func run(t *testing.T, app string) []string {
+	t.Helper()
+	return analysistest.Run(t, map[string]string{
+		"telemetry/telemetry.go": fakeTelemetry,
+		"app/app.go":             app,
+	}, spancheck.Analyzer)
+}
+
+func TestLeakOnEarlyReturn(t *testing.T) {
+	got := run(t, `package app
+
+import "sepevet.test/m/telemetry"
+
+func f(cond bool) error {
+	done := telemetry.StartSpan(nil, "f")
+	if cond {
+		return nil
+	}
+	done()
+	return nil
+}
+`)
+	analysistest.Expect(t, got, "return leaks span done-func done")
+}
+
+// A call on only one branch merges to "maybe", which stays silent:
+// the checker would rather miss this than cry wolf.
+func TestMaybeIsSilent(t *testing.T) {
+	got := run(t, `package app
+
+import "sepevet.test/m/telemetry"
+
+var sink int
+
+func f() {
+	done := telemetry.StartSpan(nil, "f")
+	sink++
+	if sink > 3 {
+		done()
+	}
+}
+`)
+	analysistest.Expect(t, got)
+}
+
+func TestProperPairingIsClean(t *testing.T) {
+	got := run(t, `package app
+
+import "sepevet.test/m/telemetry"
+
+func direct(cond bool) error {
+	done := telemetry.StartSpan(nil, "direct")
+	if cond {
+		done()
+		return nil
+	}
+	done(telemetry.Attr{Key: "k", Val: "v"})
+	return nil
+}
+
+func deferred(cond bool) error {
+	done := telemetry.StartSpan(nil, "deferred")
+	defer done()
+	if cond {
+		return nil
+	}
+	return nil
+}
+
+func deferredClosure() {
+	done := telemetry.StartSpan(nil, "closure")
+	n := 0
+	defer func() { done(telemetry.Attr{Key: "n", Val: "x"}) }()
+	n++
+	_ = n
+}
+`)
+	analysistest.Expect(t, got)
+}
+
+func TestDoubleCall(t *testing.T) {
+	got := run(t, `package app
+
+import "sepevet.test/m/telemetry"
+
+func f() {
+	done := telemetry.StartSpan(nil, "f")
+	done()
+	done()
+}
+`)
+	analysistest.Expect(t, got, "called twice on this path")
+}
+
+func TestDeferAfterCall(t *testing.T) {
+	got := run(t, `package app
+
+import "sepevet.test/m/telemetry"
+
+func f() {
+	done := telemetry.StartSpan(nil, "f")
+	done()
+	defer done()
+}
+`)
+	analysistest.Expect(t, got, "deferred after already being called")
+}
+
+func TestEscapesAreSilent(t *testing.T) {
+	got := run(t, `package app
+
+import "sepevet.test/m/telemetry"
+
+func keep(f func(...telemetry.Attr)) {}
+
+func escapeArg() {
+	done := telemetry.StartSpan(nil, "f")
+	keep(done)
+}
+
+func escapeCapture() func() {
+	done := telemetry.StartSpan(nil, "f")
+	return func() { done() }
+}
+`)
+	analysistest.Expect(t, got)
+}
+
+func TestLoopCallsAreSilent(t *testing.T) {
+	got := run(t, `package app
+
+import "sepevet.test/m/telemetry"
+
+func f(n int) {
+	done := telemetry.StartSpan(nil, "f")
+	for i := 0; i < n; i++ {
+		done()
+	}
+}
+`)
+	analysistest.Expect(t, got)
+}

@@ -1,0 +1,83 @@
+// Package unsafeaudit confines unsafe memory access to the
+// allowlisted kernel packages. The hardware kernels (BMI2 PEXT,
+// AES-NI) and CPU feature detection have a legitimate claim to
+// package unsafe and to header-punning via reflect.SliceHeader /
+// reflect.StringHeader; everywhere else those constructs turn a
+// memory-safe codebase into one the race detector and the garbage
+// collector can no longer vouch for. The analyzer reports any import
+// of unsafe and any use of the reflect header types outside the
+// allowlist, so a new unsafe block has to be an explicit, reviewed
+// decision (extending Allowlist) rather than an accident.
+package unsafeaudit
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"github.com/sepe-go/sepe/internal/analysis"
+)
+
+// Analyzer is the unsafeaudit analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "unsafeaudit",
+	Doc:  "check that unsafe and reflect header types appear only in allowlisted kernel packages",
+	Run:  run,
+}
+
+// Allowlist holds the import-path suffixes permitted to use unsafe:
+// the hardware kernel packages and CPU feature detection.
+var Allowlist = []string{
+	"internal/pext",
+	"internal/aesround",
+	"internal/cpu",
+}
+
+// allowed reports whether pkgPath may use unsafe.
+func allowed(pkgPath string) bool {
+	for _, suffix := range Allowlist {
+		if pkgPath == suffix || strings.HasSuffix(pkgPath, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if allowed(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "unsafe" {
+				pass.Reportf(imp.Pos(), "import of unsafe outside the kernel allowlist (%s)",
+					strings.Join(Allowlist, ", "))
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "reflect" {
+				return true
+			}
+			if _, isType := obj.(*types.TypeName); !isType {
+				return true
+			}
+			switch obj.Name() {
+			case "SliceHeader", "StringHeader":
+				pass.Reportf(sel.Pos(), "use of reflect.%s outside the kernel allowlist (header punning is unsafe in disguise)",
+					obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

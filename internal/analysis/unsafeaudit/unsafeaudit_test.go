@@ -1,0 +1,62 @@
+package unsafeaudit_test
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/analysis/analysistest"
+	"github.com/sepe-go/sepe/internal/analysis/unsafeaudit"
+)
+
+func TestUnsafeImportOutsideAllowlist(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"app/app.go": `package app
+
+import "unsafe"
+
+var size = unsafe.Sizeof(int(0))
+`,
+	}, unsafeaudit.Analyzer)
+	analysistest.Expect(t, got, "import of unsafe outside the kernel allowlist")
+}
+
+func TestReflectHeaderOutsideAllowlist(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"app/app.go": `package app
+
+import "reflect"
+
+var h reflect.SliceHeader
+`,
+	}, unsafeaudit.Analyzer)
+	analysistest.Expect(t, got, "use of reflect.SliceHeader")
+}
+
+func TestKernelPackagesAllowed(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"internal/pext/pext.go": `package pext
+
+import "unsafe"
+
+var size = unsafe.Sizeof(uint64(0))
+`,
+		"internal/cpu/cpu.go": `package cpu
+
+import "unsafe"
+
+var size = unsafe.Sizeof(uint32(0))
+`,
+	}, unsafeaudit.Analyzer)
+	analysistest.Expect(t, got)
+}
+
+func TestPlainReflectUseIsClean(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"app/app.go": `package app
+
+import "reflect"
+
+func kind(v any) reflect.Kind { return reflect.TypeOf(v).Kind() }
+`,
+	}, unsafeaudit.Analyzer)
+	analysistest.Expect(t, got)
+}

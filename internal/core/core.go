@@ -154,6 +154,13 @@ type Options struct {
 	// compilation) with per-phase attributes such as load counts and
 	// variable bits.
 	Tracer telemetry.Tracer
+	// RequireBijective makes Synthesize fail with ErrNotBijective
+	// unless the certifier proves the plan maps distinct format keys
+	// to distinct hashes. The check runs the full GF(2) rank analysis
+	// (Certify), so it also admits plans — such as single-word OffXor
+	// over a ≤64-bit format — that the conservative Plan.Bijective
+	// predicate cannot see.
+	RequireBijective bool
 }
 
 var (
@@ -161,4 +168,7 @@ var (
 	ErrUnsupported = errors.New("core: family not supported by target")
 	// ErrNilPattern reports a missing pattern.
 	ErrNilPattern = errors.New("core: nil pattern")
+	// ErrNotBijective reports that Options.RequireBijective was set
+	// but the certifier could not prove the plan collision-free.
+	ErrNotBijective = errors.New("core: plan not certified bijective")
 )

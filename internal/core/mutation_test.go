@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/pext"
+)
+
+// Mutation testing for the certifier: each mutant seeds one distinct
+// planner bug — the classes a buggy BuildPlan could realistically
+// produce (off-by-one offsets, dropped or overlapping rotations,
+// dropped loads, mask bits lost, duplicated extractions, corrupted
+// skip tables) — into a healthy plan, keeping the mutated plan
+// executable (loads in bounds, extractors consistent with their
+// masks) so the weakened hash silently drops entropy instead of
+// failing loudly. The certifier must kill every mutant with a
+// counterexample: a pair of format keys the analysis predicts to
+// collide and that really does collide when the mutated plan is
+// compiled and run. A certifier that only pattern-matched plan shapes
+// would pass a vacuous version of this suite; requiring executed
+// collisions pins the abstract model to the implementation.
+
+// clearLowestMaskBit drops one selected bit from the load's mask and
+// recompiles the extractor to match, modeling a planner that lost a
+// variable bit during mask construction.
+func clearLowestMaskBit(l *Load) {
+	m := l.Mask
+	m &^= m & -m
+	l.Mask = m
+	l.ext = pext.Compile(m)
+}
+
+func TestMutationsKilledWithRealCollisions(t *testing.T) {
+	mutants := []struct {
+		name  string
+		build func(t *testing.T) *Plan
+		seed  func(p *Plan)
+	}{
+		{
+			// A dropped load: the second extraction never happens, so
+			// its digits vanish from the hash.
+			name:  "pext-dropped-load",
+			build: func(t *testing.T) *Plan { return mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, Pext) },
+			seed:  func(p *Plan) { p.Loads = p.Loads[:1] },
+		},
+		{
+			// A dropped rotation: both extractions land on the low
+			// bits and xor over each other.
+			name:  "pext-dropped-rotation",
+			build: func(t *testing.T) *Plan { return mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, Pext) },
+			seed:  func(p *Plan) { p.Loads[len(p.Loads)-1].Shift = 0 },
+		},
+		{
+			// A miscomputed rotation whose window overlaps the first
+			// load's instead of tiling after it.
+			name:  "pext-overlapping-rotation",
+			build: func(t *testing.T) *Plan { return mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, Pext) },
+			seed:  func(p *Plan) { p.Loads[len(p.Loads)-1].Shift = 10 },
+		},
+		{
+			// An off-by-one load offset: the mask stays put while the
+			// word slides one byte, so the mask bits select the wrong
+			// key bytes and the first column of digits goes dark.
+			name:  "pext-off-by-one-offset",
+			build: func(t *testing.T) *Plan { return mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, Pext) },
+			seed:  func(p *Plan) { p.Loads[0].Offset++ },
+		},
+		{
+			// A mask that lost one variable bit (extractor recompiled
+			// to match, so the plan is self-consistent and executable).
+			name:  "pext-mask-drops-bit",
+			build: func(t *testing.T) *Plan { return mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, Pext) },
+			seed:  func(p *Plan) { clearLowestMaskBit(&p.Loads[0]) },
+		},
+		{
+			// A duplicated load: overlapping masks extract the same
+			// bits twice, and the xor cancels them to nothing.
+			name:  "pext-duplicated-load",
+			build: func(t *testing.T) *Plan { return mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, Pext) },
+			seed:  func(p *Plan) { p.Loads = append(p.Loads, p.Loads[0]) },
+		},
+		{
+			// A skip table whose initial skip overshoots the guaranteed
+			// region: the loop loads nothing and the tail starts past
+			// MinLen, hashing every minimum-length key identically.
+			name:  "offxor-variable-skip-overshoot",
+			build: func(t *testing.T) *Plan { return mustPlan(t, `cache-entry-[0-9]{8,16}`, OffXor) },
+			seed:  func(p *Plan) { p.Skip[0] += 8 },
+		},
+		{
+			// The mask-bit loss, on a variable-length Pext plan.
+			name:  "pext-variable-mask-drops-bit",
+			build: func(t *testing.T) *Plan { return mustPlan(t, `user-[0-9]{8,24}`, Pext) },
+			seed:  func(p *Plan) { clearLowestMaskBit(&p.Loads[0]) },
+		},
+		{
+			// A dropped AES load: half the key never reaches the
+			// cipher state, so the collision survives the mixing.
+			name:  "aes-dropped-load",
+			build: func(t *testing.T) *Plan { return mustPlan(t, `[0-9]{16}`, Aes) },
+			seed:  func(p *Plan) { p.Loads = p.Loads[:1] },
+		},
+		{
+			// The mask-bit loss, on a short-key partial load.
+			name: "pext-short-mask-drops-bit",
+			build: func(t *testing.T) *Plan {
+				p, err := BuildPlan(mustPattern(t, `[0-9]{4}`), Pext, Options{AllowShort: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			},
+			seed: func(p *Plan) { clearLowestMaskBit(&p.Loads[0]) },
+		},
+		{
+			// A dropped Naive load: the second word of the key is
+			// never folded in.
+			name:  "naive-dropped-load",
+			build: func(t *testing.T) *Plan { return mustPlan(t, `[0-9]{16}`, Naive) },
+			seed:  func(p *Plan) { p.Loads = p.Loads[:1] },
+		},
+	}
+	if len(mutants) < 10 {
+		t.Fatalf("mutation suite shrank to %d mutants; the certifier's acceptance floor is 10", len(mutants))
+	}
+	for _, m := range mutants {
+		t.Run(m.name, func(t *testing.T) {
+			p := m.build(t)
+			m.seed(p)
+			c := Certify(p)
+			if c.Bijective {
+				t.Fatalf("mutant certified bijective: %+v", c)
+			}
+			requireCounterexample(t, p, c)
+		})
+	}
+}
+
+// The pristine counterparts of the mutated plans must NOT be killed:
+// a certifier that finds "collisions" in correct bijective plans is as
+// broken as one that misses real ones.
+func TestMutationBaselinesSurvive(t *testing.T) {
+	for _, expr := range []string{`[0-9]{3}-[0-9]{2}-[0-9]{4}`} {
+		p := mustPlan(t, expr, Pext)
+		c := Certify(p)
+		if !c.Bijective || c.Counterexample != nil || len(c.Findings) != 0 {
+			t.Fatalf("%s: pristine plan not cleanly certified: %+v", expr, c)
+		}
+	}
+}

@@ -95,6 +95,9 @@ func BuildPlan(pat *pattern.Pattern, fam Family, opts Options) (*Plan, error) {
 	}
 	validateDone := telemetry.StartSpan(opts.Tracer, "plan.pattern")
 	if err := pat.Validate(); err != nil {
+		// Close the span on the error path too: a rejected pattern
+		// must show up in the trace, not truncate it.
+		validateDone(telemetry.Str("error", err.Error()))
 		return nil, err
 	}
 	validateDone(telemetry.Int("min_len", pat.MinLen),

@@ -24,6 +24,7 @@ func Synthesize(pat *pattern.Pattern, fam Family, opts Options) (*Fn, error) {
 		telemetry.Str("family", fam.String()))
 	plan, err := BuildPlan(pat, fam, opts)
 	if err != nil {
+		planDone(telemetry.Str("error", err.Error()))
 		return nil, err
 	}
 	planDone(telemetry.Int("loads", len(plan.Loads)),
@@ -32,7 +33,15 @@ func Synthesize(pat *pattern.Pattern, fam Family, opts Options) (*Fn, error) {
 	verifyDone := telemetry.StartSpan(opts.Tracer, "synth.verify",
 		telemetry.Str("family", fam.String()))
 	if err := VerifyPlan(plan); err != nil {
+		verifyDone(telemetry.Str("error", err.Error()))
 		return nil, err
+	}
+	if opts.RequireBijective {
+		if c := Certify(plan); !c.Bijective {
+			err := fmt.Errorf("%w: %s", ErrNotBijective, c.Reason)
+			verifyDone(telemetry.Str("error", err.Error()))
+			return nil, err
+		}
 	}
 	verifyDone()
 	compileDone := telemetry.StartSpan(opts.Tracer, "synth.compile",

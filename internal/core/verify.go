@@ -1,11 +1,6 @@
 package core
 
-import (
-	"fmt"
-	"math/bits"
-
-	"github.com/sepe-go/sepe/internal/pattern"
-)
+import "errors"
 
 // VerifyPlan is the generator's translation-validation pass: an
 // independent checker that re-derives the invariants a correct plan
@@ -26,140 +21,17 @@ import (
 //  5. HashBits equals the mask bit count;
 //  6. variable plans carry a well-formed skip table: positive
 //     strides, loads inside [0, MinLen−8].
+//
+// The checks themselves live in the plan certifier (Certify), whose
+// abstract interpretation subsumes them: VerifyPlan is the thin
+// pass/fail view, returning the certificate's first structural
+// finding as an error.
 func VerifyPlan(p *Plan) error {
 	if p.Fallback {
 		return nil // nothing synthesized
 	}
-	pat := p.Pattern
-	if p.Fixed {
-		return verifyFixed(p, pat)
-	}
-	return verifyVariable(p, pat)
-}
-
-func verifyFixed(p *Plan, pat *pattern.Pattern) error {
-	covered := make([]bool, pat.MaxLen)
-	maskBits := 0
-	var windows uint64
-	windowsDisjoint := true
-	for i := range p.Loads {
-		l := &p.Loads[i]
-		width := pattern.WordSize
-		if l.Partial != 0 {
-			width = l.Partial
-		}
-		if l.Offset < 0 || l.Offset+width > pat.MaxLen {
-			return fmt.Errorf("core: verify: load %d [%d,%d) outside key of %d bytes",
-				i, l.Offset, l.Offset+width, pat.MaxLen)
-		}
-		for j := 0; j < width; j++ {
-			covered[l.Offset+j] = true
-		}
-		if l.ext == nil {
-			continue
-		}
-		// Mask bits must be variable bits of the pattern, each
-		// selected exactly once across loads.
-		for j := 0; j < width; j++ {
-			pos := l.Offset + j
-			mb := byte(l.Mask >> (8 * j))
-			if mb&^pat.Bytes[pos].VarBits() != 0 {
-				return fmt.Errorf("core: verify: load %d mask selects constant bits of byte %d", i, pos)
-			}
-		}
-		n := l.ext.Bits()
-		maskBits += n
-		if n < 64 {
-			w := (uint64(1)<<uint(n) - 1)
-			w = bits.RotateLeft64(w, int(l.Shift))
-			if windows&w != 0 {
-				windowsDisjoint = false
-			}
-			windows |= w
-		} else {
-			windowsDisjoint = len(p.Loads) == 1
-		}
-	}
-	// Double selection check needs byte-position granularity because
-	// loads overlap: recompute the union and compare popcounts.
-	if p.Family == Pext && len(p.Loads) > 0 {
-		seen := make(map[int]byte, pat.MaxLen)
-		total := 0
-		for i := range p.Loads {
-			l := &p.Loads[i]
-			for j := 0; j < pattern.WordSize; j++ {
-				mb := byte(l.Mask >> (8 * j))
-				if mb == 0 {
-					continue
-				}
-				pos := l.Offset + j
-				if seen[pos]&mb != 0 {
-					return fmt.Errorf("core: verify: bit of key byte %d extracted twice", pos)
-				}
-				seen[pos] |= mb
-				total += bits.OnesCount8(mb)
-			}
-		}
-		if total != pat.VarBitCount() {
-			return fmt.Errorf("core: verify: masks select %d bits, pattern has %d variable bits",
-				total, pat.VarBitCount())
-		}
-		if maskBits != p.HashBits {
-			return fmt.Errorf("core: verify: HashBits %d ≠ mask bits %d", p.HashBits, maskBits)
-		}
-		if p.HashBits <= 64 && !windowsDisjoint {
-			return fmt.Errorf("core: verify: ≤64-bit plan has overlapping rotation windows")
-		}
-	}
-	// Coverage: every variable byte of the guaranteed region.
-	for i := 0; i < pat.MinLen; i++ {
-		if !pat.Bytes[i].Const() && !covered[i] {
-			return fmt.Errorf("core: verify: variable byte %d not covered by any load", i)
-		}
-	}
-	return nil
-}
-
-func verifyVariable(p *Plan, pat *pattern.Pattern) error {
-	if len(p.Skip) != p.SkipLoads+1 {
-		return fmt.Errorf("core: verify: skip table has %d entries for %d loads",
-			len(p.Skip), p.SkipLoads)
-	}
-	pos := p.Skip[0]
-	if pos < 0 {
-		return fmt.Errorf("core: verify: negative initial skip %d", pos)
-	}
-	covered := make([]bool, pat.MinLen)
-	for c := 0; c < p.SkipLoads; c++ {
-		if pos+pattern.WordSize > pat.MinLen {
-			return fmt.Errorf("core: verify: skip load %d at %d exceeds MinLen %d",
-				c, pos, pat.MinLen)
-		}
-		for j := 0; j < pattern.WordSize; j++ {
-			covered[pos+j] = true
-		}
-		stride := p.Skip[c+1]
-		if stride <= 0 {
-			return fmt.Errorf("core: verify: non-positive skip stride %d", stride)
-		}
-		pos += stride
-	}
-	// Bytes after the last load are the byte tail's job; everything
-	// before it that varies must be load-covered (Naive exempts
-	// itself: it covers whole words from 0 and leaves the unaligned
-	// rest to the tail).
-	lastCovered := 0
-	for i, c := range covered {
-		if c {
-			lastCovered = i + 1
-		}
-	}
-	if p.Family != Naive {
-		for i := 0; i < lastCovered; i++ {
-			if !pat.Bytes[i].Const() && !covered[i] {
-				return fmt.Errorf("core: verify: variable byte %d skipped before the tail", i)
-			}
-		}
+	if fs := Certify(p).Findings; len(fs) > 0 {
+		return errors.New(fs[0])
 	}
 	return nil
 }

@@ -87,6 +87,29 @@ func TestVerifyCatchesBadSkipTable(t *testing.T) {
 	wantVerifyError(t, p3, "negative")
 }
 
+func TestVerifyCatchesOutOfRangeSkipLoad(t *testing.T) {
+	// An initial skip pushing the first word load past MinLen would
+	// read bytes the shortest admissible key does not have.
+	p := mustPlan(t, `cache-entry-[0-9]{8,16}`, OffXor)
+	min := p.Pattern.MinLen
+	p.Skip[0] = min - 7 // min-7+8 > min
+	wantVerifyError(t, p, "exceeds MinLen")
+}
+
+func TestVerifyCatchesByteSkippedBeforeTail(t *testing.T) {
+	// Shifting the load train right past variable byte 0 leaves it
+	// uncovered even though both loads still land in range (the
+	// constant gap absorbs the shift): the byte is silently dropped
+	// from the hash, not deferred to the tail.
+	p := mustPlan(t, `[0-9]{8}----------------[0-9]{8,16}`, OffXor)
+	if p.SkipLoads != 2 {
+		t.Fatalf("test premise: want 2 skip loads, got %d", p.SkipLoads)
+	}
+	p.Skip[0] = 1  // first load now covers bytes 1..8, missing byte 0
+	p.Skip[1] = 23 // keep the second load at offset 24, inside MinLen
+	wantVerifyError(t, p, "skipped before the tail")
+}
+
 func TestVerifyFallbackAlwaysPasses(t *testing.T) {
 	p, err := BuildPlan(mustPattern(t, `[0-9]{4}`), Pext, Options{})
 	if err != nil {

@@ -173,12 +173,24 @@ func (m *Map[V]) ShardStats() []container.Stats {
 
 // ForEach visits every entry, one shard at a time. Entries inserted
 // or removed concurrently in shards not yet visited may or may not be
-// seen.
+// seen. Each shard is snapshotted under its read lock and f runs on
+// the snapshot after the lock is released, so f may freely call back
+// into the map (including mutating it) without self-deadlocking and
+// never stalls concurrent writers.
 func (m *Map[V]) ForEach(f func(key string, val V)) {
 	for i := range m.tabs {
+		var keys []string
+		var vals []V
+		collect := func(key string, val V) {
+			keys = append(keys, key)
+			vals = append(vals, val)
+		}
 		m.locks[i].RLock()
-		m.tabs[i].ForEach(f)
+		m.tabs[i].ForEach(collect)
 		m.locks[i].RUnlock()
+		for j, k := range keys {
+			f(k, vals[j])
+		}
 	}
 }
 
@@ -204,15 +216,17 @@ func (m *Map[V]) Clear() {
 
 // SetShardHooks installs per-shard observation hooks: f is called
 // once per shard index and may return distinct hook blocks (per-shard
-// telemetry) or the same one. A nil f removes all hooks.
+// telemetry) or the same one. A nil f removes all hooks. f runs
+// before the shard's lock is taken — user code never executes under a
+// shard lock.
 func (m *Map[V]) SetShardHooks(f func(shard int) *container.Hooks) {
 	for i := range m.tabs {
-		m.locks[i].Lock()
-		if f == nil {
-			m.tabs[i].SetHooks(nil)
-		} else {
-			m.tabs[i].SetHooks(f(i))
+		var h *container.Hooks
+		if f != nil {
+			h = f(i)
 		}
+		m.locks[i].Lock()
+		m.tabs[i].SetHooks(h)
 		m.locks[i].Unlock()
 	}
 }
@@ -428,15 +442,16 @@ func (s *Set) Clear() {
 	}
 }
 
-// SetShardHooks installs per-shard observation hooks (see Map).
+// SetShardHooks installs per-shard observation hooks (see Map); f
+// runs outside the shard locks.
 func (s *Set) SetShardHooks(f func(shard int) *container.Hooks) {
 	for i := range s.tabs {
-		s.locks[i].Lock()
-		if f == nil {
-			s.tabs[i].SetHooks(nil)
-		} else {
-			s.tabs[i].SetHooks(f(i))
+		var h *container.Hooks
+		if f != nil {
+			h = f(i)
 		}
+		s.locks[i].Lock()
+		s.tabs[i].SetHooks(h)
 		s.locks[i].Unlock()
 	}
 }
@@ -612,15 +627,16 @@ func (m *MultiMap[V]) Clear() {
 	}
 }
 
-// SetShardHooks installs per-shard observation hooks (see Map).
+// SetShardHooks installs per-shard observation hooks (see Map); f
+// runs outside the shard locks.
 func (m *MultiMap[V]) SetShardHooks(f func(shard int) *container.Hooks) {
 	for i := range m.tabs {
-		m.locks[i].Lock()
-		if f == nil {
-			m.tabs[i].SetHooks(nil)
-		} else {
-			m.tabs[i].SetHooks(f(i))
+		var h *container.Hooks
+		if f != nil {
+			h = f(i)
 		}
+		m.locks[i].Lock()
+		m.tabs[i].SetHooks(h)
 		m.locks[i].Unlock()
 	}
 }
@@ -802,15 +818,16 @@ func (s *MultiSet) Clear() {
 	}
 }
 
-// SetShardHooks installs per-shard observation hooks (see Map).
+// SetShardHooks installs per-shard observation hooks (see Map); f
+// runs outside the shard locks.
 func (s *MultiSet) SetShardHooks(f func(shard int) *container.Hooks) {
 	for i := range s.tabs {
-		s.locks[i].Lock()
-		if f == nil {
-			s.tabs[i].SetHooks(nil)
-		} else {
-			s.tabs[i].SetHooks(f(i))
+		var h *container.Hooks
+		if f != nil {
+			h = f(i)
 		}
+		s.locks[i].Lock()
+		s.tabs[i].SetHooks(h)
 		s.locks[i].Unlock()
 	}
 }

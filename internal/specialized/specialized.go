@@ -23,15 +23,18 @@
 package specialized
 
 import (
-	"errors"
 	"fmt"
 
+	"github.com/sepe-go/sepe/internal/core"
 	"github.com/sepe-go/sepe/internal/hashes"
 )
 
 // ErrNotBijective is returned when a container requiring a bijective
-// hash is constructed without the caller asserting bijectivity.
-var ErrNotBijective = errors.New("specialized: hash must be bijective on the key format")
+// hash is constructed without the caller asserting bijectivity. It is
+// the same sentinel the certifier uses (core.ErrNotBijective), so
+// errors.Is works uniformly whether the failure surfaces at synthesis
+// time (RequireBijective) or at container construction.
+var ErrNotBijective = core.ErrNotBijective
 
 const (
 	slotEmpty uint8 = iota

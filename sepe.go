@@ -181,6 +181,17 @@ func WithTracer(t Tracer) Option {
 	return func(o *core.Options) { o.Tracer = t }
 }
 
+// RequireCertifiedBijective makes Synthesize fail with
+// core.ErrNotBijective unless the certifier proves the function maps
+// distinct format keys to distinct 64-bit values. The proof is the
+// full GF(2) rank analysis behind Certificate, so it also admits
+// functions the conservative Bijective predicate cannot see (for
+// example a single-word OffXor over a format with at most 64 variable
+// bits). Use it when a container or index assumes zero collisions.
+func RequireCertifiedBijective() Option {
+	return func(o *core.Options) { o.RequireBijective = true }
+}
+
 // ErrNilFormat reports a nil format argument.
 var ErrNilFormat = errors.New("sepe: nil format")
 
@@ -246,6 +257,31 @@ func (h *Hash) Family() Family { return h.fam }
 // Bijective reports whether the function provably maps distinct format
 // keys to distinct 64-bit values (Pext with ≤ 64 variable bits).
 func (h *Hash) Bijective() bool { return h.fn.Plan().Bijective() }
+
+// Certificate is the machine-checkable result of the plan certifier:
+// either a bijectivity proof (full GF(2) rank over the format's
+// variable bits) or a concrete counterexample — two distinct format
+// keys with the same hash — together with the dead-entropy and funnel
+// reports and a certified collision lower bound. See core.Certify.
+type Certificate = core.Certificate
+
+// BitRef names one variable bit of the key format, as it appears in a
+// certificate's dead-entropy report.
+type BitRef = core.BitRef
+
+// Funnel reports a hash bit fed by more than one key bit, with its
+// fan-in.
+type Funnel = core.Funnel
+
+// Counterexample is a verified pair of distinct format keys with
+// identical hashes.
+type Counterexample = core.Counterexample
+
+// Certificate runs the certifier over the function's plan and returns
+// the verdict. The certificate is recomputed on each call; it is
+// cheap (GF(2) elimination over at most a few hundred columns) but
+// callers that embed it in telemetry should cache it.
+func (h *Hash) Certificate() *Certificate { return core.Certify(h.fn.Plan()) }
 
 // Matches reports whether key belongs to the format the function was
 // synthesized for — the set its specialization guarantees (and, for

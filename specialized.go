@@ -37,7 +37,11 @@ func NewBijectiveMap[V any](h *Hash) (*BijectiveMap[V], error) {
 	return &BijectiveMap[V]{m: m, matches: h.Matches}, nil
 }
 
-// ErrNotBijective reports a hash without a bijectivity proof.
+// ErrNotBijective reports a hash without a bijectivity proof. It is
+// the sentinel both failure surfaces share: Synthesize under
+// RequireCertifiedBijective wraps it when the certifier cannot prove
+// the plan collision-free, and NewBijectiveMap returns it for a hash
+// whose proof is missing.
 var ErrNotBijective = specialized.ErrNotBijective
 
 // ErrOffFormat reports a key outside the format a bijective container

@@ -1,0 +1,19 @@
+//go:build tools
+
+package sepe
+
+// This file pins the external static-analysis tools the lint targets
+// use. The module deliberately has zero dependencies, so the usual
+// tools.go pattern — blank imports that force the tools into go.mod —
+// would break the offline, stdlib-only build. Instead the pins live
+// here as constants, excluded from every real build by the tools tag;
+// the Makefile's STATICCHECK_VERSION/GOVULNCHECK_VERSION variables and
+// the CI lint job install exactly these versions. Keep all three in
+// sync when bumping.
+//
+// The project's own analyzers (cmd/sepevet) need no pin: they build
+// from this repository.
+const (
+	staticcheckPin = "honnef.co/go/tools/cmd/staticcheck@2025.1.1"
+	govulncheckPin = "golang.org/x/vuln/cmd/govulncheck@v1.1.4"
+)
