@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check lint mutate certify bench benchhw benchparallel fuzz repro repro-quick examples golden clean
+.PHONY: all build test vet check lint mutate certify bench benchhw benchparallel benchobs fuzz repro repro-quick examples golden clean
 
 # Pinned versions of the external analysis tools. The module has no
 # dependencies, so the usual blank-import tools.go pattern would break
@@ -84,6 +84,16 @@ benchhw:
 benchparallel:
 	$(GO) test -bench 'BenchmarkParallelMap|BenchmarkParallelSet|BenchmarkHashBatch|BenchmarkPutGetBatch' -benchmem -count=3 -run '^$$' .
 
+# Observability-plane overhead: the hot path with the flight
+# recorder, SLO histograms, exemplars and drift monitor all enabled
+# versus the uninstrumented build. TestObsPairedOverhead prints the
+# paired/ABBA overhead measurements behind BENCH_obs.json (budget:
+# <=12% on the memory-resident map path, 0 allocs/op everywhere);
+# the BenchmarkObs grid gives the absolute ns/op per path.
+benchobs:
+	$(GO) test -run 'TestObsPairedOverhead|TestObservabilityZeroAllocs' -count=1 -v . | grep -E 'hash:|map|Allocs|PASS|FAIL|ok '
+	$(GO) test -bench 'BenchmarkObs' -benchmem -run '^$$' .
+
 # Fuzz every public-surface target for FUZZTIME each: regex parsing,
 # inference, synthesized hashes on arbitrary keys, the bijective
 # container's off-format guard, and the hardware kernels against their
@@ -115,6 +125,8 @@ examples:
 	$(GO) run ./examples/observed -dur 2s -addr 127.0.0.1:0
 	$(GO) run ./examples/adaptive
 	$(GO) run ./examples/concurrent
+	$(GO) run ./examples/dashboard -dur 2s -drift-after 500ms -addr 127.0.0.1:0
+	$(GO) run ./cmd/sepetop -once
 
 # Refresh the codegen golden files after an intended emitter change.
 golden:

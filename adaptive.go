@@ -193,10 +193,22 @@ type AdaptiveMap[V any] struct {
 
 // NewMapAdaptive returns an empty AdaptiveMap over h.
 func NewMapAdaptive[V any](h *AdaptiveHash) *AdaptiveMap[V] {
-	return &AdaptiveMap[V]{
+	return NewMapAdaptiveObserved[V](h, nil)
+}
+
+// NewMapAdaptiveObserved returns an AdaptiveMap whose container
+// operations feed cm: per-op probe depths, B-Coll, and — because the
+// adaptive loop migrates buckets on every generation swap — the
+// migration markers (sepe_container_migrations_total, the migrating
+// gauge, and flight-recorder migrate events). A nil cm yields a plain
+// AdaptiveMap.
+func NewMapAdaptiveObserved[V any](h *AdaptiveHash, cm *ContainerMetrics) *AdaptiveMap[V] {
+	m := &AdaptiveMap[V]{
 		c: adaptiveCore{h: h.a, gen: h.a.Generation()},
 		m: container.NewMap[V](h.a.Current(), nil),
 	}
+	m.m.SetHooks(batchedContainerHooks(cm))
+	return m
 }
 
 // Put maps key to val, reporting whether the key was new.

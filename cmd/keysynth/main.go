@@ -45,6 +45,8 @@ func main() {
 		"print per-phase synthesis timings and a plan summary to stderr")
 	flag.BoolVar(&cfg.lint, "lint", false,
 		"certify the plans instead of emitting code: print one JSON certificate per family (bijectivity proof or counterexample, dead entropy, funnels) and exit non-zero on any finding")
+	flag.StringVar(&cfg.trace, "trace", "",
+		"write a Chrome trace-event JSON of the synthesis pipeline to this file (open in chrome://tracing or Perfetto)")
 	fromKeys := flag.Bool("from-keys", false,
 		"treat the argument as a file of example keys (or '-' for stdin) and infer the format, fusing keybuilder|keysynth into one command")
 	flag.Parse()
@@ -99,6 +101,7 @@ type config struct {
 	samples    int
 	stats      bool
 	lint       bool
+	trace      string
 	// statsOut receives the -stats report; main leaves it nil for
 	// os.Stderr, tests substitute a buffer.
 	statsOut io.Writer
@@ -128,17 +131,35 @@ func run(cfg config, out io.Writer) error {
 	if cfg.lint {
 		return lint(pat, fams, opts, out)
 	}
+	// -stats and -trace both observe the pipeline through Tracer: the
+	// collector feeds the timing report, the flight recorder feeds the
+	// Chrome trace export. Either (or both) forces the full pipeline so
+	// every phase is spanned.
 	var tracer *telemetry.CollectTracer
+	var rec *telemetry.Recorder
+	var sinks telemetry.MultiTracer
 	if cfg.stats {
 		tracer = &telemetry.CollectTracer{}
-		opts.Tracer = tracer
+		sinks = append(sinks, tracer)
 	}
+	if cfg.trace != "" {
+		rec = telemetry.NewRecorder(0)
+		sinks = append(sinks, rec)
+	}
+	switch len(sinks) {
+	case 0:
+	case 1:
+		opts.Tracer = sinks[0]
+	default:
+		opts.Tracer = sinks
+	}
+	full := cfg.stats || cfg.trace != ""
 	var plans []*core.Plan
 	for i, fam := range fams {
 		var plan *core.Plan
-		if cfg.stats {
+		if full {
 			// Run the full pipeline (plan, verify, compile) so the
-			// report times every phase, not just planning.
+			// report and trace cover every phase, not just planning.
 			fn, err := core.Synthesize(pat, fam, opts)
 			if err != nil {
 				return err
@@ -174,6 +195,17 @@ func run(cfg config, out io.Writer) error {
 	}
 	if cfg.stats {
 		printStats(cfg.statsWriter(), tracer, plans)
+	}
+	if rec != nil {
+		f, err := os.Create(cfg.trace)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	return nil
 }

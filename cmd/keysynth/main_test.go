@@ -150,6 +150,56 @@ func TestStatsFlag(t *testing.T) {
 	}
 }
 
+func TestTraceFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/trace.json"
+	var out strings.Builder
+	cfg := config{
+		expr: `[0-9]{3}-[0-9]{2}-[0-9]{4}`, family: "pext",
+		lang: "go", pkg: "ssn", target: "x86-64",
+		trace: path,
+	}
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "func HashPext(key string) uint64") {
+		t.Error("-trace must not suppress code output")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file must be a loadable Chrome trace: a traceEvents array of
+	// complete ("X") synthesis-phase events with µs timestamps.
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		names[ev.Name] = true
+		if ev.Ph != "X" && ev.Ph != "i" {
+			t.Errorf("event %q: unexpected phase %q", ev.Name, ev.Ph)
+		}
+	}
+	for _, want := range []string{"synth.plan", "synth.verify", "synth.compile"} {
+		if !names[want] {
+			t.Errorf("trace missing synthesis phase %q (have %v)", want, names)
+		}
+	}
+}
+
 func TestInferExprFromFile(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/keys.txt"

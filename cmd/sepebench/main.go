@@ -19,6 +19,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"github.com/sepe-go/sepe/internal/container"
 	"github.com/sepe-go/sepe/internal/core"
 	"github.com/sepe-go/sepe/internal/cpu"
+	"github.com/sepe-go/sepe/internal/dash"
 	"github.com/sepe-go/sepe/internal/entropy"
 	"github.com/sepe-go/sepe/internal/hashes"
 	"github.com/sepe-go/sepe/internal/infer"
@@ -74,6 +76,8 @@ func main() {
 			"run the concurrent-container drive from N goroutines instead of experiments (0 = off; negative = GOMAXPROCS)")
 		certify = flag.Bool("certify", false,
 			"certify every family over the eight RQ key formats instead of running experiments: emit the JSON certificate report (BENCH_certify.json) and exit non-zero on any certifier finding")
+		watch = flag.Bool("watch", false,
+			"render a live sepetop-style dashboard of the default metrics registry to stderr while experiments run (implies -progress=false)")
 	)
 	flag.Parse()
 
@@ -127,7 +131,7 @@ func main() {
 		}
 		r.types = types
 	}
-	if *showProgr {
+	if *showProgr && !*watch {
 		r.progress = func(s string) { fmt.Fprintf(os.Stderr, "  … %s\n", s) }
 	}
 	if *telemAddr != "" {
@@ -135,6 +139,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sepebench:", err)
 			os.Exit(1)
 		}
+	}
+	if *watch {
+		registerWatchGauges(r)
+		go watchLoop(os.Stderr, 2*time.Second)
 	}
 
 	exps := strings.Split(*expFlag, ",")
@@ -241,6 +249,34 @@ type runner struct {
 // for the duration of the run and registers run-progress gauges, so a
 // long grid can be watched from a browser or scraped by Prometheus.
 func serveTelemetry(addr string, r *runner) error {
+	registerWatchGauges(r)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", telemetry.Default.Handler())
+	mux.Handle("/healthz", telemetry.Default.HealthHandler())
+	mux.Handle("/readyz", telemetry.Default.HealthHandler())
+	mux.Handle("/trace", telemetry.Default.Recorder().Handler())
+	mux.Handle("/", telemetry.Default.Handler())
+	fmt.Fprintf(os.Stderr, "telemetry: serving metrics on http://%s/metrics\n", ln.Addr())
+	go http.Serve(ln, mux)
+	return nil
+}
+
+// watchRegistered dedupes registration when both -telemetry and
+// -watch are set, so the progress callback is not wrapped twice
+// (which would double-count sepe_bench_progress_steps).
+var watchRegistered bool
+
+// registerWatchGauges hooks run-progress counters into the default
+// registry for the -telemetry endpoint and the -watch dashboard.
+func registerWatchGauges(r *runner) {
+	if watchRegistered {
+		return
+	}
+	watchRegistered = true
 	inner := r.progress
 	r.progress = func(s string) {
 		r.progressSteps.Add(1)
@@ -252,16 +288,17 @@ func serveTelemetry(addr string, r *runner) error {
 		func() float64 { return float64(r.expsDone.Load()) })
 	telemetry.Default.Gauge("sepe_bench_progress_steps",
 		func() float64 { return float64(r.progressSteps.Load()) })
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
+}
+
+// watchLoop redraws a sepetop-style frame of the default registry
+// until the process exits — the -watch live view of a long grid run.
+func watchLoop(w io.Writer, every time.Duration) {
+	d := dash.New(100)
+	for {
+		time.Sleep(every)
+		fmt.Fprint(w, "\x1b[H\x1b[2J")
+		fmt.Fprint(w, d.Frame(telemetry.Default.Snapshot(), time.Now()))
 	}
-	mux := http.NewServeMux()
-	mux.Handle("/metrics", telemetry.Default.Handler())
-	mux.Handle("/", telemetry.Default.Handler())
-	fmt.Fprintf(os.Stderr, "telemetry: serving metrics on http://%s/metrics\n", ln.Addr())
-	go http.Serve(ln, mux)
-	return nil
 }
 
 func (r *runner) run(exp string) error {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/sepe-go/sepe"
+	"github.com/sepe-go/sepe/internal/keys"
+)
+
+// TestOnceDemoRendersEveryFormat runs the -once path end to end: the
+// demo must drive and render live percentiles, B-Coll and health for
+// every format in the RQ corpus (keys.All).
+func TestOnceDemoRendersEveryFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{once: true, ops: 4096, width: 100}, &out); err != nil {
+		t.Fatal(err)
+	}
+	frame := out.String()
+	for _, want := range []string{
+		"HASH RATE (calls/s)", "HASH LATENCY (ns)", "CONTAINERS", "B-Coll",
+		"DRIFT (window mismatch %)", "HEALTH",
+		"status ok (ready, live)",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	for _, typ := range keys.All {
+		name := typ.Name()
+		if !strings.Contains(frame, name) {
+			t.Errorf("frame missing format %s", name)
+		}
+		if !strings.Contains(frame, "✔ "+name) {
+			t.Errorf("health row for %s missing or not ready:\n%s", name, frame)
+		}
+	}
+	// Percentile columns must be live (non-zero) for the latency rows:
+	// every format row carries at least one multi-digit ns value.
+	lat := frame[strings.Index(frame, "HASH LATENCY"):strings.Index(frame, "CONTAINERS")]
+	for _, line := range strings.Split(lat, "\n") {
+		if !strings.HasPrefix(line, keys.SSN.Name()) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 || fields[1] == "0" {
+			t.Errorf("SSN latency row has no live p50: %q", line)
+		}
+	}
+}
+
+// TestOnceDemoDriftInjection: with a high off-format fraction every
+// monitor degrades, and the health panel and header reflect it.
+func TestOnceDemoDriftInjection(t *testing.T) {
+	var out strings.Builder
+	if err := run(config{once: true, ops: 4096, width: 100, offformat: 0.5}, &out); err != nil {
+		t.Fatal(err)
+	}
+	frame := out.String()
+	if !strings.Contains(frame, "status degraded (NOT READY, live)") {
+		t.Errorf("injected drift did not degrade the header:\n%s", frame)
+	}
+	if !strings.Contains(frame, "⚠") {
+		t.Error("no drift warning marker in frame")
+	}
+	if !strings.Contains(frame, "◐ SSN") {
+		t.Errorf("SSN health row not degraded:\n%s", frame)
+	}
+}
+
+// TestOnceHTTPSource polls a live metrics endpoint over HTTP instead
+// of the in-process demo.
+func TestOnceHTTPSource(t *testing.T) {
+	reg := sepe.NewMetricsRegistry()
+	h := reg.NewHash("remote-hash")
+	h.ObserveLatency("key-1", 120, 1)
+	c := reg.NewContainer("remote-map")
+	c.Put("key-1", 2)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := run(config{once: true, url: srv.URL, width: 80}, &out); err != nil {
+		t.Fatal(err)
+	}
+	frame := out.String()
+	for _, want := range []string{"remote-hash", "remote-map", "HASH LATENCY"} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("HTTP-sourced frame missing %q:\n%s", want, frame)
+		}
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	if _, err := fetch("http://127.0.0.1:1/metrics"); err == nil {
+		t.Error("unreachable endpoint must error")
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	if _, err := fetch(srv.URL); err == nil {
+		t.Error("non-200 response must error")
+	}
+}

@@ -62,6 +62,22 @@ const (
 	StatePinned
 )
 
+// healthOf maps a lifecycle state onto the telemetry health model:
+// serving the specialized function is ready; Degraded/Resynthesizing
+// serve correctly through the fallback but should steer traffic away
+// (not ready); Pinned means the circuit breaker gave up — a restart
+// with fresh traffic could help, so it fails liveness.
+func healthOf(s State) telemetry.HealthClass {
+	switch s {
+	case StateSpecialized, StateRecovered:
+		return telemetry.HealthReady
+	case StatePinned:
+		return telemetry.HealthFailed
+	default:
+		return telemetry.HealthNotReady
+	}
+}
+
 // String implements fmt.Stringer.
 func (s State) String() string {
 	switch s {
@@ -222,6 +238,7 @@ type Hash struct {
 
 	monitor *telemetry.DriftMonitor
 	metrics *telemetry.AdaptiveMetrics
+	rec     *telemetry.Recorder
 	res     *reservoir
 
 	baseCtx context.Context
@@ -271,7 +288,8 @@ func New(name string, fn hashes.Func, matches func(string) bool, cfg Config) (*H
 	h.cur.Store(&variant{fn: fn, gen: 1})
 	h.matcher.Store(&matches)
 	h.metrics = cfg.Registry.NewAdaptive(name)
-	h.metrics.SetState(int64(StateSpecialized), StateSpecialized.String())
+	h.rec = cfg.Registry.Recorder()
+	h.setState(StateSpecialized)
 
 	// The monitor checks keys against whatever format is currently
 	// promoted, through the matcher pointer: after a recovery it
@@ -388,7 +406,7 @@ func (h *Hash) Close() {
 
 func (h *Hash) setState(s State) {
 	h.state.Store(int32(s))
-	h.metrics.SetState(int64(s), s.String())
+	h.metrics.SetState(int64(s), s.String(), healthOf(s))
 }
 
 // swap atomically installs fn as the active function.
@@ -427,6 +445,9 @@ func (h *Hash) degrade() {
 // fallback after MaxAttempts failures.
 func (h *Hash) heal(done chan struct{}) {
 	defer close(done)
+	endHeal := telemetry.StartEvent(h.rec, "adaptive", "adaptive.heal",
+		telemetry.Str("hash", h.name))
+	defer endHeal()
 	h.setState(StateResynthesizing)
 	backoff := h.cfg.InitialBackoff
 	for attempt := 0; attempt < h.cfg.MaxAttempts; attempt++ {
@@ -444,9 +465,12 @@ func (h *Hash) heal(done chan struct{}) {
 			}
 		}
 		h.metrics.Attempt()
+		endAttempt := telemetry.StartEvent(h.rec, "adaptive", "adaptive.resynth",
+			telemetry.Str("hash", h.name), telemetry.Int("attempt", attempt+1))
 		actx, cancel := context.WithTimeout(h.baseCtx, h.cfg.AttemptTimeout)
 		fn, matches, err := h.attempt(actx)
 		cancel()
+		endAttempt(telemetry.Bool("ok", err == nil))
 		if err == nil {
 			h.promote(fn, matches)
 			return

@@ -1,5 +1,6 @@
 // Package spancheck verifies the telemetry span pairing invariant:
-// every done-func returned by telemetry.StartSpan must be called
+// every done-func returned by telemetry.StartSpan — or by
+// telemetry.StartEvent, the flight-recorder variant — must be called
 // exactly once on every return path of the function that started the
 // span. A path that returns without calling it silently truncates the
 // trace (the PR 1 span-leak class); calling it twice double-reports
@@ -28,7 +29,7 @@ import (
 // Analyzer is the spancheck analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "spancheck",
-	Doc:  "check that every telemetry.StartSpan done-func is called exactly once on every return path",
+	Doc:  "check that every telemetry.StartSpan / StartEvent done-func is called exactly once on every return path",
 	Run:  run,
 }
 
@@ -92,8 +93,10 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 	walk(body)
 }
 
-// isStartSpan reports whether call invokes a function named StartSpan
-// from a telemetry package.
+// isStartSpan reports whether call invokes a span-starting function —
+// StartSpan or StartEvent — from a telemetry package. Both return a
+// done-func with identical pairing obligations; StartEvent records
+// into the flight recorder rather than a Tracer.
 func isStartSpan(pass *analysis.Pass, call *ast.CallExpr) bool {
 	var id *ast.Ident
 	switch fun := call.Fun.(type) {
@@ -105,7 +108,10 @@ func isStartSpan(pass *analysis.Pass, call *ast.CallExpr) bool {
 		return false
 	}
 	obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
-	if !ok || obj.Name() != "StartSpan" || obj.Pkg() == nil {
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	if name := obj.Name(); name != "StartSpan" && name != "StartEvent" {
 		return false
 	}
 	path := obj.Pkg().Path()

@@ -18,6 +18,12 @@ type Tracer interface{ Span(name string, attrs ...Attr) }
 func StartSpan(t Tracer, name string, attrs ...Attr) func(attrs ...Attr) {
 	return func(...Attr) {}
 }
+
+type Recorder struct{}
+
+func StartEvent(r *Recorder, cat, name string, attrs ...Attr) func(attrs ...Attr) {
+	return func(...Attr) {}
+}
 `
 
 func run(t *testing.T, app string) []string {
@@ -47,6 +53,55 @@ func f(cond bool) error {
 
 // A call on only one branch merges to "maybe", which stays silent:
 // the checker would rather miss this than cry wolf.
+// StartEvent done-funcs carry the same pairing obligation as
+// StartSpan ones: an early return that skips the end call leaks the
+// flight-recorder event, and defer satisfies every exit.
+func TestStartEventLeakAndPairing(t *testing.T) {
+	got := run(t, `package app
+
+import "sepevet.test/m/telemetry"
+
+func leaky(cond bool) error {
+	end := telemetry.StartEvent(nil, "adaptive", "heal")
+	if cond {
+		return nil
+	}
+	end()
+	return nil
+}
+
+func deferred() {
+	end := telemetry.StartEvent(nil, "adaptive", "resynth", telemetry.Attr{Key: "attempt", Val: "1"})
+	defer end()
+}
+
+func direct(cond bool) error {
+	end := telemetry.StartEvent(nil, "synth", "plan")
+	if cond {
+		end(telemetry.Attr{Key: "ok", Val: "false"})
+		return nil
+	}
+	end()
+	return nil
+}
+`)
+	analysistest.Expect(t, got, "return leaks span done-func end")
+}
+
+func TestStartEventDoubleCall(t *testing.T) {
+	got := run(t, `package app
+
+import "sepevet.test/m/telemetry"
+
+func f() {
+	end := telemetry.StartEvent(nil, "synth", "plan")
+	end()
+	end()
+}
+`)
+	analysistest.Expect(t, got, "called twice on this path")
+}
+
 func TestMaybeIsSilent(t *testing.T) {
 	got := run(t, `package app
 

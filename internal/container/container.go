@@ -41,8 +41,10 @@ func HighBitsIndexer(discard uint) Indexer {
 // field is optional; a table with a nil Hooks pointer pays exactly one
 // pointer comparison per operation and allocates nothing, so the
 // containers stay measurement-grade when observation is off. The
-// callbacks receive plain ints — implementations must not retain or
-// allocate on the hot path.
+// callbacks receive the operated-on key plus plain ints —
+// implementations must not retain the key or allocate on the hot path
+// (the telemetry layer's exemplars copy a key only when it sets a new
+// maximum).
 //
 // Probe counts are the number of chain entries examined by the
 // operation — the runtime counterpart of the offline MaxBucketLen
@@ -51,20 +53,27 @@ func HighBitsIndexer(discard uint) Indexer {
 // negative when an erase shortens a shared chain, and an exact recount
 // after each rehash (OnRehash's second argument).
 type Hooks struct {
-	// OnPut fires after an insert or replace: probes entries were
-	// examined, and the bucket-collision count changed by collDelta
-	// (0 or 1).
-	OnPut func(probes, collDelta int)
-	// OnGet fires after a lookup (get, count, multimap GetAll).
-	OnGet func(probes int, found bool)
-	// OnDelete fires after an erase: probes entries examined, removed
-	// entries deleted, collision count changed by collDelta (≤ 0).
-	OnDelete func(probes, removed, collDelta int)
+	// OnPut fires after an insert or replace of key: probes entries
+	// were examined, and the bucket-collision count changed by
+	// collDelta (0 or 1).
+	OnPut func(key string, probes, collDelta int)
+	// OnGet fires after a lookup of key (get, count, multimap GetAll).
+	OnGet func(key string, probes int, found bool)
+	// OnDelete fires after an erase of key: probes entries examined,
+	// removed entries deleted, collision count changed by collDelta
+	// (≤ 0).
+	OnDelete func(key string, probes, removed, collDelta int)
 	// OnRehash fires after the table rebuckets (growth or reserve),
 	// with the new bucket count and an exact bucket-collision recount.
 	OnRehash func(buckets, bucketCollisions int)
 	// OnClear fires after the table is emptied.
 	OnClear func()
+	// OnMigrateStart fires when RehashInto retires the current region:
+	// retired buckets will drain into fresh new ones.
+	OnMigrateStart func(retired, fresh int)
+	// OnMigrateDone fires when the last retired bucket has drained,
+	// before the completion recount's OnRehash.
+	OnMigrateDone func(buckets int)
 }
 
 // initialBuckets is the starting bucket count (libstdc++ starts at a
@@ -133,7 +142,7 @@ func (t *table[V]) put(h uint64, key string, val V) bool {
 			if chain[i].hash == h && chain[i].key == key {
 				chain[i].val = val
 				if t.hooks != nil && t.hooks.OnPut != nil {
-					t.hooks.OnPut(i+1, 0)
+					t.hooks.OnPut(key, i+1, 0)
 				}
 				return false
 			}
@@ -147,7 +156,7 @@ func (t *table[V]) put(h uint64, key string, val V) bool {
 				if (*ochain)[i].hash == oh && (*ochain)[i].key == key {
 					(*ochain)[i].val = val
 					if t.hooks != nil && t.hooks.OnPut != nil {
-						t.hooks.OnPut(len(chain)+i+1, 0)
+						t.hooks.OnPut(key, len(chain)+i+1, 0)
 					}
 					return false
 				}
@@ -166,7 +175,7 @@ func (t *table[V]) put(h uint64, key string, val V) bool {
 		if before > 0 {
 			delta = 1
 		}
-		t.hooks.OnPut(probes, delta)
+		t.hooks.OnPut(key, probes, delta)
 	}
 	if t.size > len(t.buckets) { // max load factor 1, as libstdc++
 		t.rehash(nextBucketCount(len(t.buckets)))
@@ -180,7 +189,7 @@ func (t *table[V]) get(h uint64, key string) (V, bool) {
 	for i := range chain {
 		if chain[i].hash == h && chain[i].key == key {
 			if t.hooks != nil && t.hooks.OnGet != nil {
-				t.hooks.OnGet(i+1, true)
+				t.hooks.OnGet(key, i+1, true)
 			}
 			return chain[i].val, true
 		}
@@ -191,7 +200,7 @@ func (t *table[V]) get(h uint64, key string) (V, bool) {
 		for i := range *ochain {
 			if (*ochain)[i].hash == oh && (*ochain)[i].key == key {
 				if t.hooks != nil && t.hooks.OnGet != nil {
-					t.hooks.OnGet(probes+i+1, true)
+					t.hooks.OnGet(key, probes+i+1, true)
 				}
 				return (*ochain)[i].val, true
 			}
@@ -199,7 +208,7 @@ func (t *table[V]) get(h uint64, key string) (V, bool) {
 		probes += len(*ochain)
 	}
 	if t.hooks != nil && t.hooks.OnGet != nil {
-		t.hooks.OnGet(probes, false)
+		t.hooks.OnGet(key, probes, false)
 	}
 	var zero V
 	return zero, false
@@ -225,7 +234,7 @@ func (t *table[V]) count(h uint64, key string) int {
 		probes += len(*ochain)
 	}
 	if t.hooks != nil && t.hooks.OnGet != nil {
-		t.hooks.OnGet(probes, n > 0)
+		t.hooks.OnGet(key, probes, n > 0)
 	}
 	return n
 }
@@ -250,7 +259,7 @@ func (t *table[V]) collect(h uint64, key string) []V {
 		probes += len(*ochain)
 	}
 	if t.hooks != nil && t.hooks.OnGet != nil {
-		t.hooks.OnGet(probes, len(out) > 0)
+		t.hooks.OnGet(key, probes, len(out) > 0)
 	}
 	return out
 }
@@ -298,7 +307,7 @@ func (t *table[V]) del(h uint64, key string) int {
 	}
 	t.size -= removed
 	if t.hooks != nil && t.hooks.OnDelete != nil {
-		t.hooks.OnDelete(probes, removed, collDelta)
+		t.hooks.OnDelete(key, probes, removed, collDelta)
 	}
 	return removed
 }
@@ -348,6 +357,9 @@ func (t *table[V]) rehashInto(newHash hashes.Func) {
 		n = initialBuckets
 	}
 	t.buckets = make([][]entry[V], nextPrime(n))
+	if t.hooks != nil && t.hooks.OnMigrateStart != nil {
+		t.hooks.OnMigrateStart(len(t.old), len(t.buckets))
+	}
 }
 
 // drain moves up to k retired buckets into the live region, returning
@@ -373,6 +385,9 @@ func (t *table[V]) drain(k int) bool {
 	// Migration complete: drop the retired region and let observers
 	// recount, exactly as after a normal rehash.
 	t.old, t.oldHash, t.drainPos = nil, nil, 0
+	if t.hooks != nil && t.hooks.OnMigrateDone != nil {
+		t.hooks.OnMigrateDone(len(t.buckets))
+	}
 	if t.hooks != nil && t.hooks.OnRehash != nil {
 		t.hooks.OnRehash(len(t.buckets), t.bucketCollisions())
 	}

@@ -17,16 +17,16 @@ type hookRecorder struct {
 
 func (r *hookRecorder) hooks() *Hooks {
 	return &Hooks{
-		OnPut: func(probes, delta int) {
+		OnPut: func(_ string, probes, delta int) {
 			r.puts++
 			r.probes = append(r.probes, probes)
 			r.bcoll += delta
 		},
-		OnGet: func(probes int, found bool) {
+		OnGet: func(_ string, probes int, found bool) {
 			r.gets++
 			r.probes = append(r.probes, probes)
 		},
-		OnDelete: func(probes, removed, delta int) {
+		OnDelete: func(_ string, probes, removed, delta int) {
 			r.deletes++
 			r.bcoll += delta
 		},

@@ -1,0 +1,276 @@
+// Package dash renders telemetry registry snapshots as a terminal
+// dashboard — the display layer behind cmd/sepetop. A Renderer keeps
+// the previous snapshot so successive frames show true rates (calls
+// and operations per second from the deltas), while everything else —
+// latency percentiles, B-Coll, probe depths, drift and health — comes
+// straight from the current snapshot. The output is plain text on
+// internal/textplot, so it works over ssh, in CI logs, and in the
+// -once one-frame mode.
+package dash
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/sepe-go/sepe/internal/telemetry"
+	"github.com/sepe-go/sepe/internal/textplot"
+)
+
+// Renderer turns successive RegistrySnapshots into text frames.
+// The zero value is usable; Width below 60 is raised to 60.
+type Renderer struct {
+	// Width is the frame width in columns.
+	Width int
+
+	prev   *telemetry.RegistrySnapshot
+	prevAt time.Time
+}
+
+// New returns a Renderer producing frames width columns wide.
+func New(width int) *Renderer { return &Renderer{Width: width} }
+
+// Frame renders one dashboard frame for the snapshot taken at the
+// given time and remembers it for the next frame's rate computation.
+func (r *Renderer) Frame(s telemetry.RegistrySnapshot, at time.Time) string {
+	w := r.Width
+	if w < 60 {
+		w = 60
+	}
+	var sb strings.Builder
+	r.header(&sb, s, w)
+	r.hashPanel(&sb, s, at, w)
+	r.containerPanel(&sb, s, at, w)
+	r.driftPanel(&sb, s, w)
+	r.gaugePanel(&sb, s)
+	r.healthPanel(&sb, s)
+	r.prev, r.prevAt = &s, at
+	return sb.String()
+}
+
+func (r *Renderer) header(sb *strings.Builder, s telemetry.RegistrySnapshot, w int) {
+	probes := ""
+	if s.Health.Ready {
+		probes = "ready"
+	} else {
+		probes = "NOT READY"
+	}
+	if s.Health.Live {
+		probes += ", live"
+	} else {
+		probes += ", NOT LIVE"
+	}
+	fmt.Fprintf(sb, "sepetop · status %s (%s) · up %s · %d hashes · %d containers · %d monitors\n%s\n",
+		s.Health.Status, probes, fmtDuration(s.UptimeSeconds),
+		len(s.Hashes), len(s.Containers), len(s.Drift),
+		strings.Repeat("─", w))
+}
+
+// rate computes a per-second rate for a counter: the delta against
+// the previous frame when one exists, the lifetime average otherwise.
+func (r *Renderer) rate(now uint64, prevOf func(*telemetry.RegistrySnapshot) (uint64, bool), at time.Time, uptime float64) float64 {
+	if r.prev != nil {
+		if prev, ok := prevOf(r.prev); ok && now >= prev {
+			if dt := at.Sub(r.prevAt).Seconds(); dt > 0 {
+				return float64(now-prev) / dt
+			}
+		}
+	}
+	if uptime > 0 {
+		return float64(now) / uptime
+	}
+	return 0
+}
+
+func (r *Renderer) hashPanel(sb *strings.Builder, s telemetry.RegistrySnapshot, at time.Time, w int) {
+	if len(s.Hashes) == 0 {
+		return
+	}
+	labels := make([]string, len(s.Hashes))
+	rates := make([]float64, len(s.Hashes))
+	for i, h := range s.Hashes {
+		labels[i] = h.Name
+		calls := h.Calls
+		rates[i] = r.rate(calls, func(p *telemetry.RegistrySnapshot) (uint64, bool) {
+			for _, ph := range p.Hashes {
+				if ph.Name == h.Name {
+					return ph.Calls, true
+				}
+			}
+			return 0, false
+		}, at, s.UptimeSeconds)
+	}
+	sb.WriteString("\nHASH RATE (calls/s)\n")
+	sb.WriteString(textplot.Bars(labels, rates, w))
+
+	sb.WriteString("\nHASH LATENCY (ns)\n")
+	nameW := colWidth(labels, 4)
+	fmt.Fprintf(sb, "%-*s %9s %9s %9s %9s  %s\n", nameW, "name", "p50", "p99", "p999", "max", "slowest key")
+	for _, h := range s.Hashes {
+		slow := ""
+		if h.Slowest != nil {
+			slow = fmt.Sprintf("%s (%d ns)", clip(h.Slowest.Key, 32), h.Slowest.Value)
+		}
+		fmt.Fprintf(sb, "%-*s %9d %9d %9d %9d  %s\n", nameW, h.Name, h.P50, h.P99, h.P999, h.Max, slow)
+		if len(h.Counterexamples) > 0 {
+			fmt.Fprintf(sb, "%-*s %s\n", nameW, "",
+				"⚠ certifier counterexamples: "+clip(strings.Join(h.Counterexamples, " "), w-nameW-30))
+		}
+	}
+}
+
+func (r *Renderer) containerPanel(sb *strings.Builder, s telemetry.RegistrySnapshot, at time.Time, w int) {
+	if len(s.Containers) == 0 {
+		return
+	}
+	labels := make([]string, len(s.Containers))
+	for i, c := range s.Containers {
+		labels[i] = c.Name
+	}
+	sb.WriteString("\nCONTAINERS\n")
+	nameW := colWidth(labels, 4)
+	fmt.Fprintf(sb, "%-*s %10s %8s %13s %13s  %s\n",
+		nameW, "name", "ops/s", "B-Coll", "probe p50/p99", "put/get/del⁹⁹", "state")
+	for _, c := range s.Containers {
+		ops := c.Puts + c.Gets + c.Deletes
+		opsRate := r.rate(ops, func(p *telemetry.RegistrySnapshot) (uint64, bool) {
+			for _, pc := range p.Containers {
+				if pc.Name == c.Name {
+					return pc.Puts + pc.Gets + pc.Deletes, true
+				}
+			}
+			return 0, false
+		}, at, s.UptimeSeconds)
+		state := ""
+		if c.Migrating {
+			state = fmt.Sprintf("migrating (%d total)", c.Migrations)
+		} else if c.Migrations > 0 {
+			state = fmt.Sprintf("%d migrations", c.Migrations)
+		}
+		if c.LongestProbe != nil {
+			if state != "" {
+				state += " · "
+			}
+			state += fmt.Sprintf("deepest %q=%d", clip(c.LongestProbe.Key, 24), c.LongestProbe.Value)
+		}
+		fmt.Fprintf(sb, "%-*s %10s %8d %13s %13s  %s\n",
+			nameW, c.Name, human(opsRate), c.BucketCollisions,
+			fmt.Sprintf("%d/%d", c.ProbeP50, c.ProbeP99),
+			fmt.Sprintf("%d/%d/%d", c.PutProbes.P99, c.GetProbes.P99, c.DeleteProbes.P99),
+			state)
+	}
+}
+
+func (r *Renderer) driftPanel(sb *strings.Builder, s telemetry.RegistrySnapshot, w int) {
+	if len(s.Drift) == 0 {
+		return
+	}
+	sb.WriteString("\nDRIFT (window mismatch %)\n")
+	labels := make([]string, len(s.Drift))
+	values := make([]float64, len(s.Drift))
+	for i, d := range s.Drift {
+		labels[i] = d.Name
+		if d.Degraded {
+			labels[i] += " ⚠"
+		}
+		values[i] = 100 * d.WindowRate
+	}
+	sb.WriteString(textplot.Bars(labels, values, w))
+}
+
+// gaugePanel lists application gauges (e.g. sepebench's run-progress
+// counters), sorted by name — the only view a grid run has while its
+// per-experiment registries stay local.
+func (r *Renderer) gaugePanel(sb *strings.Builder, s telemetry.RegistrySnapshot) {
+	if len(s.Gauges) == 0 {
+		return
+	}
+	names := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	sb.WriteString("\nGAUGES\n")
+	nameW := colWidth(names, 4)
+	for _, name := range names {
+		fmt.Fprintf(sb, " %-*s %s\n", nameW, name, human(s.Gauges[name]))
+	}
+}
+
+func (r *Renderer) healthPanel(sb *strings.Builder, s telemetry.RegistrySnapshot) {
+	if len(s.Health.Components) == 0 && len(s.Adaptive) == 0 {
+		return
+	}
+	sb.WriteString("\nHEALTH\n")
+	names := make([]string, len(s.Health.Components))
+	for i, c := range s.Health.Components {
+		names[i] = c.Name
+	}
+	nameW := colWidth(names, 4)
+	for _, c := range s.Health.Components {
+		glyph := "✔"
+		switch {
+		case !c.Live:
+			glyph = "✖"
+		case !c.Ready:
+			glyph = "◐"
+		}
+		extra := ""
+		for _, a := range s.Adaptive {
+			if a.Name == c.Name && c.Kind == "adaptive" {
+				extra = fmt.Sprintf("gen %d · resynth %d/%d ok", a.Generations,
+					a.ResynthSuccesses, a.ResynthAttempts)
+			}
+		}
+		fmt.Fprintf(sb, " %s %-*s %-9s %-14s %s\n", glyph, nameW, c.Name, c.Kind, c.Status, extra)
+	}
+}
+
+// colWidth returns the widest label, at least min columns.
+func colWidth(labels []string, min int) int {
+	w := min
+	for _, l := range labels {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	return w
+}
+
+// human renders a rate compactly: 812, 4.2k, 1.3M, 2.0G.
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func fmtDuration(seconds float64) string {
+	d := time.Duration(seconds * float64(time.Second))
+	switch {
+	case d >= time.Hour:
+		return d.Round(time.Minute).String()
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	default:
+		return d.Round(10 * time.Millisecond).String()
+	}
+}
+
+// clip truncates s to at most n columns with an ellipsis.
+func clip(s string, n int) string {
+	if n < 4 {
+		n = 4
+	}
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,142 @@
+package dash
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sepe-go/sepe/internal/telemetry"
+)
+
+func sampleSnapshot() telemetry.RegistrySnapshot {
+	return telemetry.RegistrySnapshot{
+		UptimeSeconds: 10,
+		Hashes: []telemetry.HashSnapshot{
+			{Name: "SSN", Calls: 1000, Sampled: 100, P50: 32, P99: 64, P999: 128, Max: 512,
+				Slowest:         &telemetry.Exemplar{Key: "078-05-1120", Value: 512, Unix: 1},
+				Counterexamples: []string{"999-99-9999"}},
+			{Name: "MAC", Calls: 500, Sampled: 50, P50: 40, P99: 80, P999: 160, Max: 320},
+		},
+		Containers: []telemetry.ContainerSnapshot{
+			{Name: "SSN", Puts: 400, Gets: 500, Deletes: 100, BucketCollisions: 7,
+				ProbeP50: 1, ProbeP99: 4,
+				PutProbes: telemetry.OpProbes{P99: 4}, GetProbes: telemetry.OpProbes{P99: 2},
+				Migrations: 1, Migrating: true,
+				LongestProbe: &telemetry.Exemplar{Key: "078-05-1120", Value: 4, Unix: 1}},
+		},
+		Drift: []telemetry.DriftSnapshot{
+			{Name: "SSN", Observed: 900, Sampled: 900, WindowRate: 0.02},
+			{Name: "MAC", Observed: 400, Sampled: 400, WindowRate: 0.25, Degraded: true},
+		},
+		Adaptive: []telemetry.AdaptiveSnapshot{
+			{Name: "SSN", StateName: "Specialized", Ready: true, Live: true,
+				Generations: 2, ResynthAttempts: 3, ResynthSuccesses: 2},
+		},
+		Health: telemetry.HealthReport{
+			Status: "degraded", Ready: false, Live: true,
+			Components: []telemetry.ComponentHealth{
+				{Name: "SSN", Kind: "adaptive", Status: "Specialized", Ready: true, Live: true},
+				{Name: "MAC", Kind: "drift", Status: "drifting (25% off-format)", Ready: false, Live: true},
+			},
+		},
+	}
+}
+
+func TestFramePanels(t *testing.T) {
+	r := New(100)
+	frame := r.Frame(sampleSnapshot(), time.Unix(100, 0))
+	for _, want := range []string{
+		"status degraded (NOT READY, live)",
+		"HASH RATE (calls/s)",
+		"HASH LATENCY (ns)",
+		"078-05-1120 (512 ns)",
+		"certifier counterexamples: 999-99-9999",
+		"CONTAINERS",
+		"migrating (1 total)",
+		"DRIFT (window mismatch %)",
+		"MAC ⚠",
+		"HEALTH",
+		"✔ SSN",
+		"◐ MAC",
+		"gen 2 · resynth 2/3 ok",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// Every format name appears in the latency panel rows.
+	for _, name := range []string{"SSN", "MAC"} {
+		if !strings.Contains(frame, name) {
+			t.Errorf("frame missing format %s", name)
+		}
+	}
+	// B-Coll value rendered.
+	if !strings.Contains(frame, "7") {
+		t.Error("B-Coll count missing")
+	}
+}
+
+func TestFrameRatesUseDeltas(t *testing.T) {
+	r := New(80)
+	s1 := sampleSnapshot()
+	r.Frame(s1, time.Unix(100, 0))
+	s2 := sampleSnapshot()
+	s2.Hashes[0].Calls = 1000 + 2500 // +2500 calls over 2 seconds = 1250/s
+	s2.UptimeSeconds = 12
+	frame := r.Frame(s2, time.Unix(102, 0))
+	if !strings.Contains(frame, "1.2k") && !strings.Contains(frame, "1250") {
+		t.Errorf("delta rate not rendered (want ~1250/s):\n%s", frame)
+	}
+	// MAC made no calls between frames: rate 0, not lifetime average.
+	lines := strings.Split(frame, "\n")
+	macRate := ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, "MAC") && strings.Contains(l, "▇") == false &&
+			strings.Contains(frame[:strings.Index(frame, "HASH LATENCY")], l) {
+			macRate = l
+		}
+	}
+	_ = macRate // bar row for a zero rate is empty: asserted via value column
+	if !strings.Contains(frame, " 0\n") && !strings.Contains(frame, "         0") {
+		t.Errorf("zero delta rate not rendered as 0:\n%s", frame)
+	}
+}
+
+func TestFrameFirstSampleFallsBackToLifetimeRate(t *testing.T) {
+	r := New(80)
+	frame := r.Frame(sampleSnapshot(), time.Unix(100, 0))
+	// 1000 calls over 10s uptime = 100/s.
+	if !strings.Contains(frame, "100") {
+		t.Errorf("lifetime-average rate missing:\n%s", frame)
+	}
+}
+
+func TestFrameEmptySnapshot(t *testing.T) {
+	r := New(0)
+	frame := r.Frame(telemetry.RegistrySnapshot{
+		Health: telemetry.HealthReport{Status: "ok", Ready: true, Live: true},
+	}, time.Unix(1, 0))
+	if !strings.Contains(frame, "status ok (ready, live)") {
+		t.Errorf("empty snapshot header wrong:\n%s", frame)
+	}
+	if strings.Contains(frame, "HASH RATE") || strings.Contains(frame, "CONTAINERS") {
+		t.Error("empty snapshot must omit empty panels")
+	}
+}
+
+func TestHumanAndClip(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{{812, "812"}, {4200, "4.2k"}, {1.3e6, "1.3M"}, {2e9, "2.0G"}} {
+		if got := human(tc.v); got != tc.want {
+			t.Errorf("human(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	if got := clip("abcdefgh", 6); got != "abcde…" {
+		t.Errorf("clip = %q", got)
+	}
+	if got := clip("abc", 6); got != "abc" {
+		t.Errorf("clip short = %q", got)
+	}
+}

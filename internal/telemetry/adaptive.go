@@ -10,17 +10,23 @@ import (
 // generations it went through (each fallback swap and each promotion
 // is one generation), and the outcome counts of its background
 // re-synthesis attempts. The block stores the state as a numeric code
-// plus a caller-supplied name, so the telemetry layer needs no
-// knowledge of the state machine's semantics.
+// plus a caller-supplied name and health class, so the telemetry layer
+// needs no knowledge of the state machine's semantics — the adaptive
+// layer decides which states count as ready.
 type AdaptiveMetrics struct {
 	name        string
 	state       atomic.Int64
 	stateName   atomic.Pointer[string]
+	health      atomic.Int32
 	transitions Counter
 	generations Counter
 	attempts    Counter
 	failures    Counter
 	successes   Counter
+
+	// rec receives state-transition instants when the block was created
+	// through a registry; nil otherwise.
+	rec *Recorder
 }
 
 // NewAdaptiveMetrics returns an empty block named name.
@@ -34,12 +40,21 @@ func NewAdaptiveMetrics(name string) *AdaptiveMetrics {
 // Name returns the block's name.
 func (m *AdaptiveMetrics) Name() string { return m.name }
 
-// SetState records a state transition to (code, stateName).
-func (m *AdaptiveMetrics) SetState(code int64, stateName string) {
+// SetState records a state transition to (code, stateName) and the
+// health class the new state maps to. The transition is also recorded
+// as a flight-recorder instant when the block belongs to a registry
+// with a recorder.
+func (m *AdaptiveMetrics) SetState(code int64, stateName string, health HealthClass) {
 	m.state.Store(code)
 	m.stateName.Store(&stateName)
+	m.health.Store(int32(health))
 	m.transitions.Inc()
+	m.rec.Instant("adaptive", "adaptive.state",
+		Str("hash", m.name), Str("state", stateName), Int("code", int(code)))
 }
+
+// Health returns the health class of the current state.
+func (m *AdaptiveMetrics) Health() HealthClass { return HealthClass(m.health.Load()) }
 
 // Generation records one hash-function swap (fallback or promotion).
 func (m *AdaptiveMetrics) Generation() { m.generations.Inc() }
@@ -60,6 +75,11 @@ type AdaptiveSnapshot struct {
 	// State is the numeric state code; StateName its display name.
 	State     int64  `json:"state"`
 	StateName string `json:"state_name"`
+	// Health is the state's health class (0 ready, 1 not ready,
+	// 2 failed); Ready and Live are the derived probe verdicts.
+	Health int32 `json:"health"`
+	Ready  bool  `json:"ready"`
+	Live   bool  `json:"live"`
 	// Transitions counts state changes since construction.
 	Transitions uint64 `json:"transitions"`
 	// Generations counts hash-function swaps (fallbacks + promotions).
@@ -73,10 +93,14 @@ type AdaptiveSnapshot struct {
 
 // Snapshot copies the block's current state.
 func (m *AdaptiveMetrics) Snapshot() AdaptiveSnapshot {
+	h := m.health.Load()
 	return AdaptiveSnapshot{
 		Name:             m.name,
 		State:            m.state.Load(),
 		StateName:        *m.stateName.Load(),
+		Health:           h,
+		Ready:            h == int32(HealthReady),
+		Live:             h != int32(HealthFailed),
 		Transitions:      m.transitions.Load(),
 		Generations:      m.generations.Load(),
 		ResynthAttempts:  m.attempts.Load(),

@@ -10,15 +10,15 @@ func TestAdaptiveMetricsLifecycle(t *testing.T) {
 	r := NewRegistry()
 	m := r.NewAdaptive("ssn")
 
-	m.SetState(0, "Specialized")
-	m.SetState(1, "Degraded")
+	m.SetState(0, "Specialized", HealthReady)
+	m.SetState(1, "Degraded", HealthNotReady)
 	m.Generation()
 	m.Attempt()
 	m.Failure()
 	m.Attempt()
 	m.Success()
 	m.Generation()
-	m.SetState(3, "Recovered")
+	m.SetState(3, "Recovered", HealthReady)
 
 	s := m.Snapshot()
 	if s.Name != "ssn" || s.State != 3 || s.StateName != "Recovered" {
@@ -40,7 +40,7 @@ func TestAdaptiveMetricsLifecycle(t *testing.T) {
 func TestAdaptiveMetricsPrometheusExport(t *testing.T) {
 	r := NewRegistry()
 	m := r.NewAdaptive("ipv4")
-	m.SetState(2, "Resynthesizing")
+	m.SetState(2, "Resynthesizing", HealthNotReady)
 	m.Attempt()
 
 	rec := httptest.NewRecorder()

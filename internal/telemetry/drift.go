@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -24,6 +25,7 @@ type DriftMonitor struct {
 	mask    uint64
 
 	observed   atomic.Uint64
+	batches    atomic.Uint64
 	sampled    atomic.Uint64
 	mismatched atomic.Uint64
 	degraded   atomic.Bool
@@ -34,6 +36,10 @@ type DriftMonitor struct {
 	ringPos int
 	ringLen int
 	ringMis int
+
+	// rec receives degraded/recovered transition instants when the
+	// monitor was created through a registry; nil otherwise.
+	rec *Recorder
 }
 
 // DriftConfig tunes a DriftMonitor. The zero value selects the
@@ -112,11 +118,18 @@ func (d *DriftMonitor) Observe(key string) {
 	d.check(key)
 }
 
-// observeBatch records n observed keys at once and always checks key;
-// it serves the instrumented hash wrapper, which has already sampled
-// the stream by batching.
+// observeBatch records n observed keys at once and checks key on
+// every SampleEvery-th batch; it serves the instrumented hash
+// wrapper, whose counter batching already thins the stream to one
+// candidate key per flush. Applying the monitor's own sampling mask
+// on top keeps the format-membership check (the expensive part of a
+// drift sample) off the amortized hot path: with the defaults the
+// predicate runs once per SampleEvery*flushEvery hashed keys.
 func (d *DriftMonitor) observeBatch(key string, n uint64) {
 	d.observed.Add(n)
+	if d.batches.Add(1)&d.mask != 0 {
+		return
+	}
 	d.check(key)
 }
 
@@ -149,10 +162,14 @@ func (d *DriftMonitor) check(key string) {
 	fire := false
 	if enough {
 		if rate >= d.cfg.Threshold {
-			d.degraded.Store(true)
+			if !d.degraded.Swap(true) {
+				d.rec.Instant("drift", "drift.degraded",
+					Str("monitor", d.name), Str("rate", fmt.Sprintf("%.3f", rate)))
+			}
 			fire = d.cfg.OnDegrade != nil && d.fired.CompareAndSwap(false, true)
-		} else {
-			d.degraded.Store(false)
+		} else if d.degraded.Swap(false) {
+			d.rec.Instant("drift", "drift.recovered",
+				Str("monitor", d.name), Str("rate", fmt.Sprintf("%.3f", rate)))
 		}
 	}
 	d.mu.Unlock()

@@ -1,0 +1,365 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements the flight recorder: a lock-free ring buffer of
+// recent observability events — synthesis spans, adaptive state
+// transitions, drift alarms, container migrations — held in memory at
+// a fixed cost and exportable on demand as JSON lines or as the Chrome
+// trace-event format (load the file in chrome://tracing or Perfetto).
+//
+// The recorder answers the question metrics cannot: not "how many
+// times did the hash degrade" but "what exactly happened around the
+// degradation at 14:02". It is the in-process black box the serving
+// plane will expose per tenant.
+
+// EventKind classifies a recorded event.
+type EventKind uint8
+
+const (
+	// EventSpan is a timed phase: Start..Start+Dur.
+	EventSpan EventKind = iota
+	// EventInstant is a point-in-time marker (state transition, alarm).
+	EventInstant
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventSpan:
+		return "span"
+	case EventInstant:
+		return "instant"
+	default:
+		return "kind?"
+	}
+}
+
+// eventAttrs is the number of attribute slots an Event carries. The
+// fixed size keeps events copyable without chasing slices; producers
+// with more attributes lose the tail (recorded in NAttr).
+const eventAttrs = 6
+
+// Event is one flight-recorder entry. Events are immutable once
+// recorded; readers receive copies.
+type Event struct {
+	// Seq is the global sequence number (0-based, monotonic). The ring
+	// keeps the last Cap events by sequence.
+	Seq uint64
+	// Kind distinguishes spans from instants.
+	Kind EventKind
+	// Cat groups events by subsystem: "synth", "adaptive", "drift",
+	// "container".
+	Cat string
+	// Name identifies the event, dot-separated (e.g. "synth.plan",
+	// "adaptive.state").
+	Name string
+	// Start is the event time in nanoseconds since the Unix epoch.
+	Start int64
+	// Dur is the span duration in nanoseconds (0 for instants).
+	Dur int64
+	// Attrs holds the first NAttr structured attributes.
+	Attrs [eventAttrs]Attr
+	// NAttr is the number of valid entries in Attrs.
+	NAttr uint8
+}
+
+// AttrList returns the event's valid attributes as a slice.
+func (e *Event) AttrList() []Attr { return e.Attrs[:e.NAttr] }
+
+// Recorder is the lock-free flight recorder. Writers claim a slot
+// with one atomic add and publish an immutable event with one atomic
+// pointer store; neither readers nor writers ever block each other.
+// The ring holds the most recent Cap events — older ones are
+// overwritten, with Dropped counting the loss.
+//
+// A Recorder is also a Tracer: passed to WithTracer (or set as
+// core.Options.Tracer), it captures every synthesis span.
+type Recorder struct {
+	slots   []atomic.Pointer[Event]
+	mask    uint64
+	cursor  atomic.Uint64
+	enabled atomic.Bool
+}
+
+// DefaultRecorderCap is the ring capacity NewRecorder selects for
+// n <= 0 — enough for several synthesis runs plus hours of lifecycle
+// events at a fixed ~tens-of-kilobytes footprint.
+const DefaultRecorderCap = 2048
+
+// NewRecorder returns an enabled recorder holding the last n events
+// (rounded up to a power of two; n <= 0 selects DefaultRecorderCap).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultRecorderCap
+	}
+	c := 1
+	for c < n {
+		c *= 2
+	}
+	r := &Recorder{slots: make([]atomic.Pointer[Event], c), mask: uint64(c - 1)}
+	r.enabled.Store(true)
+	return r
+}
+
+// SetEnabled turns recording on or off. A disabled recorder drops
+// events at the cost of one atomic load; the captured history stays
+// readable.
+func (r *Recorder) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether the recorder is capturing.
+func (r *Recorder) Enabled() bool { return r.enabled.Load() }
+
+// Cap returns the ring capacity.
+func (r *Recorder) Cap() int { return len(r.slots) }
+
+// Recorded returns the total number of events ever recorded.
+func (r *Recorder) Recorded() uint64 { return r.cursor.Load() }
+
+// Dropped returns how many events have been overwritten by newer ones.
+func (r *Recorder) Dropped() uint64 {
+	n := r.cursor.Load()
+	if c := uint64(len(r.slots)); n > c {
+		return n - c
+	}
+	return 0
+}
+
+// record claims the next sequence number and publishes ev.
+func (r *Recorder) record(ev Event) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	seq := r.cursor.Add(1) - 1
+	ev.Seq = seq
+	r.slots[seq&r.mask].Store(&ev)
+}
+
+// fillAttrs copies up to eventAttrs attributes into ev.
+func fillAttrs(ev *Event, attrs []Attr) {
+	n := len(attrs)
+	if n > eventAttrs {
+		n = eventAttrs
+	}
+	copy(ev.Attrs[:n], attrs[:n])
+	ev.NAttr = uint8(n)
+}
+
+// catOf derives a category from a dot-separated event name.
+func catOf(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Emit implements Tracer: every synthesis span becomes a recorded
+// span event, so `WithTracer(recorder)` captures the pipeline.
+func (r *Recorder) Emit(s Span) {
+	ev := Event{
+		Kind:  EventSpan,
+		Cat:   catOf(s.Name),
+		Name:  s.Name,
+		Start: s.Start.UnixNano(),
+		Dur:   int64(s.Duration),
+	}
+	fillAttrs(&ev, s.Attrs)
+	r.record(ev)
+}
+
+// Instant records a point-in-time event.
+func (r *Recorder) Instant(cat, name string, attrs ...Attr) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	ev := Event{Kind: EventInstant, Cat: cat, Name: name, Start: time.Now().UnixNano()}
+	fillAttrs(&ev, attrs)
+	r.record(ev)
+}
+
+// StartEvent begins a recorded span and returns the function that
+// ends and publishes it; attributes passed at end time are appended
+// to those given at start. Like StartSpan, a nil recorder yields a
+// no-op closure, and the done-func must be called exactly once on
+// every return path (the spancheck analyzer enforces this):
+//
+//	done := telemetry.StartEvent(rec, "adaptive", "adaptive.heal")
+//	defer done()
+func StartEvent(r *Recorder, cat, name string, attrs ...Attr) func(...Attr) {
+	if r == nil || !r.enabled.Load() {
+		return func(...Attr) {}
+	}
+	start := time.Now()
+	return func(end ...Attr) {
+		ev := Event{
+			Kind:  EventSpan,
+			Cat:   cat,
+			Name:  name,
+			Start: start.UnixNano(),
+			Dur:   int64(time.Since(start)),
+		}
+		if len(end) == 0 {
+			fillAttrs(&ev, attrs)
+		} else if len(attrs) == 0 {
+			fillAttrs(&ev, end)
+		} else {
+			all := make([]Attr, 0, len(attrs)+len(end))
+			all = append(all, attrs...)
+			all = append(all, end...)
+			fillAttrs(&ev, all)
+		}
+		r.record(ev)
+	}
+}
+
+// Events returns the recorded events, oldest first. The snapshot is
+// taken without blocking writers, so an event recorded while the
+// snapshot runs may or may not appear.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteJSONLines streams the recorded events to w, one JSON object
+// per line, oldest first.
+func (r *Recorder) WriteJSONLines(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(jsonEvent(ev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lineEvent is the JSON-lines shape of one event.
+type lineEvent struct {
+	Seq     uint64            `json:"seq"`
+	Kind    string            `json:"kind"`
+	Cat     string            `json:"cat"`
+	Name    string            `json:"name"`
+	StartNs int64             `json:"start_ns"`
+	DurNs   int64             `json:"dur_ns,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+func jsonEvent(ev Event) lineEvent {
+	le := lineEvent{
+		Seq:     ev.Seq,
+		Kind:    ev.Kind.String(),
+		Cat:     ev.Cat,
+		Name:    ev.Name,
+		StartNs: ev.Start,
+		DurNs:   ev.Dur,
+	}
+	if ev.NAttr > 0 {
+		le.Attrs = make(map[string]string, ev.NAttr)
+		for _, a := range ev.AttrList() {
+			le.Attrs[a.Key] = a.Value
+		}
+	}
+	return le
+}
+
+// ChromeTraceEvent is one entry of the Chrome trace-event format
+// (the "JSON Object Format" chrome://tracing and Perfetto load):
+// complete events carry ph "X" with microsecond ts/dur; instants
+// carry ph "i" with global scope.
+type ChromeTraceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TsUs  float64           `json:"ts"`
+	DurUs float64           `json:"dur,omitempty"`
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event JSON object.
+type ChromeTrace struct {
+	TraceEvents     []ChromeTraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string             `json:"displayTimeUnit"`
+}
+
+// chromeTrace converts the recorded events. Category doubles as the
+// tid so each subsystem renders on its own track.
+func (r *Recorder) chromeTrace() ChromeTrace {
+	events := r.Events()
+	tids := map[string]int{}
+	trace := ChromeTrace{TraceEvents: make([]ChromeTraceEvent, 0, len(events)), DisplayTimeUnit: "ns"}
+	for _, ev := range events {
+		tid, ok := tids[ev.Cat]
+		if !ok {
+			tid = len(tids) + 1
+			tids[ev.Cat] = tid
+		}
+		ce := ChromeTraceEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			TsUs: float64(ev.Start) / 1e3,
+			Pid:  1,
+			Tid:  tid,
+		}
+		switch ev.Kind {
+		case EventInstant:
+			ce.Phase = "i"
+			ce.Scope = "g"
+		default:
+			ce.Phase = "X"
+			ce.DurUs = float64(ev.Dur) / 1e3
+		}
+		if ev.NAttr > 0 {
+			ce.Args = make(map[string]string, ev.NAttr)
+			for _, a := range ev.AttrList() {
+				ce.Args[a.Key] = a.Value
+			}
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ce)
+	}
+	return trace
+}
+
+// WriteChromeTrace writes the recorded events as a Chrome trace-event
+// JSON object, loadable in chrome://tracing and Perfetto.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.chromeTrace())
+}
+
+// Handler serves the flight recorder over HTTP: JSON lines by
+// default, the Chrome trace-event format with ?format=chrome.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		switch req.URL.Query().Get("format") {
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Header().Set("Content-Disposition", `attachment; filename="sepe-trace.json"`)
+			if err := r.WriteChromeTrace(w); err != nil {
+				http.Error(w, fmt.Sprintf("trace export: %v", err), http.StatusInternalServerError)
+			}
+		default:
+			w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+			if err := r.WriteJSONLines(w); err != nil {
+				http.Error(w, fmt.Sprintf("trace export: %v", err), http.StatusInternalServerError)
+			}
+		}
+	})
+}

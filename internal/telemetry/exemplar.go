@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Exemplars attach concrete keys to aggregate metrics — the actual
+// slowest key behind a latency p999, the key that walked the longest
+// bucket chain, the certifier's colliding key pair — so an operator
+// reading a percentile can jump straight to a reproducer. Keys are
+// user data: exports go through the registry's redactor (see
+// Registry.SetRedactor) and exemplar sets are capped.
+
+// Exemplar is one concrete observation attached to a metric.
+type Exemplar struct {
+	// Key is the observed key (redacted at export when a redactor is
+	// installed).
+	Key string `json:"key"`
+	// Value is the observed measurement (ns for latency exemplars,
+	// chain entries for probe exemplars).
+	Value uint64 `json:"value"`
+	// Unix is the observation time in seconds since the epoch.
+	Unix int64 `json:"unix"`
+}
+
+// maxExemplar tracks the largest observation seen and the key behind
+// it. The hot path is one atomic load and compare; the slow path —
+// taken only when a new maximum is observed — takes a mutex.
+type maxExemplar struct {
+	max atomic.Uint64
+	mu  sync.Mutex
+	key string
+	at  int64
+}
+
+// offer records key/v if v exceeds the current maximum. at is the
+// observation time in Unix seconds.
+func (e *maxExemplar) offer(key string, v uint64, at int64) {
+	if v <= e.max.Load() {
+		return
+	}
+	e.mu.Lock()
+	if v > e.max.Load() {
+		e.max.Store(v)
+		e.key = key
+		e.at = at
+	}
+	e.mu.Unlock()
+}
+
+// offerNow is offer with a lazy clock: the observation time is read
+// only on the slow path, once v is known to be a new maximum. Per-op
+// call sites use this so the common case (not a new max) costs one
+// atomic load and no clock read.
+func (e *maxExemplar) offerNow(key string, v uint64) {
+	if v <= e.max.Load() {
+		return
+	}
+	e.mu.Lock()
+	if v > e.max.Load() {
+		e.max.Store(v)
+		e.key = key
+		e.at = nowUnix()
+	}
+	e.mu.Unlock()
+}
+
+// load returns the current exemplar; ok is false when nothing has
+// been offered yet.
+func (e *maxExemplar) load() (Exemplar, bool) {
+	v := e.max.Load()
+	if v == 0 {
+		return Exemplar{}, false
+	}
+	e.mu.Lock()
+	ex := Exemplar{Key: e.key, Value: e.max.Load(), Unix: e.at}
+	e.mu.Unlock()
+	return ex, true
+}
+
+// reset clears the exemplar so a new maximum can form (container
+// Clear, adaptive promotion).
+func (e *maxExemplar) reset() {
+	e.mu.Lock()
+	e.max.Store(0)
+	e.key = ""
+	e.at = 0
+	e.mu.Unlock()
+}
+
+// maxCounterexamples caps the certifier counterexample keys attached
+// to one metric block.
+const maxCounterexamples = 8
+
+// keySet is a small mutex-guarded capped key list (counterexample
+// exemplars).
+type keySet struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+func (s *keySet) add(keys ...string) {
+	s.mu.Lock()
+	for _, k := range keys {
+		if len(s.keys) >= maxCounterexamples {
+			break
+		}
+		s.keys = append(s.keys, k)
+	}
+	s.mu.Unlock()
+}
+
+func (s *keySet) snapshot() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.keys) == 0 {
+		return nil
+	}
+	return append([]string(nil), s.keys...)
+}
+
+// nowUnix is the coarse clock exemplars are stamped with.
+func nowUnix() int64 { return time.Now().Unix() }

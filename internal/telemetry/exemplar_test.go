@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMaxExemplar(t *testing.T) {
+	var e maxExemplar
+	if _, ok := e.load(); ok {
+		t.Fatal("empty exemplar reported ok")
+	}
+	e.offer("slow", 100, 7)
+	e.offer("slower", 200, 8)
+	e.offer("fast", 50, 9) // not a new max: ignored
+	ex, ok := e.load()
+	if !ok || ex.Key != "slower" || ex.Value != 200 || ex.Unix != 8 {
+		t.Fatalf("exemplar = %+v (ok=%v)", ex, ok)
+	}
+	e.reset()
+	if _, ok := e.load(); ok {
+		t.Fatal("reset exemplar reported ok")
+	}
+}
+
+func TestMaxExemplarConcurrent(t *testing.T) {
+	var e maxExemplar
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				e.offer("k", uint64(w*1000+i), int64(i))
+				if i%100 == 0 {
+					e.load()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ex, ok := e.load()
+	if !ok || ex.Value != 8000 {
+		t.Fatalf("final exemplar = %+v, want value 8000", ex)
+	}
+}
+
+func TestKeySetCap(t *testing.T) {
+	var s keySet
+	if got := s.snapshot(); got != nil {
+		t.Fatalf("empty snapshot = %v", got)
+	}
+	for i := 0; i < 2*maxCounterexamples; i++ {
+		s.add(strings.Repeat("k", i+1))
+	}
+	got := s.snapshot()
+	if len(got) != maxCounterexamples {
+		t.Fatalf("len = %d, want cap %d", len(got), maxCounterexamples)
+	}
+	if got[0] != "k" {
+		t.Fatalf("first key = %q (first-added wins)", got[0])
+	}
+}
+
+func TestHashMetricsExemplars(t *testing.T) {
+	m := NewHashMetrics("ssn")
+	m.ObserveLatency("slow-key", 500, 1)
+	m.ObserveLatency("fast-key", 10, 2)
+	m.SetCounterexamples("a-key", "b-key")
+	s := m.Snapshot()
+	if s.Slowest == nil || s.Slowest.Key != "slow-key" || s.Slowest.Value != 500 {
+		t.Fatalf("Slowest = %+v", s.Slowest)
+	}
+	if s.P999 == 0 || s.P999 < s.P50 {
+		t.Fatalf("p999 = %d, p50 = %d", s.P999, s.P50)
+	}
+	if len(s.Counterexamples) != 2 || s.Counterexamples[0] != "a-key" {
+		t.Fatalf("counterexamples = %v", s.Counterexamples)
+	}
+}
+
+func TestContainerMetricsExemplarsAndMigration(t *testing.T) {
+	m := NewContainerMetrics("map")
+	m.Put("shallow", 1)
+	m.Get("deep", 9)
+	m.Delete("mid", 3)
+	s := m.Snapshot()
+	if s.LongestProbe == nil || s.LongestProbe.Key != "deep" || s.LongestProbe.Value != 9 {
+		t.Fatalf("LongestProbe = %+v", s.LongestProbe)
+	}
+	if s.PutProbes.Max != 2 || s.GetProbes.Max != 16 || s.DeleteProbes.Max != 4 {
+		// Power-of-two bucket upper bounds: 1→2, 9→16, 3→4.
+		t.Fatalf("per-op probes = %+v %+v %+v", s.PutProbes, s.GetProbes, s.DeleteProbes)
+	}
+
+	m.MigrateStart(13, 29)
+	s = m.Snapshot()
+	if !s.Migrating || s.Migrations != 1 {
+		t.Fatalf("migrating = %+v", s)
+	}
+	m.MigrateDone(29)
+	s = m.Snapshot()
+	if s.Migrating {
+		t.Fatal("still migrating after MigrateDone")
+	}
+	if s.LongestProbe != nil {
+		t.Fatalf("migration did not reset probe exemplar: %+v", s.LongestProbe)
+	}
+}
+
+func TestRegistryRedaction(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHash("ssn")
+	h.ObserveLatency("078-05-1120", 100, 1)
+	h.SetCounterexamples("111-22-3333")
+	c := r.NewContainer("map")
+	c.Put("222-33-4444", 5)
+
+	redact := func(string) string { return "[redacted]" }
+	r.SetRedactor(redact)
+	s := r.Snapshot()
+	if s.Hashes[0].Slowest.Key != "[redacted]" {
+		t.Fatalf("slowest key leaked: %+v", s.Hashes[0].Slowest)
+	}
+	if s.Hashes[0].Counterexamples[0] != "[redacted]" {
+		t.Fatalf("counterexample leaked: %v", s.Hashes[0].Counterexamples)
+	}
+	if s.Containers[0].LongestProbe.Key != "[redacted]" {
+		t.Fatalf("probe key leaked: %+v", s.Containers[0].LongestProbe)
+	}
+	// Block-level snapshots stay raw: redaction is an export concern.
+	if h.Snapshot().Slowest.Key != "078-05-1120" {
+		t.Fatal("block-level snapshot redacted")
+	}
+	// Removing the redactor restores raw export.
+	r.SetRedactor(nil)
+	if r.Snapshot().Hashes[0].Slowest.Key != "078-05-1120" {
+		t.Fatal("nil redactor still redacting")
+	}
+}

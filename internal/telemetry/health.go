@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// The health model aggregates the adaptive lifecycle states and drift
+// monitors of a registry into the readiness/liveness shape serving
+// infrastructure probes (the kserve queue-proxy pattern: one endpoint
+// aggregating component probes behind the deployment):
+//
+//   - ready: every component is serving its specialized function
+//     (Specialized/Recovered) and no drift monitor is degraded. A
+//     not-ready process still serves — through fallbacks — but an
+//     orchestrator should prefer replicas that answer ready.
+//   - live: no component is permanently wedged. Only a Pinned adaptive
+//     hash (circuit breaker exhausted; a restart with fresh traffic
+//     could help) takes liveness down.
+//
+// An empty registry is ready and live: health describes registered
+// components, not wishes.
+
+// HealthClass is a component's contribution to the aggregate:
+// the adaptive layer maps its lifecycle states onto these three.
+type HealthClass int32
+
+const (
+	// HealthReady: serving the specialized function as intended.
+	HealthReady HealthClass = iota
+	// HealthNotReady: serving degraded (fallback active, heal in
+	// progress, or drift above threshold) — live, but not ready.
+	HealthNotReady
+	// HealthFailed: permanently wedged (circuit breaker pinned);
+	// takes liveness down.
+	HealthFailed
+)
+
+// ComponentHealth is one component's row in the health report.
+type ComponentHealth struct {
+	// Name is the component's metric-block name.
+	Name string `json:"name"`
+	// Kind is "adaptive" or "drift".
+	Kind string `json:"kind"`
+	// Status is a short human-readable state ("Specialized",
+	// "drifting", ...).
+	Status string `json:"status"`
+	// Ready and Live are the component's probe verdicts.
+	Ready bool `json:"ready"`
+	Live  bool `json:"live"`
+}
+
+// HealthReport aggregates every component of a registry.
+type HealthReport struct {
+	// Status is "ok" (all ready), "degraded" (some not ready, all
+	// live) or "unhealthy" (some component failed).
+	Status string `json:"status"`
+	// Ready is the AND of component readiness.
+	Ready bool `json:"ready"`
+	// Live is the AND of component liveness.
+	Live bool `json:"live"`
+	// Components lists the per-component verdicts, adaptives first.
+	Components []ComponentHealth `json:"components,omitempty"`
+}
+
+// Health computes the registry's current health report.
+func (r *Registry) Health() HealthReport {
+	r.mu.Lock()
+	drifts := append([]*DriftMonitor(nil), r.drifts...)
+	adaptives := append([]*AdaptiveMetrics(nil), r.adaptives...)
+	r.mu.Unlock()
+
+	rep := HealthReport{Ready: true, Live: true}
+	for _, a := range adaptives {
+		s := a.Snapshot()
+		c := ComponentHealth{
+			Name:   s.Name,
+			Kind:   "adaptive",
+			Status: s.StateName,
+			Ready:  s.Health == int32(HealthReady),
+			Live:   s.Health != int32(HealthFailed),
+		}
+		rep.Components = append(rep.Components, c)
+	}
+	// A drift monitor owned by an adaptive hash shares its name; its
+	// degradation is already reflected in the adaptive state, but the
+	// drift row stays in the report so the mismatch rate is visible
+	// next to the lifecycle verdict.
+	adaptiveNames := make(map[string]bool, len(adaptives))
+	for _, a := range adaptives {
+		adaptiveNames[a.Name()] = true
+	}
+	for _, d := range drifts {
+		s := d.Snapshot()
+		c := ComponentHealth{
+			Name:  s.Name,
+			Kind:  "drift",
+			Ready: !s.Degraded,
+			Live:  true,
+		}
+		if s.Degraded {
+			c.Status = fmt.Sprintf("drifting (%.0f%% off-format)", 100*s.WindowRate)
+		} else {
+			c.Status = "conforming"
+		}
+		if s.Degraded && adaptiveNames[s.Name] {
+			// The adaptive wrapper already swapped to its fallback; the
+			// drift row reports but does not double-count readiness.
+			c.Ready = true
+			c.Status += ", fallback active"
+		}
+		rep.Components = append(rep.Components, c)
+	}
+	for _, c := range rep.Components {
+		rep.Ready = rep.Ready && c.Ready
+		rep.Live = rep.Live && c.Live
+	}
+	switch {
+	case !rep.Live:
+		rep.Status = "unhealthy"
+	case !rep.Ready:
+		rep.Status = "degraded"
+	default:
+		rep.Status = "ok"
+	}
+	return rep
+}
+
+// HealthHandler serves the registry's health model. Mounted once, it
+// answers both probe shapes:
+//
+//	http.Handle("/healthz", h)  // readiness: 503 until every component is ready
+//	http.Handle("/livez", h)    // liveness: 503 only when a component is wedged
+//
+// A path ending in "livez"/"live" (or ?probe=live) selects the
+// liveness verdict; everything else is a readiness probe. The body is
+// always the full JSON report, so one curl shows which component took
+// the probe down.
+func (r *Registry) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rep := r.Health()
+		live := req.URL.Query().Get("probe") == "live" ||
+			strings.HasSuffix(req.URL.Path, "livez") ||
+			strings.HasSuffix(req.URL.Path, "live")
+		ok := rep.Ready
+		if live {
+			ok = rep.Live
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	})
+}
+
+// healthGauge is the numeric encoding of a boolean probe.
+func healthGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the histogram quantile machinery: quantile
+// monotonicity in q, bucket boundary behavior at the top bucket, and
+// max-merge correctness of MergeContainerSnapshots under randomized
+// shard splits of one observation stream.
+
+func TestQuantileMonotoneInQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			// Mix magnitudes so many buckets fill.
+			h.Observe(uint64(rng.Int63n(1 << uint(1+rng.Intn(40)))))
+		}
+		s := h.Snapshot()
+		prev := uint64(0)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			cur := s.Quantile(q)
+			if cur < prev {
+				t.Fatalf("trial %d: Quantile(%.2f) = %d < Quantile(prev) = %d", trial, q, cur, prev)
+			}
+			prev = cur
+		}
+		// Out-of-range q clamps rather than panics.
+		if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) != s.Quantile(1) {
+			t.Fatalf("trial %d: clamping broken", trial)
+		}
+	}
+}
+
+func TestQuantileUpperBoundProperty(t *testing.T) {
+	// The quantile estimate is an upper bound on the true quantile and
+	// at most 2x above it (power-of-two buckets).
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		var h Histogram
+		vals := make([]uint64, 500)
+		for i := range vals {
+			vals[i] = uint64(rng.Int63n(1 << 30))
+			h.Observe(vals[i])
+		}
+		s := h.Snapshot()
+		max := uint64(0)
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+		got := s.Quantile(1)
+		if got < max {
+			t.Fatalf("trial %d: Quantile(1) = %d < true max %d", trial, got, max)
+		}
+		if max > 0 && got > 2*max {
+			t.Fatalf("trial %d: Quantile(1) = %d > 2x true max %d", trial, got, max)
+		}
+	}
+}
+
+func TestBucketUpperTopBucket(t *testing.T) {
+	// Values at and beyond the top bucket clamp: the histogram must
+	// count them and report the top bucket's upper edge, never panic or
+	// overflow to 0.
+	var h Histogram
+	top := ^uint64(0)
+	h.Observe(top)
+	h.Observe(1 << 62)
+	h.Observe(uint64(1) << (histBuckets - 1)) // first clamped magnitude
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.Counts[histBuckets-1] != 3 {
+		t.Fatalf("top bucket holds %d, want all 3 clamped", s.Counts[histBuckets-1])
+	}
+	if got := s.Quantile(1); got != bucketUpper(histBuckets-1) {
+		t.Fatalf("Quantile(1) = %d, want top bucket upper %d", got, bucketUpper(histBuckets-1))
+	}
+	// bucketUpper saturates instead of shifting past 64 bits.
+	if got := bucketUpper(64); got != ^uint64(0) {
+		t.Fatalf("bucketUpper(64) = %d", got)
+	}
+	if got := bucketUpper(70); got != ^uint64(0) {
+		t.Fatalf("bucketUpper(70) = %d", got)
+	}
+}
+
+func TestMergeHistSnapshotsExact(t *testing.T) {
+	// Bucket-wise merge of split histograms equals the histogram of the
+	// whole stream.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		var whole Histogram
+		parts := make([]Histogram, 1+rng.Intn(7))
+		for i := 0; i < 3000; i++ {
+			v := uint64(rng.Int63n(1 << 35))
+			whole.Observe(v)
+			parts[rng.Intn(len(parts))].Observe(v)
+		}
+		snaps := make([]HistSnapshot, len(parts))
+		for i := range parts {
+			snaps[i] = parts[i].Snapshot()
+		}
+		merged := MergeHistSnapshots(snaps...)
+		want := whole.Snapshot()
+		if merged.Count != want.Count || merged.Sum != want.Sum {
+			t.Fatalf("trial %d: merged count/sum = %d/%d, want %d/%d",
+				trial, merged.Count, merged.Sum, want.Count, want.Sum)
+		}
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			if merged.Quantile(q) != want.Quantile(q) {
+				t.Fatalf("trial %d: merged Quantile(%.2f) = %d, whole = %d",
+					trial, q, merged.Quantile(q), want.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestMergeContainerSnapshotsProperty drives one synthetic operation
+// stream through a randomized shard split and checks the merge
+// invariants: counts are exactly additive, and every merged quantile
+// equals the max across shards — in particular it is ≥ each shard's
+// value and equal to at least one of them.
+func TestMergeContainerSnapshotsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		shards := 1 + rng.Intn(8)
+		ms := make([]*ContainerMetrics, shards)
+		for i := range ms {
+			ms[i] = NewContainerMetrics("t")
+		}
+		var wantPuts, wantGets, wantDeletes uint64
+		var wantColl int64
+		ops := 200 + rng.Intn(2000)
+		for i := 0; i < ops; i++ {
+			m := ms[rng.Intn(shards)]
+			probes := rng.Intn(64)
+			switch rng.Intn(3) {
+			case 0:
+				m.Put("k", probes)
+				wantPuts++
+			case 1:
+				m.Get("k", probes)
+				wantGets++
+			default:
+				m.Delete("k", probes)
+				wantDeletes++
+			}
+			if rng.Intn(10) == 0 {
+				m.CollisionDelta(1)
+				wantColl++
+			}
+		}
+		parts := make([]ContainerSnapshot, shards)
+		for i := range ms {
+			parts[i] = ms[i].Snapshot()
+		}
+		got := MergeContainerSnapshots("t", parts)
+		if got.Puts != wantPuts || got.Gets != wantGets || got.Deletes != wantDeletes {
+			t.Fatalf("trial %d: additive counts %+v, want %d/%d/%d", trial, got, wantPuts, wantGets, wantDeletes)
+		}
+		if got.BucketCollisions != wantColl {
+			t.Fatalf("trial %d: bcoll = %d, want %d", trial, got.BucketCollisions, wantColl)
+		}
+		checkMax := func(name string, merged uint64, shardVal func(ContainerSnapshot) uint64) {
+			t.Helper()
+			seen := false
+			for _, p := range parts {
+				v := shardVal(p)
+				if v > merged {
+					t.Fatalf("trial %d: %s merged %d < shard %d", trial, name, merged, v)
+				}
+				if v == merged {
+					seen = true
+				}
+			}
+			if !seen {
+				t.Fatalf("trial %d: %s merged %d matches no shard", trial, name, merged)
+			}
+		}
+		checkMax("ProbeP50", got.ProbeP50, func(s ContainerSnapshot) uint64 { return s.ProbeP50 })
+		checkMax("ProbeP99", got.ProbeP99, func(s ContainerSnapshot) uint64 { return s.ProbeP99 })
+		checkMax("ProbeMax", got.ProbeMax, func(s ContainerSnapshot) uint64 { return s.ProbeMax })
+		checkMax("PutP99", got.PutProbes.P99, func(s ContainerSnapshot) uint64 { return s.PutProbes.P99 })
+		checkMax("GetMax", got.GetProbes.Max, func(s ContainerSnapshot) uint64 { return s.GetProbes.Max })
+		checkMax("DelP50", got.DeleteProbes.P50, func(s ContainerSnapshot) uint64 { return s.DeleteProbes.P50 })
+	}
+}

@@ -15,8 +15,8 @@ func testRegistry() *Registry {
 		fn("078-05-1120")
 	}
 	c := r.NewContainer("map")
-	c.Put(0)
-	c.Put(1)
+	c.Put("a", 0)
+	c.Put("b", 1)
 	c.CollisionDelta(1)
 	d := r.NewDrift("ssn", func(k string) bool { return len(k) == 11 }, DriftConfig{SampleEvery: 1})
 	d.Observe("078-05-1120")

@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"runtime/metrics"
+)
+
+// runtimeGauges is the curated slice of runtime/metrics samples the
+// bridge exposes: the process-level context an operator needs next to
+// the hash metrics (is the heap growing? are we goroutine-leaking? is
+// GC churning?) without dumping the full runtime/metrics namespace
+// into every scrape.
+var runtimeGauges = []struct {
+	sample string // runtime/metrics name
+	gauge  string // exported gauge name
+}{
+	{"/memory/classes/heap/objects:bytes", "sepe_runtime_heap_objects_bytes"},
+	{"/memory/classes/total:bytes", "sepe_runtime_memory_total_bytes"},
+	{"/sched/goroutines:goroutines", "sepe_runtime_goroutines"},
+	{"/gc/cycles/total:gc-cycles", "sepe_runtime_gc_cycles_total"},
+	{"/gc/heap/allocs:bytes", "sepe_runtime_heap_allocs_bytes_total"},
+}
+
+// RegisterRuntimeMetrics bridges a curated set of runtime/metrics
+// samples into r as snapshot-time gauges, so the JSON and Prometheus
+// surfaces carry process context (heap size, goroutine count, GC
+// cycles) next to the hash metrics. Samples the running toolchain
+// does not provide are skipped; registering twice is harmless (the
+// gauge is replaced).
+func RegisterRuntimeMetrics(r *Registry) {
+	known := map[string]metrics.ValueKind{}
+	for _, d := range metrics.All() {
+		known[d.Name] = d.Kind
+	}
+	for _, g := range runtimeGauges {
+		kind, ok := known[g.sample]
+		if !ok || (kind != metrics.KindUint64 && kind != metrics.KindFloat64) {
+			continue
+		}
+		name := g.sample
+		r.Gauge(g.gauge, func() float64 {
+			s := make([]metrics.Sample, 1)
+			s[0].Name = name
+			metrics.Read(s)
+			switch s[0].Value.Kind() {
+			case metrics.KindUint64:
+				return float64(s[0].Value.Uint64())
+			case metrics.KindFloat64:
+				return s[0].Value.Float64()
+			default:
+				return 0
+			}
+		})
+	}
+}

@@ -113,6 +113,24 @@ func (s HistSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// MergeHistSnapshots sums histogram snapshots bucket-wise — exact for
+// histograms with identical bucketing, which every Histogram in this
+// package has. It builds the whole-container view from per-operation
+// histograms without costing the hot path a second Observe.
+func MergeHistSnapshots(parts ...HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Counts: make([]uint64, histBuckets)}
+	for _, p := range parts {
+		for i, c := range p.Counts {
+			if i < len(out.Counts) {
+				out.Counts[i] += c
+			}
+		}
+		out.Count += p.Count
+		out.Sum += p.Sum
+	}
+	return out
+}
+
 // bucketUpper returns the exclusive upper edge of bucket i.
 func bucketUpper(i int) uint64 {
 	if i >= 64 {
@@ -126,20 +144,126 @@ func bucketUpper(i int) uint64 {
 // every flushEvery calls, so the steady-state per-call cost is one
 // non-atomic increment and a branch; timedEvery flushes include one
 // timed call feeding the latency histogram (one clock read per
-// flushEvery*timedEvery calls).
+// flushEvery*timedEvery calls). The batch is sized so the amortized
+// flush work (atomic adds, the drift sample's format check, the
+// clock reads) stays well under a nanosecond per call even against
+// the hardware-accelerated kernels, at the price of counters that
+// trail the truth by at most flushEvery-1 calls per wrapper.
 const (
-	flushEvery = 64
+	flushEvery = 256
 	timedEvery = 8
 )
 
+// probeSampleEvery thins the per-op observation on the batched
+// single-owner container path: one in probeSampleEvery operations of
+// each kind feeds its chain depth into the histogram and the
+// longest-probe exemplar (a uniform sample of a stationary probe
+// distribution lands in the same power-of-two buckets, and a
+// recurring deep chain is sampled with probability 1 over time).
+// Deletes are exempt: they are rare next to puts and gets, so every
+// one is observed exactly.
+const probeSampleEvery = 32
+
+// flushSamples is how many sampled operations a BatchedContainerOps
+// accumulates before publishing its local op counters — one flush per
+// probeSampleEvery*flushSamples operations in steady state.
+const flushSamples = 8
+
+// BatchedContainerOps adapts a ContainerMetrics block for a
+// single-owner container, trading read-side freshness for per-op
+// cost: the unsampled path is two plain increments and a branch, and
+// all shared-atomic work (histograms, the exemplar, counter flushes)
+// happens on the 1-in-probeSampleEvery sampled path. Put/get counters
+// consequently trail the true totals by a few hundred operations per
+// adapter; deletes, rehashes, clears, and migrations flush pending
+// counts first, so snapshots taken after any structural event are
+// exact.
+//
+// Like the Instrument wrapper, a BatchedContainerOps value must stay
+// confined to the goroutine that owns its container — exactly the
+// ownership discipline the unsharded containers already require.
+// Sharded containers, whose read paths run concurrently under shard
+// RLocks, must keep feeding the atomic ContainerMetrics methods
+// directly.
+type BatchedContainerOps struct {
+	m       *ContainerMetrics
+	samples uint32
+	puts    uint32
+	gets    uint32
+	dels    uint32
+}
+
+// NewBatchedContainerOps returns a single-owner batching adapter over m.
+func NewBatchedContainerOps(m *ContainerMetrics) *BatchedContainerOps {
+	return &BatchedContainerOps{m: m}
+}
+
+// Metrics returns the underlying shared metrics block.
+func (b *BatchedContainerOps) Metrics() *ContainerMetrics { return b.m }
+
+// Put records one insert of key that examined probes chain entries.
+func (b *BatchedContainerOps) Put(key string, probes int) {
+	b.puts++
+	if b.puts%probeSampleEvery == 0 {
+		b.sample(key, probes, &b.m.putProbes)
+	}
+}
+
+// Get records one lookup of key that examined probes chain entries.
+func (b *BatchedContainerOps) Get(key string, probes int) {
+	b.gets++
+	if b.gets%probeSampleEvery == 0 {
+		b.sample(key, probes, &b.m.getProbes)
+	}
+}
+
+// Delete records one erase of key that examined probes chain entries,
+// exactly, and flushes pending counts.
+func (b *BatchedContainerOps) Delete(key string, probes int) {
+	b.dels++
+	b.m.delProbes.Observe(uint64(probes))
+	b.m.longest.offerNow(key, uint64(probes))
+	b.Flush()
+}
+
+func (b *BatchedContainerOps) sample(key string, probes int, h *Histogram) {
+	h.Observe(uint64(probes))
+	b.m.longest.offerNow(key, uint64(probes))
+	b.samples++
+	if b.samples%flushSamples == 0 {
+		b.Flush()
+	}
+}
+
+// Flush publishes the locally accumulated operation counts to the
+// shared metrics block.
+func (b *BatchedContainerOps) Flush() {
+	if b.puts != 0 {
+		b.m.puts.Add(uint64(b.puts))
+		b.puts = 0
+	}
+	if b.gets != 0 {
+		b.m.gets.Add(uint64(b.gets))
+		b.gets = 0
+	}
+	if b.dels != 0 {
+		b.m.deletes.Add(uint64(b.dels))
+		b.dels = 0
+	}
+}
+
 // HashMetrics aggregates the runtime behaviour of one hash function:
-// total calls and a sampled latency histogram. All fields are atomic;
-// any number of wrappers (one per goroutine) may feed the same
-// HashMetrics concurrently.
+// total calls, a sampled latency histogram with p50/p99/p999
+// snapshots, the slowest-key exemplar, and any certifier
+// counterexample keys attached to the metric. All hot-path fields are
+// atomic; any number of wrappers (one per goroutine) may feed the
+// same HashMetrics concurrently.
 type HashMetrics struct {
-	name    string
-	calls   Counter
-	latency Histogram
+	name            string
+	calls           Counter
+	latency         Histogram
+	slowest         maxExemplar
+	counterexamples keySet
 }
 
 // NewHashMetrics returns an empty metrics block named name.
@@ -147,6 +271,24 @@ func NewHashMetrics(name string) *HashMetrics { return &HashMetrics{name: name} 
 
 // Name returns the metrics block's name.
 func (m *HashMetrics) Name() string { return m.name }
+
+// ObserveLatency records one timed call: ns into the latency
+// histogram and, when it sets a new maximum, key as the slowest-key
+// exemplar. at is the observation time in Unix seconds (callers that
+// already read the clock pass it along instead of reading it again).
+func (m *HashMetrics) ObserveLatency(key string, ns uint64, at int64) {
+	m.latency.Observe(ns)
+	m.slowest.offer(key, ns, at)
+}
+
+// SetCounterexamples attaches certifier counterexample keys to the
+// metric block (capped at 8): two distinct in-format keys the
+// certifier proved collide. Exported snapshots carry them as
+// exemplars next to the latency quantiles, so an operator staring at
+// a collision alarm has the reproducing keys in hand.
+func (m *HashMetrics) SetCounterexamples(keys ...string) {
+	m.counterexamples.add(keys...)
+}
 
 // Instrument wraps fn so that calls and sampled latencies feed m, and
 // every sampled key is checked by d for format drift. Either m or d
@@ -181,7 +323,7 @@ func Instrument(fn func(string) uint64, m *HashMetrics, d *DriftMonitor) func(st
 		}
 		start := time.Now()
 		h := fn(key)
-		m.latency.Observe(uint64(time.Since(start)))
+		m.ObserveLatency(key, uint64(time.Since(start)), start.Unix())
 		return h
 	}
 }
@@ -194,45 +336,68 @@ type HashSnapshot struct {
 	Calls uint64 `json:"calls"`
 	// Sampled is the number of latency samples behind the quantiles.
 	Sampled uint64 `json:"sampled"`
-	// P50/P90/P99/Max are sampled latency quantile upper bounds, ns.
-	P50 uint64 `json:"p50_ns"`
-	P90 uint64 `json:"p90_ns"`
-	P99 uint64 `json:"p99_ns"`
-	Max uint64 `json:"max_ns"`
+	// P50/P90/P99/P999/Max are sampled latency quantile upper bounds,
+	// ns — the SLO view of the hash.
+	P50  uint64 `json:"p50_ns"`
+	P90  uint64 `json:"p90_ns"`
+	P99  uint64 `json:"p99_ns"`
+	P999 uint64 `json:"p999_ns"`
+	Max  uint64 `json:"max_ns"`
 	// MeanNs is the exact mean of the sampled latencies.
 	MeanNs float64 `json:"mean_ns"`
+	// Slowest is the slowest sampled key, when one has been timed.
+	Slowest *Exemplar `json:"slowest,omitempty"`
+	// Counterexamples carries certifier counterexample keys attached
+	// with SetCounterexamples.
+	Counterexamples []string `json:"counterexamples,omitempty"`
 }
 
 // Snapshot copies the metrics' current state.
 func (m *HashMetrics) Snapshot() HashSnapshot {
 	lat := m.latency.Snapshot()
-	return HashSnapshot{
-		Name:    m.name,
-		Calls:   m.calls.Load(),
-		Sampled: lat.Count,
-		P50:     lat.Quantile(0.50),
-		P90:     lat.Quantile(0.90),
-		P99:     lat.Quantile(0.99),
-		Max:     lat.Quantile(1),
-		MeanNs:  lat.Mean(),
+	s := HashSnapshot{
+		Name:            m.name,
+		Calls:           m.calls.Load(),
+		Sampled:         lat.Count,
+		P50:             lat.Quantile(0.50),
+		P90:             lat.Quantile(0.90),
+		P99:             lat.Quantile(0.99),
+		P999:            lat.Quantile(0.999),
+		Max:             lat.Quantile(1),
+		MeanNs:          lat.Mean(),
+		Counterexamples: m.counterexamples.snapshot(),
 	}
+	if ex, ok := m.slowest.load(); ok {
+		s.Slowest = &ex
+	}
+	return s
 }
 
 // Calls returns the flushed call count.
 func (m *HashMetrics) Calls() uint64 { return m.calls.Load() }
 
 // ContainerMetrics aggregates the runtime behaviour of one container:
-// operation counts, a probe (chain-length) histogram, rehashes, and
+// operation counts, per-operation probe (chain-length) histograms,
+// the longest-probe key exemplar, rehash and migration counts, and
 // the running bucket-collision count — the paper's B-Coll, maintained
 // incrementally instead of recounted offline.
 type ContainerMetrics struct {
-	name     string
-	puts     Counter
-	gets     Counter
-	deletes  Counter
-	rehashes Counter
-	probes   Histogram
-	bcoll    atomic.Int64
+	name       string
+	puts       Counter
+	gets       Counter
+	deletes    Counter
+	rehashes   Counter
+	migrations Counter
+	putProbes  Histogram
+	getProbes  Histogram
+	delProbes  Histogram
+	longest    maxExemplar
+	bcoll      atomic.Int64
+	migrating  atomic.Bool
+
+	// rec receives container lifecycle events (migration start/done)
+	// when the block was created through a registry; nil otherwise.
+	rec *Recorder
 }
 
 // NewContainerMetrics returns an empty metrics block named name.
@@ -243,22 +408,25 @@ func NewContainerMetrics(name string) *ContainerMetrics {
 // Name returns the metrics block's name.
 func (m *ContainerMetrics) Name() string { return m.name }
 
-// Put records one insert that examined probes chain entries.
-func (m *ContainerMetrics) Put(probes int) {
+// Put records one insert of key that examined probes chain entries.
+func (m *ContainerMetrics) Put(key string, probes int) {
 	m.puts.Inc()
-	m.probes.Observe(uint64(probes))
+	m.putProbes.Observe(uint64(probes))
+	m.longest.offerNow(key, uint64(probes))
 }
 
-// Get records one lookup that examined probes chain entries.
-func (m *ContainerMetrics) Get(probes int) {
+// Get records one lookup of key that examined probes chain entries.
+func (m *ContainerMetrics) Get(key string, probes int) {
 	m.gets.Inc()
-	m.probes.Observe(uint64(probes))
+	m.getProbes.Observe(uint64(probes))
+	m.longest.offerNow(key, uint64(probes))
 }
 
-// Delete records one erase that examined probes chain entries.
-func (m *ContainerMetrics) Delete(probes int) {
+// Delete records one erase of key that examined probes chain entries.
+func (m *ContainerMetrics) Delete(key string, probes int) {
 	m.deletes.Inc()
-	m.probes.Observe(uint64(probes))
+	m.delProbes.Observe(uint64(probes))
+	m.longest.offerNow(key, uint64(probes))
 }
 
 // Rehash records a rehash and resets the running collision count to
@@ -268,14 +436,67 @@ func (m *ContainerMetrics) Rehash(bucketCollisions int) {
 	m.bcoll.Store(int64(bucketCollisions))
 }
 
+// MigrateStart records the beginning of an incremental migration:
+// retired buckets to drain into a fresh region.
+func (m *ContainerMetrics) MigrateStart(retired, fresh int) {
+	m.migrations.Inc()
+	m.migrating.Store(true)
+	m.rec.Instant("container", "container.migrate.start",
+		Str("container", m.name), Int("retired", retired), Int("fresh", fresh))
+}
+
+// MigrateDone records the completion of an incremental migration.
+// The longest-probe exemplar resets: probe lengths under the retired
+// hash do not describe the new bucketing.
+func (m *ContainerMetrics) MigrateDone(buckets int) {
+	m.migrating.Store(false)
+	m.longest.reset()
+	m.rec.Instant("container", "container.migrate.done",
+		Str("container", m.name), Int("buckets", buckets))
+}
+
 // CollisionDelta adjusts the running bucket-collision count.
 func (m *ContainerMetrics) CollisionDelta(d int) { m.bcoll.Add(int64(d)) }
 
-// Reset clears the running collision count (container Clear).
-func (m *ContainerMetrics) Reset() { m.bcoll.Store(0) }
+// Reset clears the running collision count, the longest-probe
+// exemplar and the migrating flag (container Clear, which drops any
+// in-flight migration with the entries).
+func (m *ContainerMetrics) Reset() {
+	m.bcoll.Store(0)
+	m.longest.reset()
+	m.migrating.Store(false)
+}
 
 // BucketCollisions returns the running B-Coll value.
 func (m *ContainerMetrics) BucketCollisions() int64 { return m.bcoll.Load() }
+
+// OpProbes is the per-operation probe-length quantile block.
+type OpProbes struct {
+	// P50/P99/Max are chain-length quantile upper bounds for this
+	// operation kind.
+	P50 uint64 `json:"p50"`
+	P99 uint64 `json:"p99"`
+	Max uint64 `json:"max"`
+}
+
+func opProbes(s HistSnapshot) OpProbes {
+	return OpProbes{P50: s.Quantile(0.50), P99: s.Quantile(0.99), Max: s.Quantile(1)}
+}
+
+// maxOpProbes merges per-shard per-op quantiles: worst case wins
+// (see MergeContainerSnapshots).
+func maxOpProbes(a, b OpProbes) OpProbes {
+	if b.P50 > a.P50 {
+		a.P50 = b.P50
+	}
+	if b.P99 > a.P99 {
+		a.P99 = b.P99
+	}
+	if b.Max > a.Max {
+		a.Max = b.Max
+	}
+	return a
+}
 
 // ContainerSnapshot is a point-in-time copy of container metrics.
 type ContainerSnapshot struct {
@@ -284,12 +505,24 @@ type ContainerSnapshot struct {
 	Gets     uint64 `json:"gets"`
 	Deletes  uint64 `json:"deletes"`
 	Rehashes uint64 `json:"rehashes"`
+	// Migrations counts incremental hash migrations started;
+	// Migrating reports one in progress.
+	Migrations uint64 `json:"migrations"`
+	Migrating  bool   `json:"migrating"`
 	// BucketCollisions is the running B-Coll count.
 	BucketCollisions int64 `json:"bucket_collisions"`
-	// ProbeP50/P99/Max are chain-length quantile upper bounds.
+	// ProbeP50/P99/Max are chain-length quantile upper bounds over
+	// all operations.
 	ProbeP50 uint64 `json:"probe_p50"`
 	ProbeP99 uint64 `json:"probe_p99"`
 	ProbeMax uint64 `json:"probe_max"`
+	// PutProbes/GetProbes/DeleteProbes break the quantiles down per
+	// operation kind.
+	PutProbes    OpProbes `json:"put_probes"`
+	GetProbes    OpProbes `json:"get_probes"`
+	DeleteProbes OpProbes `json:"delete_probes"`
+	// LongestProbe is the key behind the longest observed chain walk.
+	LongestProbe *Exemplar `json:"longest_probe,omitempty"`
 }
 
 // MergeContainerSnapshots folds per-shard snapshots into one block
@@ -306,6 +539,8 @@ func MergeContainerSnapshots(name string, parts []ContainerSnapshot) ContainerSn
 		out.Gets += p.Gets
 		out.Deletes += p.Deletes
 		out.Rehashes += p.Rehashes
+		out.Migrations += p.Migrations
+		out.Migrating = out.Migrating || p.Migrating
 		out.BucketCollisions += p.BucketCollisions
 		if p.ProbeP50 > out.ProbeP50 {
 			out.ProbeP50 = p.ProbeP50
@@ -316,22 +551,45 @@ func MergeContainerSnapshots(name string, parts []ContainerSnapshot) ContainerSn
 		if p.ProbeMax > out.ProbeMax {
 			out.ProbeMax = p.ProbeMax
 		}
+		out.PutProbes = maxOpProbes(out.PutProbes, p.PutProbes)
+		out.GetProbes = maxOpProbes(out.GetProbes, p.GetProbes)
+		out.DeleteProbes = maxOpProbes(out.DeleteProbes, p.DeleteProbes)
+		if p.LongestProbe != nil &&
+			(out.LongestProbe == nil || p.LongestProbe.Value > out.LongestProbe.Value) {
+			ex := *p.LongestProbe
+			out.LongestProbe = &ex
+		}
 	}
 	return out
 }
 
-// Snapshot copies the metrics' current state.
+// Snapshot copies the metrics' current state. The whole-container
+// probe quantiles come from the bucket-wise sum of the per-operation
+// histograms, so they are exactly what a single merged histogram
+// would report.
 func (m *ContainerMetrics) Snapshot() ContainerSnapshot {
-	p := m.probes.Snapshot()
-	return ContainerSnapshot{
+	put := m.putProbes.Snapshot()
+	get := m.getProbes.Snapshot()
+	del := m.delProbes.Snapshot()
+	all := MergeHistSnapshots(put, get, del)
+	s := ContainerSnapshot{
 		Name:             m.name,
 		Puts:             m.puts.Load(),
 		Gets:             m.gets.Load(),
 		Deletes:          m.deletes.Load(),
 		Rehashes:         m.rehashes.Load(),
+		Migrations:       m.migrations.Load(),
+		Migrating:        m.migrating.Load(),
 		BucketCollisions: m.bcoll.Load(),
-		ProbeP50:         p.Quantile(0.50),
-		ProbeP99:         p.Quantile(0.99),
-		ProbeMax:         p.Quantile(1),
+		ProbeP50:         all.Quantile(0.50),
+		ProbeP99:         all.Quantile(0.99),
+		ProbeMax:         all.Quantile(1),
+		PutProbes:        opProbes(put),
+		GetProbes:        opProbes(get),
+		DeleteProbes:     opProbes(del),
 	}
+	if ex, ok := m.longest.load(); ok {
+		s.LongestProbe = &ex
+	}
+	return s
 }

@@ -110,10 +110,10 @@ func TestInstrumentDriftOnly(t *testing.T) {
 
 func TestContainerMetrics(t *testing.T) {
 	m := NewContainerMetrics("map")
-	m.Put(0)
-	m.Put(2)
-	m.Get(1)
-	m.Delete(3)
+	m.Put("a", 0)
+	m.Put("b", 2)
+	m.Get("a", 1)
+	m.Delete("b", 3)
 	m.CollisionDelta(2)
 	m.CollisionDelta(-1)
 	m.Rehash(5)
@@ -162,8 +162,8 @@ func TestConcurrentWriters(t *testing.T) {
 			}
 			for i := 0; i < opsPerWriter; i++ {
 				fn(key)
-				cm.Put(i & 7)
-				cm.Get(i & 3)
+				cm.Put(key, i&7)
+				cm.Get(key, i&3)
 				cm.CollisionDelta(1)
 				cm.CollisionDelta(-1)
 				if i&255 == 0 {
@@ -264,8 +264,8 @@ func TestNewContainerShards(t *testing.T) {
 			t.Errorf("block %d named %q, want %q", i, m.Name(), want)
 		}
 	}
-	ms[0].Put(1)
-	ms[3].Get(2)
+	ms[0].Put("k", 1)
+	ms[3].Get("k", 2)
 	snap := r.Snapshot()
 	if len(snap.Containers) != 4 {
 		t.Fatalf("snapshot has %d container blocks, want 4", len(snap.Containers))

@@ -41,6 +41,25 @@ type (
 	ContainerSnapshot = telemetry.ContainerSnapshot
 )
 
+// The observability plane: the flight recorder behind TraceHandler,
+// its event type, the exemplars attached to latency/probe metrics,
+// and the aggregated health model behind HealthHandler.
+type (
+	FlightRecorder  = telemetry.Recorder
+	TraceEvent      = telemetry.Event
+	Exemplar        = telemetry.Exemplar
+	HealthReport    = telemetry.HealthReport
+	ComponentHealth = telemetry.ComponentHealth
+	HealthClass     = telemetry.HealthClass
+)
+
+// Health classes an adaptive state maps onto (AdaptiveMetrics.SetState).
+const (
+	HealthReady    = telemetry.HealthReady
+	HealthNotReady = telemetry.HealthNotReady
+	HealthFailed   = telemetry.HealthFailed
+)
+
 // Metrics returns the process-wide default registry. Its Handler
 // method serves every registered metric as Prometheus text (or
 // expvar-style JSON with ?format=json); its NewHash / NewContainer /
@@ -55,6 +74,39 @@ func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 //
 //	http.Handle("/metrics", sepe.MetricsHandler())
 func MetricsHandler() http.Handler { return telemetry.Default.Handler() }
+
+// TraceHandler serves the default registry's flight recorder: the
+// most recent synthesis spans, adaptive state transitions, drift
+// alarms and container migrations, as JSON lines by default or the
+// Chrome trace-event format with ?format=chrome (load the download in
+// chrome://tracing or Perfetto):
+//
+//	http.Handle("/debug/trace", sepe.TraceHandler())
+func TraceHandler() http.Handler { return telemetry.Default.Recorder().Handler() }
+
+// HealthHandler serves the default registry's readiness/liveness
+// model, aggregated over every registered adaptive hash and drift
+// monitor. Mount it once; the path (or ?probe=live) selects the
+// verdict:
+//
+//	http.Handle("/healthz", sepe.HealthHandler()) // ready: 503 while any component is degraded
+//	http.Handle("/livez", sepe.HealthHandler())   // live: 503 only when a component is pinned
+func HealthHandler() http.Handler { return telemetry.Default.HealthHandler() }
+
+// Health returns the default registry's current health report.
+func Health() HealthReport { return telemetry.Default.Health() }
+
+// FlightRecorderOf returns the default registry's flight recorder —
+// also a Tracer, so synthesis spans can be captured into it:
+//
+//	sepe.WithTracer(sepe.FlightRecorderOf())
+func FlightRecorderOf() *FlightRecorder { return telemetry.Default.Recorder() }
+
+// RegisterRuntimeMetrics bridges a curated set of runtime/metrics
+// samples (heap bytes, goroutine count, GC cycles) into the default
+// registry as gauges, giving the metrics surfaces process context
+// next to the hash metrics.
+func RegisterRuntimeMetrics() { telemetry.RegisterRuntimeMetrics(telemetry.Default) }
 
 // Instrument wraps hash so every call is counted and a sampled subset
 // is timed into m, and (when d is non-nil) observed keys are checked
@@ -91,27 +143,78 @@ func (f *Format) DriftMonitor(name string, cfg DriftConfig) *DriftMonitor {
 }
 
 // containerHooks adapts a ContainerMetrics block to the internal
-// container hook interface.
+// container hook interface using the atomic per-op methods. Sharded
+// containers need this form: their read paths run concurrently under
+// shard RLocks, so per-op state must be shared-safe.
 func containerHooks(cm *ContainerMetrics) *container.Hooks {
 	if cm == nil {
 		return nil
 	}
 	return &container.Hooks{
-		OnPut: func(probes, delta int) {
-			cm.Put(probes)
+		OnPut: func(key string, probes, delta int) {
+			cm.Put(key, probes)
 			if delta != 0 {
 				cm.CollisionDelta(delta)
 			}
 		},
-		OnGet: func(probes int, _ bool) { cm.Get(probes) },
-		OnDelete: func(probes, _, delta int) {
-			cm.Delete(probes)
+		OnGet: func(key string, probes int, _ bool) { cm.Get(key, probes) },
+		OnDelete: func(key string, probes, _, delta int) {
+			cm.Delete(key, probes)
 			if delta != 0 {
 				cm.CollisionDelta(delta)
 			}
 		},
-		OnRehash: func(_, bcoll int) { cm.Rehash(bcoll) },
-		OnClear:  func() { cm.Reset() },
+		OnRehash:       func(_, bcoll int) { cm.Rehash(bcoll) },
+		OnClear:        func() { cm.Reset() },
+		OnMigrateStart: cm.MigrateStart,
+		OnMigrateDone:  cm.MigrateDone,
+	}
+}
+
+// batchedContainerHooks adapts cm for the unsharded containers, which
+// are single-owner by contract (the container itself is not
+// goroutine-safe, so its hooks inherit the same confinement). Op
+// counters batch locally and flush every few dozen operations —
+// structural events (delete, rehash, clear, migration) flush pending
+// counts first, so counts are exact after any of them — keeping the
+// per-op observability drag within the hot-path budget measured in
+// BENCH_obs.json. B-Coll deltas stay immediate: the running collision
+// count backs the quality alarms and must not trail the table.
+func batchedContainerHooks(cm *ContainerMetrics) *container.Hooks {
+	if cm == nil {
+		return nil
+	}
+	b := telemetry.NewBatchedContainerOps(cm)
+	return &container.Hooks{
+		OnPut: func(key string, probes, delta int) {
+			b.Put(key, probes)
+			if delta != 0 {
+				cm.CollisionDelta(delta)
+			}
+		},
+		OnGet: func(key string, probes int, _ bool) { b.Get(key, probes) },
+		OnDelete: func(key string, probes, _, delta int) {
+			b.Delete(key, probes)
+			if delta != 0 {
+				cm.CollisionDelta(delta)
+			}
+		},
+		OnRehash: func(_, bcoll int) {
+			b.Flush()
+			cm.Rehash(bcoll)
+		},
+		OnClear: func() {
+			b.Flush()
+			cm.Reset()
+		},
+		OnMigrateStart: func(retired, fresh int) {
+			b.Flush()
+			cm.MigrateStart(retired, fresh)
+		},
+		OnMigrateDone: func(buckets int) {
+			b.Flush()
+			cm.MigrateDone(buckets)
+		},
 	}
 }
 
@@ -184,27 +287,27 @@ func NewShardedMultiSetObserved(hash HashFunc, r *MetricsRegistry, name string, 
 // nil cm yields a plain, unobserved Map.
 func NewMapObserved[V any](hash HashFunc, cm *ContainerMetrics) *Map[V] {
 	m := NewMap[V](hash)
-	m.m.SetHooks(containerHooks(cm))
+	m.m.SetHooks(batchedContainerHooks(cm))
 	return m
 }
 
 // NewSetObserved returns a Set whose operations feed cm.
 func NewSetObserved(hash HashFunc, cm *ContainerMetrics) *Set {
 	s := NewSet(hash)
-	s.s.SetHooks(containerHooks(cm))
+	s.s.SetHooks(batchedContainerHooks(cm))
 	return s
 }
 
 // NewMultiMapObserved returns a MultiMap whose operations feed cm.
 func NewMultiMapObserved[V any](hash HashFunc, cm *ContainerMetrics) *MultiMap[V] {
 	m := NewMultiMap[V](hash)
-	m.m.SetHooks(containerHooks(cm))
+	m.m.SetHooks(batchedContainerHooks(cm))
 	return m
 }
 
 // NewMultiSetObserved returns a MultiSet whose operations feed cm.
 func NewMultiSetObserved(hash HashFunc, cm *ContainerMetrics) *MultiSet {
 	s := NewMultiSet(hash)
-	s.s.SetHooks(containerHooks(cm))
+	s.s.SetHooks(batchedContainerHooks(cm))
 	return s
 }

@@ -69,9 +69,12 @@ func TestObservedMapMetricsMatchStats(t *testing.T) {
 func TestObservedContainerKinds(t *testing.T) {
 	reg := sepe.NewMetricsRegistry()
 
+	// Each block ends with a structural op (Clear/Delete), which
+	// flushes the batched per-op counters before the snapshot below.
 	s := sepe.NewSetObserved(sepe.STLHash, reg.NewContainer("set"))
 	s.Add("a")
 	s.Has("a")
+	s.Clear()
 
 	mm := sepe.NewMultiMapObserved[int](sepe.STLHash, reg.NewContainer("mmap"))
 	mm.Put("k", 1)
