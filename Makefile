@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check lint mutate certify bench benchhw benchparallel benchobs fuzz repro repro-quick examples golden clean
+.PHONY: all build test vet check lint mutate certify flood traffic bench benchhw benchparallel benchobs fuzz repro repro-quick examples golden clean
 
 # Pinned versions of the external analysis tools. The module has no
 # dependencies, so the usual blank-import tools.go pattern would break
@@ -38,7 +38,8 @@ vet:
 
 # Static analysis: go vet, the project's own sepevet analyzers
 # (shard-lock discipline, atomic-field consistency, telemetry span
-# pairing, unsafe confinement), and — when installed — staticcheck and
+# pairing, unsafe confinement, seed confidentiality), and — when
+# installed — staticcheck and
 # govulncheck at the pinned versions. Any sepevet diagnostic fails the
 # target; CI runs the same set.
 lint:
@@ -60,6 +61,23 @@ mutate:
 # refresh the checked-in report.
 certify:
 	$(GO) run ./cmd/sepebench -certify > BENCH_certify.json
+
+# Hash-flood resistance report: mine attack key sets against the
+# unseeded functions of every (RQ format, family) pair, replay them
+# against seeded deployments, compare to a random oracle, and measure
+# the hot-path cost of seeding. Fails if any seeded deployment strays
+# more than 2 sigma from the oracle or mean overhead exceeds 5%.
+flood:
+	$(GO) run ./cmd/sepebench -flood > BENCH_flood.json
+
+# Fault-injecting production traffic simulator: phased multi-tenant
+# load (warm/steady/drift/flood/cooldown) against seeded adaptive
+# hashes. Fails if the drifted tenant does not recover through the
+# adaptive lifecycle or the flooded tenant's attack B-Coll strays from
+# a random oracle. TRAFFIC_OPS scales the run (CI uses a small smoke).
+TRAFFIC_OPS ?= 400000
+traffic:
+	@$(GO) run ./cmd/sepebench -traffic -traffic-ops $(TRAFFIC_OPS)
 
 test:
 	$(GO) test ./...
@@ -103,6 +121,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzInfer -fuzztime=$(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz=FuzzSynthesizedHash -fuzztime=$(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz=FuzzBijectiveReject -fuzztime=$(FUZZTIME) -run '^$$' .
+	$(GO) test -fuzz=FuzzSeededSynthesize -fuzztime=$(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz=FuzzPextHW -fuzztime=$(FUZZTIME) -run '^$$' ./internal/pext/
 	$(GO) test -fuzz=FuzzAesRoundHW -fuzztime=$(FUZZTIME) -run '^$$' ./internal/aesround/
 	$(GO) test -fuzz=FuzzShardedMapOps -fuzztime=$(FUZZTIME) -run '^$$' ./internal/shard/

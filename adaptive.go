@@ -56,7 +56,10 @@ type AdaptiveHash struct{ a *adaptive.Hash }
 // format and wraps it for self-healing under the given name (the label
 // of its drift and lifecycle metrics). Unless cfg.Synthesize is set,
 // background re-synthesis re-infers the format from observed keys and
-// synthesizes the same family with the same options.
+// synthesizes the same family with the same options — and when the
+// options carry a seed (WithSeed), every re-synthesis rotates it: the
+// recovered function is keyed afresh, so a flood that defeated the old
+// seed dies with it.
 func NewAdaptiveHash(name string, f *Format, fam Family, cfg AdaptiveConfig, opts ...Option) (*AdaptiveHash, error) {
 	if f == nil {
 		return nil, ErrNilFormat
@@ -73,13 +76,24 @@ func NewAdaptiveHash(name string, f *Format, fam Family, cfg AdaptiveConfig, opt
 		// Synthesis tracers are not required to be goroutine-safe; the
 		// background loop must not share the caller's.
 		o.Tracer = nil
-		cfg.Synthesize = adaptive.NewSynthesizer(core.Family(fam), o)
+		if o.Seed != nil {
+			cfg.Synthesize = adaptive.NewSeededSynthesizer(core.Family(fam), o)
+		} else {
+			cfg.Synthesize = adaptive.NewSynthesizer(core.Family(fam), o)
+		}
 	}
 	a, err := adaptive.New(name, h.Func(), f.Matches, cfg)
 	if err != nil {
 		return nil, err
 	}
 	return &AdaptiveHash{a: a}, nil
+}
+
+// NewSeededAdaptiveHash is NewAdaptiveHash with a fresh random seed
+// prepended to opts: the initial function is keyed, and the healing
+// loop rotates the key on every recovery.
+func NewSeededAdaptiveHash(name string, f *Format, fam Family, cfg AdaptiveConfig, opts ...Option) (*AdaptiveHash, error) {
+	return NewAdaptiveHash(name, f, fam, cfg, append([]Option{WithSeed(NewSeed())}, opts...)...)
 }
 
 // Hash applies the currently active function.

@@ -47,6 +47,8 @@ func main() {
 		"certify the plans instead of emitting code: print one JSON certificate per family (bijectivity proof or counterexample, dead entropy, funnels) and exit non-zero on any finding")
 	flag.StringVar(&cfg.trace, "trace", "",
 		"write a Chrome trace-event JSON of the synthesis pipeline to this file (open in chrome://tracing or Perfetto)")
+	flag.BoolVar(&cfg.redact, "redact", false,
+		"mask sensitive attribute values (certifier counterexample keys, sampled keys) in the -trace export, keeping only each value's first and last byte")
 	fromKeys := flag.Bool("from-keys", false,
 		"treat the argument as a file of example keys (or '-' for stdin) and infer the format, fusing keybuilder|keysynth into one command")
 	flag.Parse()
@@ -102,6 +104,7 @@ type config struct {
 	stats      bool
 	lint       bool
 	trace      string
+	redact     bool
 	// statsOut receives the -stats report; main leaves it nil for
 	// os.Stderr, tests substitute a buffer.
 	statsOut io.Writer
@@ -144,6 +147,13 @@ func run(cfg config, out io.Writer) error {
 	}
 	if cfg.trace != "" {
 		rec = telemetry.NewRecorder(0)
+		if cfg.redact {
+			// The same policy surface as Registry.SetRedactor: sensitive
+			// attributes (certifier counterexamples among them) pass
+			// through the mask at export time; raw values never reach
+			// the trace file.
+			rec.SetRedactor(maskValue)
+		}
 		sinks = append(sinks, rec)
 	}
 	switch len(sinks) {
@@ -235,6 +245,16 @@ func lint(pat *pattern.Pattern, fams []core.Family, opts core.Options, out io.Wr
 		return fmt.Errorf("certification failed: %d finding(s)", findings)
 	}
 	return nil
+}
+
+// maskValue is the -redact policy: keep the value's length and its
+// first and last byte (enough to recognize which format a
+// counterexample belongs to), mask everything else.
+func maskValue(s string) string {
+	if len(s) <= 2 {
+		return "***"
+	}
+	return s[:1] + strings.Repeat("*", len(s)-2) + s[len(s)-1:]
 }
 
 func (cfg config) statsWriter() io.Writer {

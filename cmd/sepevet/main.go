@@ -1,8 +1,9 @@
 // Command sepevet is the project's static-analysis multichecker: it
-// runs the four sepe-specific analyzers — lockcheck (shard-lock
+// runs the five sepe-specific analyzers — lockcheck (shard-lock
 // discipline), atomicfield (atomic/plain access consistency),
 // spancheck (telemetry span pairing), unsafeaudit (unsafe confined to
-// kernel packages) — over the requested packages and exits non-zero
+// kernel packages), seedcheck (raw seed material never reaches fmt,
+// log, or telemetry sinks) — over the requested packages and exits non-zero
 // if any of them reports a diagnostic. CI runs it over ./... next to
 // go vet; the analyzers encode the invariants vet cannot know about.
 //
@@ -28,6 +29,7 @@ import (
 	"github.com/sepe-go/sepe/internal/analysis"
 	"github.com/sepe-go/sepe/internal/analysis/atomicfield"
 	"github.com/sepe-go/sepe/internal/analysis/lockcheck"
+	"github.com/sepe-go/sepe/internal/analysis/seedcheck"
 	"github.com/sepe-go/sepe/internal/analysis/spancheck"
 	"github.com/sepe-go/sepe/internal/analysis/unsafeaudit"
 )
@@ -38,6 +40,7 @@ var All = []*analysis.Analyzer{
 	atomicfield.Analyzer,
 	spancheck.Analyzer,
 	unsafeaudit.Analyzer,
+	seedcheck.Analyzer,
 }
 
 // jsonDiagnostic is the -json output shape.

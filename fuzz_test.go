@@ -154,3 +154,59 @@ func FuzzBijectiveReject(f *testing.F) {
 		_ = utf8.ValidString(key) // keys need not be UTF-8; just exercise both
 	})
 }
+
+// FuzzSeededSynthesize: keyed synthesis under arbitrary seed material
+// and arbitrary keys. For every family, the same seed must reproduce
+// the same function, the seeded function must be total (off-format
+// keys hash without panicking), seeding must neither create nor
+// destroy collisions relative to the unseeded function on the linear
+// families, and a bijective plan must stay bijective — certified with
+// a full-rank post-mix — and invertible.
+func FuzzSeededSynthesize(f *testing.F) {
+	format, err := sepe.ParseRegex(`[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	base := fuzzHashes(f)
+	f.Add(uint64(0), "078-05-1120")
+	f.Add(uint64(1), "")
+	f.Add(^uint64(0), "999-99-9999")
+	f.Add(uint64(0xC0FFEE), "completely wrong shape")
+	f.Add(uint64(42), "078-05-112O")
+	f.Fuzz(func(t *testing.T, seedVal uint64, key string) {
+		for _, fam := range []sepe.Family{sepe.OffXor, sepe.Aes, sepe.Pext} {
+			h1, err := sepe.Synthesize(format, fam, sepe.WithSeed(sepe.SeedFromUint64(seedVal)))
+			if err != nil {
+				t.Fatalf("%v seeded synthesize: %v", fam, err)
+			}
+			h2, err := sepe.Synthesize(format, fam, sepe.WithSeed(sepe.SeedFromUint64(seedVal)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h1.Hash(key) != h2.Hash(key) {
+				t.Fatalf("%v seed %#x not deterministic on %q", fam, seedVal, key)
+			}
+			if !h1.Seeded() {
+				t.Fatalf("%v hash not seeded", fam)
+			}
+			if fam != sepe.Aes {
+				onKey := "078-05-1120"
+				sameSeeded := h1.Hash(key) == h1.Hash(onKey)
+				sameBase := base[fam].Hash(key) == base[fam].Hash(onKey)
+				if sameSeeded != sameBase {
+					t.Fatalf("%v seeding changed collision structure for %q vs %q", fam, key, onKey)
+				}
+			}
+			if base[fam].Bijective() {
+				cert := h1.Certificate()
+				if !cert.Bijective || cert.MixerRank != 64 {
+					t.Fatalf("%v seeded cert lost bijectivity: bij=%v mixer=%d reason=%q",
+						fam, cert.Bijective, cert.MixerRank, cert.Reason)
+				}
+				if got, ok := h1.Invert(h1.Hash("078-05-1120")); !ok || got != "078-05-1120" {
+					t.Fatalf("%v seeded Invert round-trip failed: %q %v", fam, got, ok)
+				}
+			}
+		}
+	})
+}

@@ -39,6 +39,7 @@ import (
 	"github.com/sepe-go/sepe/internal/hashes"
 	"github.com/sepe-go/sepe/internal/infer"
 	"github.com/sepe-go/sepe/internal/pattern"
+	"github.com/sepe-go/sepe/internal/seed"
 	"github.com/sepe-go/sepe/internal/telemetry"
 )
 
@@ -126,6 +127,22 @@ func NewSynthesizer(fam core.Family, opts core.Options) Synthesizer {
 }
 
 func matcherOf(p *pattern.Pattern) func(string) bool { return p.Matches }
+
+// NewSeededSynthesizer is NewSynthesizer with seed rotation: every
+// invocation — that is, every re-synthesis attempt of the healing loop
+// — keys the candidate function with a fresh random seed, discarding
+// the one in opts. A flood that cornered the old seed (or a leak of
+// it) therefore does not survive recovery: the promoted function's
+// placement is fresh, and the hot-swap machinery publishes it with the
+// same single atomic store as any other promotion.
+func NewSeededSynthesizer(fam core.Family, opts core.Options) Synthesizer {
+	base := func(o core.Options) Synthesizer { return NewSynthesizer(fam, o) }
+	return func(ctx context.Context, keys []string) (hashes.Func, func(string) bool, error) {
+		o := opts
+		o.Seed = seed.New()
+		return base(o)(ctx, keys)
+	}
+}
 
 // Config tunes a self-healing Hash. The zero value of every field
 // selects the default noted on it.

@@ -1,0 +1,139 @@
+// Package seedcheck enforces the seed-confidentiality invariant of
+// keyed synthesis: raw keying material — seed.Seed, seed.Material,
+// core.PlanSeed, or the public sepe.Seed handle — must never reach a
+// formatting or telemetry sink. A seed that lands in a log line, an
+// error string, or a trace attribute hands every attacker who can read
+// that output the exact material that makes hash flooding impossible
+// to mount; the only disclosure-safe identifier is the generation
+// number, which exists precisely so call sites have something to log.
+//
+// seed.Seed's String method redacts, but that guards only the code
+// paths that happen to format it as a fmt.Stringer: %d on a
+// dereferenced field, %#v, or a value copy passed to a sink all bypass
+// it. The analyzer therefore takes the blunt position that seed-typed
+// values do not belong in sink argument lists at all — callers should
+// pass Generation() instead — which keeps the check free of
+// verb-string parsing and immune to formatting-path surprises.
+//
+// Sinks are calls into fmt's printing surface (Print*, Sprint*,
+// Fprint*, Append*, Errorf), anything in the log package, and anything
+// in a telemetry package (attribute constructors, event emitters, span
+// starters — the flight recorder serializes every attribute it is
+// handed, so the whole package boundary is the sink).
+package seedcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/sepe-go/sepe/internal/analysis"
+)
+
+// Analyzer is the seedcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedcheck",
+	Doc:  "check that raw seed material never reaches fmt, log, or telemetry sinks (log the generation number instead)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sink := sinkName(pass, call)
+			if sink == "" {
+				return true
+			}
+			for _, arg := range call.Args {
+				tv, ok := pass.TypesInfo.Types[arg]
+				if !ok {
+					continue
+				}
+				if name := seedTypeName(tv.Type); name != "" {
+					pass.Reportf(arg.Pos(),
+						"raw seed material (%s) passed to %s; log the disclosure-safe generation number instead",
+						name, sink)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sinkName reports the qualified name of the called function if the
+// call is a formatting/telemetry sink, or "" otherwise.
+func sinkName(pass *analysis.Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "fmt":
+		for _, prefix := range []string{"Print", "Sprint", "Fprint", "Append"} {
+			if strings.HasPrefix(name, prefix) {
+				return "fmt." + name
+			}
+		}
+		if name == "Errorf" {
+			return "fmt.Errorf"
+		}
+		return ""
+	case path == "log" || strings.HasPrefix(path, "log/"):
+		return path + "." + name
+	case path == "telemetry" || strings.HasSuffix(path, "/telemetry"):
+		return "telemetry." + name
+	}
+	return ""
+}
+
+// seedTypeName reports the display name of a seed-carrying type —
+// seed.Seed, seed.Material, core.PlanSeed, sepe.Seed, or a pointer to
+// one — or "" for any other type.
+func seedTypeName(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	path, name := obj.Pkg().Path(), obj.Name()
+	switch {
+	case pathIs(path, "internal/seed") && (name == "Seed" || name == "Material"):
+		return "seed." + name
+	case pathIs(path, "internal/core") && name == "PlanSeed":
+		return "core.PlanSeed"
+	case obj.Pkg().Name() == "sepe" && name == "Seed":
+		return "sepe.Seed"
+	}
+	return ""
+}
+
+// pathIs matches a package path by suffix, so the check works both on
+// the real module and on the synthetic modules analysistest builds.
+func pathIs(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

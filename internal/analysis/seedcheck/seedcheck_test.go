@@ -1,0 +1,151 @@
+package seedcheck_test
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/analysis/analysistest"
+	"github.com/sepe-go/sepe/internal/analysis/seedcheck"
+)
+
+// seedPkg mimics the real internal/seed surface closely enough for the
+// type-based matching: the analyzer matches by package-path suffix and
+// type name, not by module path.
+const seedPkg = `package seed
+
+type Seed struct {
+	master uint64
+	gen    uint64
+}
+
+func (s *Seed) Generation() uint64 { return s.gen }
+
+func (s *Seed) String() string { return "seed.Seed(redacted)" }
+
+type Material struct {
+	Pre uint64
+	R   [4]int
+}
+`
+
+func run(t *testing.T, app string) []string {
+	t.Helper()
+	return analysistest.Run(t, map[string]string{
+		"internal/seed/seed.go": seedPkg,
+		"app/app.go":            app,
+	}, seedcheck.Analyzer)
+}
+
+func TestSeedToPrintf(t *testing.T) {
+	got := run(t, `package app
+
+import (
+	"fmt"
+
+	"sepevet.test/m/internal/seed"
+)
+
+func leak(s *seed.Seed) {
+	fmt.Printf("seeding with %v\n", s)
+}
+`)
+	analysistest.Expect(t, got, "raw seed material (seed.Seed) passed to fmt.Printf")
+}
+
+func TestMaterialToErrorf(t *testing.T) {
+	got := run(t, `package app
+
+import (
+	"fmt"
+
+	"sepevet.test/m/internal/seed"
+)
+
+func leak(m seed.Material) error {
+	return fmt.Errorf("bad material: %+v", m)
+}
+`)
+	analysistest.Expect(t, got, "raw seed material (seed.Material) passed to fmt.Errorf")
+}
+
+func TestSeedToLog(t *testing.T) {
+	got := run(t, `package app
+
+import (
+	"log"
+
+	"sepevet.test/m/internal/seed"
+)
+
+func leak(s *seed.Seed) {
+	log.Println("rotated to", s)
+}
+`)
+	analysistest.Expect(t, got, "passed to log.Println")
+}
+
+func TestPlanSeedToTelemetryAttr(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"internal/core/core.go": `package core
+
+type PlanSeed struct {
+	R [4]int
+	C uint64
+}
+`,
+		"internal/telemetry/telemetry.go": `package telemetry
+
+type Attr struct {
+	Key   string
+	Value any
+}
+
+func Any(key string, v any) Attr { return Attr{Key: key, Value: v} }
+
+func Instant(name string, attrs ...Attr) {}
+`,
+		"app/app.go": `package app
+
+import (
+	"sepevet.test/m/internal/core"
+	"sepevet.test/m/internal/telemetry"
+)
+
+func leak(ps *core.PlanSeed) {
+	telemetry.Instant("plan.seed", telemetry.Any("seed", ps))
+}
+`,
+	}, seedcheck.Analyzer)
+	analysistest.Expect(t, got, "raw seed material (core.PlanSeed) passed to telemetry.Any")
+}
+
+func TestGenerationNumberIsClean(t *testing.T) {
+	got := run(t, `package app
+
+import (
+	"fmt"
+	"log"
+
+	"sepevet.test/m/internal/seed"
+)
+
+func ok(s *seed.Seed) {
+	fmt.Printf("seeding generation %d\n", s.Generation())
+	log.Println("rotated to generation", s.Generation())
+}
+`)
+	analysistest.Expect(t, got)
+}
+
+func TestNonSinkUseIsClean(t *testing.T) {
+	got := run(t, `package app
+
+import "sepevet.test/m/internal/seed"
+
+func derive(s *seed.Seed) *seed.Seed { return s }
+
+func use(s *seed.Seed) {
+	_ = derive(s)
+}
+`)
+	analysistest.Expect(t, got)
+}

@@ -106,6 +106,16 @@ type Certificate struct {
 	// Findings lists structural IR violations — the translation-
 	// validation layer VerifyPlan enforces. A sound plan has none.
 	Findings []string `json:"findings,omitempty"`
+	// Seeded reports the plan carries keying material (keyed.go). The
+	// certificate never holds the material itself — only the seed's
+	// disclosure-safe generation number.
+	Seeded bool `json:"seeded,omitempty"`
+	// SeedGen is the seed's generation number (seeded plans only).
+	SeedGen uint64 `json:"seed_gen,omitempty"`
+	// MixerRank is the GF(2) rank of the seed's post-mix matrix for
+	// plans that apply it; 64 proves the post-mix is a bijection of the
+	// hash space, so seeding preserves every injectivity result below.
+	MixerRank int `json:"mixer_rank,omitempty"`
 }
 
 // Certify runs the full static analysis over a plan and returns its
@@ -116,6 +126,21 @@ func Certify(p *Plan) *Certificate {
 	c := &Certificate{
 		Family: p.Family.String(),
 		Regex:  p.Pattern.Regex(),
+	}
+	if p.Seed != nil {
+		c.Seeded = true
+		c.SeedGen = p.Seed.Gen
+		if p.mixed() {
+			cols := make([]uint64, 64)
+			for b := 0; b < 64; b++ {
+				cols[b] = p.Seed.Mix(1 << b)
+			}
+			c.MixerRank, _ = gf2(cols)
+			if c.MixerRank != 64 {
+				c.Findings = append(c.Findings, fmt.Sprintf(
+					"core: certify: seed post-mix has rank %d, not a bijection", c.MixerRank))
+			}
+		}
 	}
 	if p.Fallback {
 		c.Mode = "fallback"
@@ -136,9 +161,9 @@ func Certify(p *Plan) *Certificate {
 
 	// Structural layer: the VerifyPlan invariants, as findings.
 	if p.Fixed {
-		c.Findings = structuralFixed(p, pat)
+		c.Findings = append(c.Findings, structuralFixed(p, pat)...)
 	} else {
-		c.Findings = structuralVariable(p, pat)
+		c.Findings = append(c.Findings, structuralVariable(p, pat)...)
 	}
 
 	// Dataflow layer: provenance of every variable key bit.
@@ -314,34 +339,41 @@ func provenanceOf(p *Plan, pat *pattern.Pattern) (*provenance, bool) {
 // columns, returning the rank and, when the columns are dependent, one
 // kernel combination (the set of column indices whose xor is zero).
 func gf2(cols []uint64) (rank int, kernel []int) {
+	// Combinations are tracked as bitsets over the column indices, so
+	// that xoring a pivot's combination in is O(len(cols)/64) and the
+	// mod-2 cancellation of repeated indices is the xor itself. (Index
+	// slices would grow multiplicatively along dense reduction chains —
+	// the structured provenance columns keep them short, but a seeded
+	// plan's post-mix columns are dense enough to blow up.)
+	words := (len(cols) + 63) / 64
 	type pivot struct {
 		vec uint64
-		cmb []int
+		cmb []uint64
 	}
 	var pivots [64]*pivot
+	cmb := make([]uint64, words)
 	for j, v := range cols {
-		cmb := []int{j}
+		for i := range cmb {
+			cmb[i] = 0
+		}
+		cmb[j>>6] = 1 << uint(j&63)
 		for v != 0 {
 			pb := bits.Len64(v) - 1
 			pv := pivots[pb]
 			if pv == nil {
-				pivots[pb] = &pivot{vec: v, cmb: cmb}
+				pivots[pb] = &pivot{vec: v, cmb: append([]uint64(nil), cmb...)}
 				rank++
 				break
 			}
 			v ^= pv.vec
-			cmb = append(cmb, pv.cmb...)
+			for i, w := range pv.cmb {
+				cmb[i] ^= w
+			}
 		}
 		if v == 0 && kernel == nil {
-			// Indices appearing an even number of times cancel out of
-			// the combination.
-			seen := map[int]int{}
-			for _, i := range cmb {
-				seen[i]++
-			}
-			for i, n := range seen {
-				if n%2 == 1 {
-					kernel = append(kernel, i)
+			for i, w := range cmb {
+				for ; w != 0; w &= w - 1 {
+					kernel = append(kernel, i*64+bits.TrailingZeros64(w))
 				}
 			}
 		}
@@ -353,15 +385,29 @@ func gf2(cols []uint64) (rank int, kernel []int) {
 // from the provenance matrix: rank, dead bits, funnels, the certified
 // collision bound and — on a rank deficit — an executed counterexample.
 func certifyLinear(c *Certificate, p *Plan, pat *pattern.Pattern, pr *provenance) {
-	rank, kernel := gf2(pr.cols)
+	// A seeded plan's executable is Mix(h0) ^ C: affine in the key bits
+	// with provenance columns Mix(col). The post-mix is invertible
+	// (rank-certified above), so rank, kernel and dead bits are
+	// untouched in principle — but the certificate analyzes the columns
+	// the executable actually exhibits, and the counterexample path
+	// below executes the seeded closure, keeping the proof grounded in
+	// the code that runs.
+	cols := pr.cols
+	if p.mixed() {
+		cols = make([]uint64, len(pr.cols))
+		for i, v := range pr.cols {
+			cols[i] = p.Seed.Mix(v)
+		}
+	}
+	rank, kernel := gf2(cols)
 	c.Rank = rank
-	for i, v := range pr.cols {
+	for i, v := range cols {
 		if v == 0 {
 			c.DeadBits = append(c.DeadBits, pr.refs[i])
 		}
 	}
 	fan := make([]int, 64)
-	for _, v := range pr.cols {
+	for _, v := range cols {
 		for v != 0 {
 			b := bits.TrailingZeros64(v)
 			fan[b]++

@@ -36,21 +36,55 @@ func (p *Plan) Compile() Func {
 }
 
 func (p *Plan) compile() (Func, Backend) {
+	// ps is the affine post-mix of the keying slot (keyed.go), nil for
+	// unseeded plans and for seeded Aes plans (whose keying lives in
+	// the round keys). It is threaded into every leaf closure, which
+	// finish through the inlinable mixFinal: the backend decision —
+	// including the fused hardware kernels — is preserved wholesale,
+	// and the unseeded hot path pays one predicted nil test rather
+	// than the extra indirect call a wrapper closure would cost.
+	var ps *PlanSeed
+	if p.mixed() {
+		ps = p.Seed
+	}
 	if p.Fallback {
-		return hashes.STL, BackendFallback
+		if ps == nil {
+			return hashes.STL, BackendFallback
+		}
+		return func(key string) uint64 {
+			return mixFinal(hashes.STL(key), ps)
+		}, BackendFallback
 	}
 	switch p.Family {
 	case Aes:
-		if p.Fixed {
-			return compileAesFixed(p.Loads)
+		k0, k1 := aesKey0, aesKey1
+		if p.Seed != nil {
+			k0, k1 = p.Seed.K0, p.Seed.K1
 		}
-		return compileAesVariable(p)
+		if p.Fixed {
+			return compileAesFixed(p.Loads, k0, k1)
+		}
+		return compileAesVariable(p, k0, k1)
 	default:
 		if p.Fixed {
-			return compileXorFixed(p.Loads)
+			return compileXorFixed(p.Loads, ps)
 		}
-		return compileXorVariable(p)
+		return compileXorVariable(p, ps)
 	}
+}
+
+// mixFinal applies the keying slot's affine post-mix — one wide
+// xor-rotate round and the folded pre-mix constant — or nothing when
+// the plan is unseeded. Small enough for the compiler to inline into
+// every leaf closure, and shaped for ILP: the four rotations are
+// independent, so seeding costs a depth-3 xor tree in line, not a
+// serial round chain behind an extra closure call.
+func mixFinal(h uint64, s *PlanSeed) uint64 {
+	if s == nil {
+		return h
+	}
+	return h ^ bits.RotateLeft64(h, s.R[0]) ^ bits.RotateLeft64(h, s.R[1]) ^
+		bits.RotateLeft64(h, s.R[2]) ^ bits.RotateLeft64(h, s.R[3]) ^ s.C
 }
 
 // word performs one load of the plan, including partial loads.
@@ -97,23 +131,23 @@ func anyHW(loads []Load) bool {
 // branches — as in the paper's generated functions (Figure 5c's
 // OffXor for IPv4 is the two-load plain case); only load shapes the
 // current planners never emit take the generic path.
-func compileXorFixed(loads []Load) (Func, Backend) {
-	if f := compilePlainXor(loads); f != nil {
+func compileXorFixed(loads []Load, ps *PlanSeed) (Func, Backend) {
+	if f := compilePlainXor(loads, ps); f != nil {
 		return f, BackendSoftware
 	}
-	if f, bk, ok := compilePextXor(loads); ok {
+	if f, bk, ok := compilePextXor(loads, ps); ok {
 		return f, bk
 	}
-	if f, bk, ok := compilePartialSingle(loads); ok {
+	if f, bk, ok := compilePartialSingle(loads, ps); ok {
 		return f, bk
 	}
-	return compileGenericXor(loads)
+	return compileGenericXor(loads, ps)
 }
 
 // compileGenericXor is the defensive path for mixed load shapes
 // (partial loads combined with extractions): correct for anything,
 // specialized for nothing.
-func compileGenericXor(loads []Load) (Func, Backend) {
+func compileGenericXor(loads []Load, ps *PlanSeed) (Func, Backend) {
 	need := maxEnd(loads)
 	bk := BackendSoftware
 	if anyHW(loads) {
@@ -121,35 +155,36 @@ func compileGenericXor(loads []Load) (Func, Backend) {
 	}
 	switch len(loads) {
 	case 0:
-		// Fully-constant format: a single key exists, hash constant.
-		return func(string) uint64 { return 0 }, BackendSoftware
+		// Fully-constant format: a single key exists, hash constant
+		// (seeding still mixes it — the constant must vary per seed).
+		return func(string) uint64 { return mixFinal(0, ps) }, BackendSoftware
 	case 1:
 		l0 := loads[0]
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
-			return l0.extract(word(key, &l0))
+			return mixFinal(l0.extract(word(key, &l0)), ps)
 		}, bk
 	case 2:
 		l0, l1 := loads[0], loads[1]
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
-			return l0.extract(word(key, &l0)) ^ l1.extract(word(key, &l1))
+			return mixFinal(l0.extract(word(key, &l0))^l1.extract(word(key, &l1)), ps)
 		}, bk
 	default:
 		ls := append([]Load(nil), loads...)
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
 			var h uint64
 			for i := range ls {
 				h ^= ls[i].extract(word(key, &ls[i]))
 			}
-			return h
+			return mixFinal(h, ps)
 		}, bk
 	}
 }
@@ -158,7 +193,7 @@ func compileGenericXor(loads []Load) (Func, Backend) {
 // without extraction — the Naive and OffXor families on fixed-length
 // keys. These are the paper's fastest functions (Figure 5c's OffXor),
 // so the closures contain nothing but loads and xors.
-func compilePlainXor(loads []Load) Func {
+func compilePlainXor(loads []Load, ps *PlanSeed) Func {
 	for i := range loads {
 		l := &loads[i]
 		if l.ext != nil || l.Shift != 0 || l.Partial != 0 {
@@ -174,35 +209,35 @@ func compilePlainXor(loads []Load) Func {
 		o0 := loads[0].Offset
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
-			return hashes.LoadU64(key, o0)
+			return mixFinal(hashes.LoadU64(key, o0), ps)
 		}
 	case 2:
 		o0, o1 := loads[0].Offset, loads[1].Offset
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
-			return hashes.LoadU64(key, o0) ^ hashes.LoadU64(key, o1)
+			return mixFinal(hashes.LoadU64(key, o0)^hashes.LoadU64(key, o1), ps)
 		}
 	case 3:
 		o0, o1, o2 := loads[0].Offset, loads[1].Offset, loads[2].Offset
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
-			return hashes.LoadU64(key, o0) ^ hashes.LoadU64(key, o1) ^
-				hashes.LoadU64(key, o2)
+			return mixFinal(hashes.LoadU64(key, o0)^hashes.LoadU64(key, o1)^
+				hashes.LoadU64(key, o2), ps)
 		}
 	case 4:
 		o0, o1, o2, o3 := loads[0].Offset, loads[1].Offset, loads[2].Offset, loads[3].Offset
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
-			return hashes.LoadU64(key, o0) ^ hashes.LoadU64(key, o1) ^
-				hashes.LoadU64(key, o2) ^ hashes.LoadU64(key, o3)
+			return mixFinal(hashes.LoadU64(key, o0)^hashes.LoadU64(key, o1)^
+				hashes.LoadU64(key, o2)^hashes.LoadU64(key, o3), ps)
 		}
 	default:
 		offs := make([]int, len(loads))
@@ -211,13 +246,13 @@ func compilePlainXor(loads []Load) Func {
 		}
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
 			var h uint64
 			for _, o := range offs {
 				h ^= hashes.LoadU64(key, o)
 			}
-			return h
+			return mixFinal(h, ps)
 		}
 	}
 }
@@ -231,7 +266,7 @@ func compilePlainXor(loads []Load) Func {
 // extraction networks are captured by value and the packing rotation
 // is elided for loads with Shift == 0 (always the first load, by
 // packShifts' construction).
-func compilePextXor(loads []Load) (Func, Backend, bool) {
+func compilePextXor(loads []Load, ps *PlanSeed) (Func, Backend, bool) {
 	if len(loads) == 0 || len(loads) > 3 {
 		return nil, 0, false
 	}
@@ -247,18 +282,18 @@ func compilePextXor(loads []Load) (Func, Backend, bool) {
 			o0, m0, r0 := loads[0].Offset, loads[0].Mask, uint64(loads[0].Shift)
 			return func(key string) uint64 {
 				if len(key) < need {
-					return hashes.STL(key)
+					return mixFinal(hashes.STL(key), ps)
 				}
-				return pext.Hash1(key, o0, m0, r0)
+				return mixFinal(pext.Hash1(key, o0, m0, r0), ps)
 			}, BackendHardware, true
 		case 2:
 			o0, m0, r0 := loads[0].Offset, loads[0].Mask, uint64(loads[0].Shift)
 			o1, m1, r1 := loads[1].Offset, loads[1].Mask, uint64(loads[1].Shift)
 			return func(key string) uint64 {
 				if len(key) < need {
-					return hashes.STL(key)
+					return mixFinal(hashes.STL(key), ps)
 				}
-				return pext.Hash2(key, o0, m0, r0, o1, m1, r1)
+				return mixFinal(pext.Hash2(key, o0, m0, r0, o1, m1, r1), ps)
 			}, BackendHardware, true
 		default:
 			o0, m0, r0 := loads[0].Offset, loads[0].Mask, uint64(loads[0].Shift)
@@ -266,9 +301,9 @@ func compilePextXor(loads []Load) (Func, Backend, bool) {
 			o2, m2, r2 := loads[2].Offset, loads[2].Mask, uint64(loads[2].Shift)
 			return func(key string) uint64 {
 				if len(key) < need {
-					return hashes.STL(key)
+					return mixFinal(hashes.STL(key), ps)
 				}
-				return pext.Hash3(key, o0, m0, r0, o1, m1, r1, o2, m2, r2)
+				return mixFinal(pext.Hash3(key, o0, m0, r0, o1, m1, r1, o2, m2, r2), ps)
 			}, BackendHardware, true
 		}
 	}
@@ -283,16 +318,16 @@ func compilePextXor(loads []Load) (Func, Backend, bool) {
 		if s0 == 0 {
 			return func(key string) uint64 {
 				if len(key) < need {
-					return hashes.STL(key)
+					return mixFinal(hashes.STL(key), ps)
 				}
-				return e0(hashes.LoadU64(key, o0))
+				return mixFinal(e0(hashes.LoadU64(key, o0)), ps)
 			}, bk, true
 		}
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
-			return bits.RotateLeft64(e0(hashes.LoadU64(key, o0)), s0)
+			return mixFinal(bits.RotateLeft64(e0(hashes.LoadU64(key, o0)), s0), ps)
 		}, bk, true
 	case 2:
 		o0, s0 := loads[0].Offset, int(loads[0].Shift)
@@ -301,18 +336,18 @@ func compilePextXor(loads []Load) (Func, Backend, bool) {
 		if s0 == 0 {
 			return func(key string) uint64 {
 				if len(key) < need {
-					return hashes.STL(key)
+					return mixFinal(hashes.STL(key), ps)
 				}
-				return e0(hashes.LoadU64(key, o0)) ^
-					bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1)
+				return mixFinal(e0(hashes.LoadU64(key, o0))^
+					bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1), ps)
 			}, bk, true
 		}
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
-			return bits.RotateLeft64(e0(hashes.LoadU64(key, o0)), s0) ^
-				bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1)
+			return mixFinal(bits.RotateLeft64(e0(hashes.LoadU64(key, o0)), s0)^
+				bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1), ps)
 		}, bk, true
 	default:
 		o0, s0 := loads[0].Offset, int(loads[0].Shift)
@@ -322,20 +357,20 @@ func compilePextXor(loads []Load) (Func, Backend, bool) {
 		if s0 == 0 {
 			return func(key string) uint64 {
 				if len(key) < need {
-					return hashes.STL(key)
+					return mixFinal(hashes.STL(key), ps)
 				}
-				return e0(hashes.LoadU64(key, o0)) ^
-					bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1) ^
-					bits.RotateLeft64(e2(hashes.LoadU64(key, o2)), s2)
+				return mixFinal(e0(hashes.LoadU64(key, o0))^
+					bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1)^
+					bits.RotateLeft64(e2(hashes.LoadU64(key, o2)), s2), ps)
 			}, bk, true
 		}
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
-			return bits.RotateLeft64(e0(hashes.LoadU64(key, o0)), s0) ^
-				bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1) ^
-				bits.RotateLeft64(e2(hashes.LoadU64(key, o2)), s2)
+			return mixFinal(bits.RotateLeft64(e0(hashes.LoadU64(key, o0)), s0)^
+				bits.RotateLeft64(e1(hashes.LoadU64(key, o1)), s1)^
+				bits.RotateLeft64(e2(hashes.LoadU64(key, o2)), s2), ps)
 		}, bk, true
 	}
 }
@@ -345,7 +380,7 @@ func compilePextXor(loads []Load) (Func, Backend, bool) {
 // closure instead of the generic word()/extract() path, eliding the
 // rotation when the shift is zero — which it always is for a single
 // load.
-func compilePartialSingle(loads []Load) (Func, Backend, bool) {
+func compilePartialSingle(loads []Load, ps *PlanSeed) (Func, Backend, bool) {
 	if len(loads) != 1 || loads[0].Partial == 0 {
 		return nil, 0, false
 	}
@@ -357,16 +392,16 @@ func compilePartialSingle(loads []Load) (Func, Backend, bool) {
 		if s == 0 {
 			return func(key string) uint64 {
 				if len(key) < need {
-					return hashes.STL(key)
+					return mixFinal(hashes.STL(key), ps)
 				}
-				return hashes.LoadTail(key, o, n)
+				return mixFinal(hashes.LoadTail(key, o, n), ps)
 			}, BackendSoftware, true
 		}
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
-			return bits.RotateLeft64(hashes.LoadTail(key, o, n), s)
+			return mixFinal(bits.RotateLeft64(hashes.LoadTail(key, o, n), s), ps)
 		}, BackendSoftware, true
 	}
 	bk := BackendSoftware
@@ -377,16 +412,16 @@ func compilePartialSingle(loads []Load) (Func, Backend, bool) {
 	if s == 0 {
 		return func(key string) uint64 {
 			if len(key) < need {
-				return hashes.STL(key)
+				return mixFinal(hashes.STL(key), ps)
 			}
-			return e(hashes.LoadTail(key, o, n))
+			return mixFinal(e(hashes.LoadTail(key, o, n)), ps)
 		}, bk, true
 	}
 	return func(key string) uint64 {
 		if len(key) < need {
-			return hashes.STL(key)
+			return mixFinal(hashes.STL(key), ps)
 		}
-		return bits.RotateLeft64(e(hashes.LoadTail(key, o, n)), s)
+		return mixFinal(bits.RotateLeft64(e(hashes.LoadTail(key, o, n)), s), ps)
 	}, bk, true
 }
 
@@ -394,7 +429,7 @@ func compilePartialSingle(loads []Load) (Func, Backend, bool) {
 // the xor-based families, with a byte tail for the unaligned and
 // beyond-MinLen remainder. Pext extractions route through each load's
 // Extractor, which carries its own backend decision.
-func compileXorVariable(p *Plan) (Func, Backend) {
+func compileXorVariable(p *Plan, ps *PlanSeed) (Func, Backend) {
 	skip := append([]int(nil), p.Skip...)
 	nLoads := p.SkipLoads
 	if p.Family == Pext {
@@ -414,7 +449,7 @@ func compileXorVariable(p *Plan) (Func, Backend) {
 				h ^= loads[i].extract(hashes.LoadU64(key, loads[i].Offset))
 				pos = loads[i].Offset + pattern.WordSize
 			}
-			return h ^ byteTail(key, pos)
+			return mixFinal(h^byteTail(key, pos), ps)
 		}, bk
 	}
 	return func(key string) uint64 {
@@ -425,7 +460,7 @@ func compileXorVariable(p *Plan) (Func, Backend) {
 			h ^= hashes.LoadU64(key, pos)
 			pos += skip[c+1]
 		}
-		return h ^ byteTail(key, pos)
+		return mixFinal(h^byteTail(key, pos), ps)
 	}, BackendSoftware
 }
 
@@ -452,8 +487,10 @@ func byteTail(key string, pos int) uint64 {
 // for short keys, and its cost: Aes's 9 true collisions all come from
 // keys shorter than 16 bytes). The common two-load shape — one
 // 128-bit state, two rounds, fold — fuses into a single AESENC kernel
-// call when AES-NI is active.
-func compileAesFixed(loads []Load) (Func, Backend) {
+// call when AES-NI is active. The round keys arrive as parameters:
+// the fixed aesKey0/aesKey1 constants for unseeded plans, the
+// seed-derived keys of the plan's keying slot for seeded ones.
+func compileAesFixed(loads []Load, k0, k1 aesround.State) (Func, Backend) {
 	ls := append([]Load(nil), loads...)
 	need := maxEnd(ls)
 	if len(ls) == 1 && ls[0].Partial == 0 {
@@ -466,7 +503,7 @@ func compileAesFixed(loads []Load) (Func, Backend) {
 					return hashes.STL(key)
 				}
 				w := hashes.LoadU64(key, o0)
-				return aesround.Encrypt2Xor(aesround.State{Lo: w, Hi: w}, aesKey0, aesKey1)
+				return aesround.Encrypt2Xor(aesround.State{Lo: w, Hi: w}, k0, k1)
 			}, BackendHardware
 		}
 		return func(key string) uint64 {
@@ -474,8 +511,8 @@ func compileAesFixed(loads []Load) (Func, Backend) {
 				return hashes.STL(key)
 			}
 			w := hashes.LoadU64(key, o0)
-			st := aesround.Encrypt(aesround.State{Lo: w, Hi: w}, aesKey0)
-			st = aesround.Encrypt(st, aesKey1)
+			st := aesround.Encrypt(aesround.State{Lo: w, Hi: w}, k0)
+			st = aesround.Encrypt(st, k1)
 			return st.Lo ^ st.Hi
 		}, BackendSoftware
 	}
@@ -490,7 +527,7 @@ func compileAesFixed(loads []Load) (Func, Backend) {
 					Lo: hashes.LoadU64(key, o0),
 					Hi: hashes.LoadU64(key, o1),
 				}
-				return aesround.Encrypt2Xor(st, aesKey0, aesKey1)
+				return aesround.Encrypt2Xor(st, k0, k1)
 			}, BackendHardware
 		}
 		return func(key string) uint64 {
@@ -501,8 +538,8 @@ func compileAesFixed(loads []Load) (Func, Backend) {
 				Lo: hashes.LoadU64(key, o0),
 				Hi: hashes.LoadU64(key, o1),
 			}
-			st = aesround.Encrypt(st, aesKey0)
-			st = aesround.Encrypt(st, aesKey1)
+			st = aesround.Encrypt(st, k0)
+			st = aesround.Encrypt(st, k1)
 			return st.Lo ^ st.Hi
 		}, BackendSoftware
 	}
@@ -523,16 +560,16 @@ func compileAesFixed(loads []Load) (Func, Backend) {
 			}
 			st.Lo ^= lo
 			st.Hi ^= hi
-			st = aesround.EncryptHW(st, aesKey0)
+			st = aesround.EncryptHW(st, k0)
 		}
-		st = aesround.EncryptHW(st, aesKey1)
+		st = aesround.EncryptHW(st, k1)
 		return st.Lo ^ st.Hi
 	}, bk
 }
 
 // compileAesVariable is the skip-table loop with AES combining; the
 // per-pair round routes through the AESENC kernel when active.
-func compileAesVariable(p *Plan) (Func, Backend) {
+func compileAesVariable(p *Plan, k0, k1 aesround.State) (Func, Backend) {
 	skip := append([]int(nil), p.Skip...)
 	nLoads := p.SkipLoads
 	bk := BackendSoftware
@@ -551,14 +588,14 @@ func compileAesVariable(p *Plan) (Func, Backend) {
 				lane = 1
 			} else {
 				st.Hi ^= w
-				st = aesround.EncryptHW(st, aesKey0)
+				st = aesround.EncryptHW(st, k0)
 				lane = 0
 			}
 			pos += skip[c+1]
 		}
 		st.Hi ^= byteTail(key, pos)
-		st = aesround.EncryptHW(st, aesKey0)
-		st = aesround.EncryptHW(st, aesKey1)
+		st = aesround.EncryptHW(st, k0)
+		st = aesround.EncryptHW(st, k1)
 		return st.Lo ^ st.Hi
 	}, bk
 }

@@ -20,7 +20,7 @@ func TestCompileXorFixedGenericPaths(t *testing.T) {
 	// 1-load path (compilePlainXor rejects shifts, compilePextXor
 	// rejects partials).
 	l1 := Load{Offset: 2, Partial: 5, Mask: full, Shift: 8}
-	f1, _ := compileXorFixed([]Load{l1})
+	f1, _ := compileXorFixed([]Load{l1}, nil)
 	want1 := hashes.LoadTail(key, 2, 5) << 8
 	if got := f1(key); got != want1 {
 		t.Errorf("generic 1-load = %#x, want %#x", got, want1)
@@ -30,7 +30,7 @@ func TestCompileXorFixedGenericPaths(t *testing.T) {
 	e := pext.Compile(0x0F0F)
 	l2a := Load{Offset: 0, Mask: 0x0F0F, ext: e}
 	l2b := Load{Offset: 8, Partial: 3, Mask: full}
-	f2, _ := compileXorFixed([]Load{l2a, l2b})
+	f2, _ := compileXorFixed([]Load{l2a, l2b}, nil)
 	want2 := e.Extract(hashes.LoadU64(key, 0)) ^ hashes.LoadTail(key, 8, 3)
 	if got := f2(key); got != want2 {
 		t.Errorf("generic 2-load = %#x, want %#x", got, want2)
@@ -41,7 +41,7 @@ func TestCompileXorFixedGenericPaths(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		loads = append(loads, Load{Offset: i, Mask: full, Shift: uint(i)})
 	}
-	f5, _ := compileXorFixed(loads)
+	f5, _ := compileXorFixed(loads, nil)
 	var want5 uint64
 	for i := 0; i < 5; i++ {
 		l := loads[i]

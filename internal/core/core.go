@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/sepe-go/sepe/internal/seed"
 	"github.com/sepe-go/sepe/internal/telemetry"
 )
 
@@ -161,6 +162,14 @@ type Options struct {
 	// over a ≤64-bit format — that the conservative Plan.Bijective
 	// predicate cannot see.
 	RequireBijective bool
+	// Seed, when non-nil, keys the synthesized function: the linear
+	// families gain a secret full-rank affine GF(2) post-mix, the Aes
+	// family gets seed-derived round keys (see keyed.go). Hash values
+	// then depend on the seed, which defeats offline collision mining
+	// by attackers who know the key format but not the seed.
+	// Bijectivity certificates are preserved — the post-mix is itself
+	// rank-certified at derivation time.
+	Seed *seed.Seed
 }
 
 var (

@@ -23,6 +23,13 @@ func (p *Plan) Invert(h uint64) (string, bool) {
 	if !p.Bijective() {
 		return "", false
 	}
+	// Seeded plans compute Mix(h0) ^ C over the unseeded hash h0; peel
+	// the affine layer off first (keyed.go caches Mix⁻¹), then invert
+	// the plan proper. The image check below runs in h0 space, where
+	// the extraction windows live.
+	if p.mixed() {
+		h = p.Seed.unmix(h ^ p.Seed.C)
+	}
 	// Start from the format's constant bytes.
 	buf := make([]byte, p.KeyLen)
 	for i, b := range p.Pattern.Bytes {

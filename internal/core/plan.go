@@ -80,6 +80,9 @@ type Plan struct {
 	// It is set by Compile; a plan that was never compiled reports
 	// BackendSoftware, the zero value.
 	Backend Backend
+	// Seed is the plan's keying slot (nil for unseeded plans): the
+	// seed-derived affine post-mix and AES round keys of keyed.go.
+	Seed *PlanSeed
 }
 
 // Bijective reports whether the plan provably maps distinct format
@@ -117,17 +120,26 @@ func BuildPlan(pat *pattern.Pattern, fam Family, opts Options) (*Plan, error) {
 		Fixed:   pat.FixedLen(),
 		KeyLen:  pat.MaxLen,
 	}
-	if pat.MinLen < pattern.WordSize {
-		if !opts.AllowShort {
-			p.Fallback = true
-			return p, nil
-		}
-		return buildShortPlan(p, fam, opts.Tracer)
+	var err error
+	switch {
+	case pat.MinLen < pattern.WordSize && !opts.AllowShort:
+		p.Fallback = true
+	case pat.MinLen < pattern.WordSize:
+		p, err = buildShortPlan(p, fam, opts.Tracer)
+	case p.Fixed:
+		p, err = buildFixedPlan(p, fam, opts.Tracer)
+	default:
+		p, err = buildVariablePlan(p, fam, opts.Tracer)
 	}
-	if p.Fixed {
-		return buildFixedPlan(p, fam, opts.Tracer)
+	if err != nil {
+		return nil, err
 	}
-	return buildVariablePlan(p, fam, opts.Tracer)
+	// Keying attaches after planning: the dataflow is the paper's, the
+	// seed transforms only its output (or, for Aes, its round keys).
+	if opts.Seed != nil {
+		p.Seed = deriveSeed(opts.Seed, opts.Tracer)
+	}
+	return p, nil
 }
 
 // buildFixedPlan unrolls the loads of a fixed-length format

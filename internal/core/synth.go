@@ -29,7 +29,8 @@ func Synthesize(pat *pattern.Pattern, fam Family, opts Options) (*Fn, error) {
 	}
 	planDone(telemetry.Int("loads", len(plan.Loads)),
 		telemetry.Int("variable_bits", plan.HashBits),
-		telemetry.Bool("fallback", plan.Fallback))
+		telemetry.Bool("fallback", plan.Fallback),
+		telemetry.Bool("seeded", plan.Seed != nil))
 	verifyDone := telemetry.StartSpan(opts.Tracer, "synth.verify",
 		telemetry.Str("family", fam.String()))
 	if err := VerifyPlan(plan); err != nil {
@@ -39,7 +40,16 @@ func Synthesize(pat *pattern.Pattern, fam Family, opts Options) (*Fn, error) {
 	if opts.RequireBijective {
 		if c := Certify(plan); !c.Bijective {
 			err := fmt.Errorf("%w: %s", ErrNotBijective, c.Reason)
-			verifyDone(telemetry.Str("error", err.Error()))
+			attrs := []telemetry.Attr{telemetry.Str("error", err.Error())}
+			if c.Counterexample != nil {
+				// Counterexample keys are user data: mark them sensitive
+				// so trace exports route them through the installed
+				// redactor, like the SLO exemplars.
+				attrs = append(attrs,
+					telemetry.Sensitive("counterexample_key1", c.Counterexample.Key1),
+					telemetry.Sensitive("counterexample_key2", c.Counterexample.Key2))
+			}
+			verifyDone(attrs...)
 			return nil, err
 		}
 	}

@@ -1,0 +1,140 @@
+package flood
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/rng"
+)
+
+// toyHash is GF(2)-affine in the low 4 bits of each digit byte and
+// deliberately structured like a synthesized linear plan: each digit
+// position contributes a distinct shifted copy of its nibble.
+func toyHash(key string) uint64 {
+	var h uint64 = 0x9E3779B97F4A7C15
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i]&0x0F) << uint((i*7)%60)
+	}
+	return h
+}
+
+// toyMatches accepts 12-digit decimal strings.
+func toyMatches(key string) bool {
+	if len(key) != 12 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] < '0' || key[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMinerRecoversAffineBits(t *testing.T) {
+	m, err := NewMiner(toyHash, toyMatches, []string{"523804917365"})
+	if err != nil {
+		t.Fatalf("NewMiner: %v", err)
+	}
+	// 12 digits, each with at least 2 flippable in-format low bits
+	// that stay decimal, all independent by construction.
+	if m.Bits() < 12 {
+		t.Fatalf("recovered %d affine bits, want >= 12", m.Bits())
+	}
+}
+
+func TestMineBucketsCollides(t *testing.T) {
+	m, err := NewMiner(toyHash, toyMatches, []string{"523804917365"})
+	if err != nil {
+		t.Fatalf("NewMiner: %v", err)
+	}
+	const p, s = 509, 4
+	keys := m.MineBuckets(p, s, 256, 1<<20)
+	if len(keys) < 64 {
+		t.Fatalf("mined %d keys, want >= 64", len(keys))
+	}
+	seen := make(map[string]struct{})
+	for _, k := range keys {
+		if !toyMatches(k) {
+			t.Fatalf("mined off-format key %q", k)
+		}
+		if toyHash(k)%p >= s {
+			t.Fatalf("mined key %q hashes outside target buckets", k)
+		}
+		if _, dup := seen[k]; dup {
+			t.Fatalf("duplicate mined key %q", k)
+		}
+		seen[k] = struct{}{}
+	}
+	// All keys in s buckets: B-Coll is pinned at len-|buckets hit|.
+	if got := BColl(Hashes(toyHash, keys), p); got < len(keys)-int(s) {
+		t.Fatalf("B-Coll = %d, want >= %d", got, len(keys)-int(s))
+	}
+}
+
+func TestMinerRejectsNonAffine(t *testing.T) {
+	// A mixing nonlinear hash: every flip changes everything, the
+	// pairwise affinity check cannot find a consistent reference.
+	nonlin := func(key string) uint64 {
+		var h uint64 = 1469598103934665603
+		for i := 0; i < len(key); i++ {
+			h = (h ^ uint64(key[i])) * 1099511628211
+			h ^= h >> 29
+			h *= 0xBF58476D1CE4E5B9
+		}
+		return h
+	}
+	if _, err := NewMiner(nonlin, toyMatches, []string{"523804917365"}); err == nil {
+		t.Fatal("NewMiner accepted a nonlinear target, want ErrNotAffine")
+	}
+}
+
+func TestMineBrute(t *testing.T) {
+	r := rng.New(42)
+	gen := func() string {
+		var b strings.Builder
+		for i := 0; i < 12; i++ {
+			b.WriteByte(byte('0' + r.Intn(10)))
+		}
+		return b.String()
+	}
+	const p, s = 127, 4
+	keys := MineBrute(toyHash, gen, p, s, 64, 1<<16)
+	if len(keys) < 32 {
+		t.Fatalf("brute-mined %d keys, want >= 32", len(keys))
+	}
+	for _, k := range keys {
+		if toyHash(k)%p >= s {
+			t.Fatalf("brute key %q outside target buckets", k)
+		}
+	}
+}
+
+func TestOracleBColl(t *testing.T) {
+	mu, sigma := OracleBColl(2048, 2053, 16, 7)
+	// Balls-in-bins: expected collisions n - m(1-(1-1/m)^n); for
+	// n=2048, m=2053 that is ~756.
+	if mu < 700 || mu > 810 {
+		t.Fatalf("oracle mu = %.1f, want ~756", mu)
+	}
+	if sigma <= 0 || sigma > 40 {
+		t.Fatalf("oracle sigma = %.1f, want small positive", sigma)
+	}
+	// Determinism: same seed, same estimate.
+	mu2, sigma2 := OracleBColl(2048, 2053, 16, 7)
+	if mu2 != mu || sigma2 != sigma {
+		t.Fatal("OracleBColl is not deterministic for a fixed seed")
+	}
+}
+
+func TestBColl(t *testing.T) {
+	if got := BColl(nil, 64); got != 0 {
+		t.Fatalf("BColl(nil) = %d", got)
+	}
+	if got := BColl([]uint64{1, 2, 3, 4}, 64); got != 0 {
+		t.Fatalf("distinct buckets: B-Coll = %d, want 0", got)
+	}
+	if got := BColl([]uint64{1, 65, 129, 2}, 64); got != 2 {
+		t.Fatalf("three-way chain: B-Coll = %d, want 2", got)
+	}
+}

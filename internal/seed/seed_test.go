@@ -1,0 +1,92 @@
+package seed
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFromUint64Deterministic(t *testing.T) {
+	a, b := FromUint64(42).Material(), FromUint64(42).Material()
+	if a != b {
+		t.Fatalf("same master derived different material: %+v vs %+v", a, b)
+	}
+	c := FromUint64(43).Material()
+	if a == c {
+		t.Fatal("distinct masters derived identical material")
+	}
+}
+
+func TestNewSeedsDiffer(t *testing.T) {
+	a, b := New(), New()
+	if a.Material() == b.Material() {
+		t.Fatal("two fresh random seeds derived identical material")
+	}
+	if a.Generation() == b.Generation() {
+		t.Fatal("generation numbers must be unique per seed")
+	}
+}
+
+func TestStringRedacts(t *testing.T) {
+	s := FromUint64(0xDEADBEEF)
+	if strings.Contains(s.String(), "deadbeef") || strings.Contains(s.String(), "DEADBEEF") {
+		t.Fatalf("String leaks the master: %q", s.String())
+	}
+	if !strings.Contains(s.String(), "redacted") {
+		t.Fatalf("String should advertise redaction: %q", s.String())
+	}
+}
+
+// TestMixInvertibleByConstruction checks the algebraic claim behind
+// the post-mix: the derived round has four pairwise-distinct nonzero
+// rotations (an odd-weight circulant polynomial), so Mix is a
+// bijection of uint64 — verified here by checking that Mix has a
+// trivial kernel over a basis probe for many seeds.
+func TestMixInvertibleByConstruction(t *testing.T) {
+	for master := uint64(0); master < 256; master++ {
+		m := FromUint64(master).Material()
+		for i := 0; i < 4; i++ {
+			if m.R[i] == 0 {
+				t.Fatalf("master %d: zero rotation: %v", master, m.R)
+			}
+			for j := 0; j < i; j++ {
+				if m.R[i] == m.R[j] {
+					t.Fatalf("master %d: duplicate rotations: %v", master, m.R)
+				}
+			}
+		}
+		// Rank probe: eliminate the images of the 64 basis vectors.
+		var pivots [64]uint64
+		rank := 0
+		for b := 0; b < 64; b++ {
+			v := m.Mix(1 << b)
+			for v != 0 {
+				top := 63 - leadingZeros(v)
+				if pivots[top] == 0 {
+					pivots[top] = v
+					rank++
+					break
+				}
+				v ^= pivots[top]
+			}
+		}
+		if rank != 64 {
+			t.Fatalf("master %d: post-mix rank %d, want 64", master, rank)
+		}
+	}
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for v&(1<<63) == 0 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+func TestMaterialAtVariesWithAttempt(t *testing.T) {
+	s := FromUint64(7)
+	if s.MaterialAt(0) == s.MaterialAt(1) {
+		t.Fatal("attempts must derive distinct material")
+	}
+}

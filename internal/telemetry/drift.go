@@ -204,6 +204,12 @@ func (d *DriftMonitor) Reset() {
 	// flag computed against the pre-Reset window.
 	d.degraded.Store(false)
 	d.fired.Store(false)
+	// Re-phase the batch sampler too: observeBatch keeps its own
+	// counter, and wherever the old phase happened to sit, the first
+	// post-Reset window would sample late — up to SampleEvery-1 batches
+	// of the fresh stream unobserved. Parking the counter at the mask
+	// makes the very next batch a sample.
+	d.batches.Store(d.mask)
 	d.mu.Unlock()
 }
 

@@ -180,3 +180,28 @@ func TestDriftResetClearsWindowAndRearmsCallback(t *testing.T) {
 		t.Fatalf("OnDegrade fired %d times, want 2 (re-armed by Reset)", fired)
 	}
 }
+
+// TestDriftResetRephasesBatchSampler is the regression test for the
+// PR 6 batch-mask bug: Reset cleared the window but left the batch
+// counter wherever its phase happened to sit, so the first post-Reset
+// window could go up to SampleEvery-1 batches without a single sample.
+// Reset must park the counter so the very next batch is sampled.
+func TestDriftResetRephasesBatchSampler(t *testing.T) {
+	d := NewDriftMonitor("t", ssnLike, DriftConfig{
+		Window: 16, MinSamples: 4, Threshold: 0.5, SampleEvery: 8,
+	})
+	// Leave the batch counter mid-phase: four skipped batches, four
+	// short of the next sampling point (every 8th batch samples).
+	for i := 0; i < 4; i++ {
+		d.observeBatch("078-05-1120", 1)
+	}
+	before := d.Snapshot().Sampled
+	if before != 0 {
+		t.Fatalf("setup: sampled = %d, want 0 (mid-phase, counter at 4 of 8)", before)
+	}
+	d.Reset()
+	d.observeBatch("078-05-1120", 1)
+	if got := d.Snapshot().Sampled; got != 1 {
+		t.Fatalf("first batch after Reset not sampled: sampled = %d, want 1", got)
+	}
+}

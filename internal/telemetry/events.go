@@ -89,6 +89,11 @@ type Recorder struct {
 	mask    uint64
 	cursor  atomic.Uint64
 	enabled atomic.Bool
+	// redact, when set, rewrites sensitive attribute values at export
+	// time (WriteJSONLines, WriteChromeTrace, Handler). Events in the
+	// ring stay raw; only what leaves the process is redacted —
+	// mirroring how the registry snapshots treat exemplar keys.
+	redact atomic.Pointer[func(string) string]
 }
 
 // DefaultRecorderCap is the ring capacity NewRecorder selects for
@@ -115,6 +120,37 @@ func NewRecorder(n int) *Recorder {
 // events at the cost of one atomic load; the captured history stays
 // readable.
 func (r *Recorder) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// SetRedactor installs fn over the values of sensitive attributes in
+// every export. nil removes redaction. Registry.SetRedactor installs
+// the same function here and over its metric snapshots, so exemplar
+// keys and recorded counterexamples are governed by one policy.
+func (r *Recorder) SetRedactor(fn func(string) string) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.redact.Store(nil)
+		return
+	}
+	r.redact.Store(&fn)
+}
+
+// redactor returns the installed redactor, or nil.
+func (r *Recorder) redactor() func(string) string {
+	if p := r.redact.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// exportValue is an attribute's value as it may leave the process.
+func exportValue(a Attr, redact func(string) string) string {
+	if a.Sensitive && redact != nil {
+		return redact(a.Value)
+	}
+	return a.Value
+}
 
 // Enabled reports whether the recorder is capturing.
 func (r *Recorder) Enabled() bool { return r.enabled.Load() }
@@ -239,8 +275,9 @@ func (r *Recorder) Events() []Event {
 // per line, oldest first.
 func (r *Recorder) WriteJSONLines(w io.Writer) error {
 	enc := json.NewEncoder(w)
+	redact := r.redactor()
 	for _, ev := range r.Events() {
-		if err := enc.Encode(jsonEvent(ev)); err != nil {
+		if err := enc.Encode(jsonEvent(ev, redact)); err != nil {
 			return err
 		}
 	}
@@ -258,7 +295,7 @@ type lineEvent struct {
 	Attrs   map[string]string `json:"attrs,omitempty"`
 }
 
-func jsonEvent(ev Event) lineEvent {
+func jsonEvent(ev Event, redact func(string) string) lineEvent {
 	le := lineEvent{
 		Seq:     ev.Seq,
 		Kind:    ev.Kind.String(),
@@ -270,7 +307,7 @@ func jsonEvent(ev Event) lineEvent {
 	if ev.NAttr > 0 {
 		le.Attrs = make(map[string]string, ev.NAttr)
 		for _, a := range ev.AttrList() {
-			le.Attrs[a.Key] = a.Value
+			le.Attrs[a.Key] = exportValue(a, redact)
 		}
 	}
 	return le
@@ -302,6 +339,7 @@ type ChromeTrace struct {
 // tid so each subsystem renders on its own track.
 func (r *Recorder) chromeTrace() ChromeTrace {
 	events := r.Events()
+	redact := r.redactor()
 	tids := map[string]int{}
 	trace := ChromeTrace{TraceEvents: make([]ChromeTraceEvent, 0, len(events)), DisplayTimeUnit: "ns"}
 	for _, ev := range events {
@@ -328,7 +366,7 @@ func (r *Recorder) chromeTrace() ChromeTrace {
 		if ev.NAttr > 0 {
 			ce.Args = make(map[string]string, ev.NAttr)
 			for _, a := range ev.AttrList() {
-				ce.Args[a.Key] = a.Value
+				ce.Args[a.Key] = exportValue(a, redact)
 			}
 		}
 		trace.TraceEvents = append(trace.TraceEvents, ce)

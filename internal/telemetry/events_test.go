@@ -302,3 +302,47 @@ func TestRecorderConcurrent(t *testing.T) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestRecorderRedactsSensitiveAttrs pins the export-side redaction
+// contract: sensitive attribute values (certifier counterexamples,
+// exemplar keys) pass through the installed redactor in both the
+// JSON-lines and Chrome-trace exports, non-sensitive attributes are
+// untouched, raw values stay in memory (removing the redactor restores
+// them), and without a redactor the exports carry the raw value.
+func TestRecorderRedactsSensitiveAttrs(t *testing.T) {
+	r := NewRecorder(8)
+	r.Instant("certify", "counterexample",
+		Sensitive("key1", "078-05-1120"),
+		Str("family", "Naive"))
+
+	export := func() string {
+		var buf bytes.Buffer
+		if err := r.WriteJSONLines(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var chrome bytes.Buffer
+		if err := r.WriteChromeTrace(&chrome); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String() + chrome.String()
+	}
+
+	if out := export(); !strings.Contains(out, "078-05-1120") {
+		t.Fatal("without a redactor the raw value must export as-is")
+	}
+	r.SetRedactor(func(string) string { return "[redacted]" })
+	out := export()
+	if strings.Contains(out, "078-05-1120") {
+		t.Fatalf("raw sensitive value leaked past the redactor:\n%s", out)
+	}
+	if !strings.Contains(out, "[redacted]") {
+		t.Fatalf("redacted placeholder missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Naive") {
+		t.Fatalf("non-sensitive attribute must not be redacted:\n%s", out)
+	}
+	r.SetRedactor(nil)
+	if out := export(); !strings.Contains(out, "078-05-1120") {
+		t.Fatal("raw value must survive in memory and export after redactor removal")
+	}
+}

@@ -58,10 +58,14 @@ func (r *Registry) Recorder() *Recorder {
 // fn at snapshot/export time. Raw keys stay in memory — block-level
 // Snapshot calls on the metric structs themselves are unredacted — but
 // nothing leaves the registry's JSON or Prometheus surfaces without
-// passing fn. A nil fn removes redaction.
+// passing fn. The same fn is installed on the registry's flight
+// recorder, so sensitive attributes of recorded events (certifier
+// counterexamples among them) are covered by the one policy when
+// exported as JSON lines or Chrome traces. A nil fn removes redaction.
 func (r *Registry) SetRedactor(fn func(string) string) {
 	r.mu.Lock()
 	r.redact = fn
+	r.rec.SetRedactor(fn)
 	r.mu.Unlock()
 }
 
@@ -69,6 +73,7 @@ func (r *Registry) SetRedactor(fn func(string) string) {
 func (r *Registry) NewHash(name string) *HashMetrics {
 	m := NewHashMetrics(name)
 	r.mu.Lock()
+	m.rec = r.rec
 	r.hashes = append(r.hashes, m)
 	r.mu.Unlock()
 	return m

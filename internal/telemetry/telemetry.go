@@ -16,6 +16,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -264,6 +265,10 @@ type HashMetrics struct {
 	latency         Histogram
 	slowest         maxExemplar
 	counterexamples keySet
+	// rec is the registry's flight recorder (nil for free-standing
+	// blocks); counterexample attachments are recorded there with
+	// sensitive attributes so trace exports redact them.
+	rec *Recorder
 }
 
 // NewHashMetrics returns an empty metrics block named name.
@@ -288,6 +293,18 @@ func (m *HashMetrics) ObserveLatency(key string, ns uint64, at int64) {
 // a collision alarm has the reproducing keys in hand.
 func (m *HashMetrics) SetCounterexamples(keys ...string) {
 	m.counterexamples.add(keys...)
+	// Mirror the attachment into the flight recorder. The keys are
+	// user data: marked sensitive, they pass through the registry's
+	// redactor on every JSON-lines or Chrome-trace export, exactly
+	// like the SLO exemplars pass through it in snapshots.
+	attrs := []Attr{Str("hash", m.name), Int("count", len(keys))}
+	for i, k := range keys {
+		if i >= 2 {
+			break // a colliding pair identifies the reproducer
+		}
+		attrs = append(attrs, Sensitive(fmt.Sprintf("key%d", i+1), k))
+	}
+	m.rec.Instant("hash", "hash.counterexample", attrs...)
 }
 
 // Instrument wraps fn so that calls and sampled latencies feed m, and

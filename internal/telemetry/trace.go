@@ -13,6 +13,11 @@ import (
 type Attr struct {
 	Key   string
 	Value string
+	// Sensitive marks the value as user data (a key, a certifier
+	// counterexample). Flight-recorder exports pass sensitive values
+	// through the installed redactor (Recorder.SetRedactor) before
+	// they leave the process; in-process readers see them raw.
+	Sensitive bool
 }
 
 // String formats an attribute as key=value.
@@ -26,6 +31,12 @@ func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
 
 // Bool builds a boolean-valued attribute.
 func Bool(key string, v bool) Attr { return Attr{Key: key, Value: fmt.Sprint(v)} }
+
+// Sensitive builds a string-valued attribute carrying user data, to be
+// redacted at export.
+func Sensitive(key, value string) Attr {
+	return Attr{Key: key, Value: value, Sensitive: true}
+}
 
 // Span is one timed event of the synthesis pipeline: a named phase
 // with its wall-clock duration and structured attributes.

@@ -35,6 +35,7 @@ import (
 	"github.com/sepe-go/sepe/internal/pattern"
 	"github.com/sepe-go/sepe/internal/rex"
 	"github.com/sepe-go/sepe/internal/rng"
+	"github.com/sepe-go/sepe/internal/seed"
 )
 
 // HashFunc is a hash function over string keys.
@@ -181,6 +182,72 @@ func WithTracer(t Tracer) Option {
 	return func(o *core.Options) { o.Tracer = t }
 }
 
+// Seed is an opaque keying secret for seeded synthesis. A seeded
+// function's hash values depend on the seed, so an attacker who knows
+// the key format — and could otherwise mine colliding keys offline
+// against the deterministic function — faces an unknown member of a
+// 2^64-strong family instead. Seeds redact themselves when formatted;
+// only the disclosure-safe Generation number may be logged.
+//
+// The zero Seed is unkeyed: passing it to WithSeed is a no-op.
+type Seed struct {
+	s *seed.Seed
+}
+
+// NewSeed returns a fresh random seed from the operating system's
+// CSPRNG. This is the per-process seed of a production deployment.
+func NewSeed() Seed { return Seed{s: seed.New()} }
+
+// SeedFromUint64 returns the deterministic seed derived from v — for
+// tests, and for fleets that must agree on hash placement across
+// processes. v is as secret as the seed itself.
+func SeedFromUint64(v uint64) Seed { return Seed{s: seed.FromUint64(v)} }
+
+// Generation returns the seed's process-wide generation number, a
+// disclosure-safe identifier for telemetry (0 for the zero Seed).
+func (s Seed) Generation() uint64 {
+	if s.s == nil {
+		return 0
+	}
+	return s.s.Generation()
+}
+
+// String redacts.
+func (s Seed) String() string {
+	if s.s == nil {
+		return "sepe.Seed(zero)"
+	}
+	return "sepe.Seed(redacted)"
+}
+
+// WithSeed keys the synthesized function with s: the linear families
+// (Naive, OffXor, Pext) gain a secret full-rank affine GF(2) post-mix
+// — certified invertible, so bijectivity certificates and Invert still
+// hold — and the Aes family draws its round keys from the seed. Equal
+// seeds give bit-identical functions; distinct seeds give functions
+// whose bucket placement an attacker cannot predict from the format
+// alone. See the "Keyed hashing & flood resistance" section of the
+// README for the threat model and its limits.
+func WithSeed(s Seed) Option {
+	return func(o *core.Options) { o.Seed = s.s }
+}
+
+// NewSeededHash is Synthesize with a fresh random per-process seed:
+// the flood-resistant counterpart of the plain constructor. The seed
+// is not recoverable from the returned Hash; rotate by re-synthesizing
+// (the adaptive wrapper does this on every recovery — see
+// NewAdaptiveHash).
+func NewSeededHash(f *Format, fam Family, opts ...Option) (*Hash, error) {
+	return Synthesize(f, fam, append([]Option{WithSeed(NewSeed())}, opts...)...)
+}
+
+// NewSeededAll is SynthesizeAll under one fresh random seed shared by
+// every family, so a deployment comparing families keys them
+// identically.
+func NewSeededAll(f *Format, opts ...Option) (map[Family]*Hash, error) {
+	return SynthesizeAll(f, append([]Option{WithSeed(NewSeed())}, opts...)...)
+}
+
 // RequireCertifiedBijective makes Synthesize fail with
 // core.ErrNotBijective unless the certifier proves the function maps
 // distinct format keys to distinct 64-bit values. The proof is the
@@ -308,14 +375,36 @@ func (h *Hash) Fallback() bool { return h.fn.Plan().Fallback }
 // the CPU feature overrides may select a different one.
 func (h *Hash) Backend() Backend { return h.fn.Backend() }
 
+// Seeded reports whether the function carries keying material
+// (WithSeed / NewSeededHash).
+func (h *Hash) Seeded() bool { return h.fn.Plan().Seed != nil }
+
+// SeedGeneration returns the generation number of the function's seed
+// (0 for unseeded functions) — the only seed-derived quantity safe to
+// log.
+func (h *Hash) SeedGeneration() uint64 {
+	if p := h.fn.Plan(); p.Seed != nil {
+		return p.Seed.Gen
+	}
+	return 0
+}
+
 // GoSource emits the function as Go source (one file; compile it with
 // SupportSource in the same package).
+//
+// Seed caveat: codegen renders the unseeded dataflow only. Emitting a
+// seeded function would bake its secret post-mix and round keys into
+// source text — exactly the disclosure seeding exists to prevent — so
+// the generated code computes the unseeded hash even when h is seeded.
 func (h *Hash) GoSource(pkg, name string) string {
 	return codegen.Go(h.fn.Plan(), codegen.GoOptions{Package: pkg, Name: name})
 }
 
 // CPPSource emits the function as a C++ functor in the paper's Figure
 // 5c shape, usable with std::unordered_map.
+//
+// Seed caveat: as with GoSource, the emitted functor is the unseeded
+// function; seeds never appear in generated source.
 func (h *Hash) CPPSource(structName string) string {
 	return codegen.CPP(h.fn.Plan(), codegen.CPPOptions{Struct: structName})
 }
