@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check lint mutate certify flood traffic bench benchhw benchparallel benchobs fuzz repro repro-quick examples golden clean
+.PHONY: all build test vet check lint mutate certify flood traffic bench benchhw benchparallel benchobs fuzz repro repro-quick examples golden serve-smoke clean
 
 # Pinned versions of the external analysis tools. The module has no
 # dependencies, so the usual blank-import tools.go pattern would break
@@ -114,8 +114,9 @@ benchobs:
 
 # Fuzz every public-surface target for FUZZTIME each: regex parsing,
 # inference, synthesized hashes on arbitrary keys, the bijective
-# container's off-format guard, and the hardware kernels against their
-# bit-at-a-time references.
+# container's off-format guard, the hardware kernels against their
+# bit-at-a-time references, and the plan wire decoder on arbitrary
+# frames (the serving plane's trust boundary).
 fuzz:
 	$(GO) test -fuzz=FuzzParseRegex -fuzztime=$(FUZZTIME) -run '^$$' .
 	$(GO) test -fuzz=FuzzInfer -fuzztime=$(FUZZTIME) -run '^$$' .
@@ -125,6 +126,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzPextHW -fuzztime=$(FUZZTIME) -run '^$$' ./internal/pext/
 	$(GO) test -fuzz=FuzzAesRoundHW -fuzztime=$(FUZZTIME) -run '^$$' ./internal/aesround/
 	$(GO) test -fuzz=FuzzShardedMapOps -fuzztime=$(FUZZTIME) -run '^$$' ./internal/shard/
+	$(GO) test -fuzz=FuzzPlanDecode -fuzztime=$(FUZZTIME) -run '^$$' ./internal/wire/
 
 # Regenerate every table and figure of the paper at full cost
 # (≈25 minutes; writes results_full.txt and results_grid.csv).
@@ -150,6 +152,12 @@ examples:
 # Refresh the codegen golden files after an intended emitter change.
 golden:
 	$(GO) test ./internal/codegen -run TestGolden -update
+
+# End-to-end smoke of the sepeserve daemon against a real socket:
+# register → poll ready → hash → export → restart → warm-start from
+# the plan cache → import → graceful shutdown. CI runs the same script.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 clean:
 	rm -f results_full.txt results_full.err results_grid.csv test_output.txt bench_output.txt

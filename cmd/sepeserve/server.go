@@ -1,0 +1,363 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/sepe-go/sepe/internal/adaptive"
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/telemetry"
+	"github.com/sepe-go/sepe/internal/wire"
+)
+
+// HTTP surface of the daemon. All bodies are JSON except plan
+// export/import, which move raw wire frames (application/octet-stream)
+// so a plan file works unchanged as a cache entry, a curl download and
+// an import body. Hash values are rendered as 16-digit hex strings:
+// JSON numbers are float64 and silently corrupt 64-bit values.
+
+const (
+	// maxBatch bounds one batch-hash request; larger batches answer
+	// 413 so a single tenant cannot monopolize the daemon.
+	maxBatch = 4096
+	// maxBody bounds JSON request bodies (plan imports are bounded by
+	// wire.MaxEncodedSize instead).
+	maxBody = 1 << 20
+)
+
+// server routes requests into the registry.
+type server struct {
+	reg   *registry
+	tel   *telemetry.Registry
+	start time.Time
+}
+
+func newServer(reg *registry) *server {
+	return &server{reg: reg, tel: reg.reg, start: time.Now()}
+}
+
+// mux builds the daemon's routing table.
+func (s *server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("POST /v1/formats", s.handleRegister)
+	m.HandleFunc("GET /v1/formats", s.handleList)
+	m.HandleFunc("GET /v1/formats/{name}", s.handleStatus)
+	m.HandleFunc("DELETE /v1/formats/{name}", s.handleDelete)
+	m.HandleFunc("GET /v1/formats/{name}/plan", s.handleExport)
+	m.HandleFunc("PUT /v1/formats/{name}/plan", s.handleImport)
+	m.HandleFunc("GET /v1/formats/{name}/certificate", s.handleCertificate)
+	m.HandleFunc("POST /v1/hash/{name}", s.handleHash)
+	m.Handle("GET /healthz", s.tel.HealthHandler())
+	m.Handle("GET /livez", s.tel.HealthHandler())
+	m.Handle("GET /metrics", s.tel.Handler())
+	m.Handle("GET /debug/trace", s.tel.Recorder().Handler())
+	return m
+}
+
+// jsonError writes a JSON problem body with the given status.
+func jsonError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// statusOf maps registry errors to HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, errUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, errTenantExists):
+		return http.StatusConflict
+	case errors.Is(err, errNotReady):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// registerRequest is the POST /v1/formats body.
+type registerRequest struct {
+	Name     string   `json:"name"`
+	Regex    string   `json:"regex,omitempty"`
+	Examples []string `json:"examples,omitempty"`
+	Family   string   `json:"family,omitempty"`
+	Keyed    bool     `json:"keyed,omitempty"`
+}
+
+func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := decodeJSON(r, &req); err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	fam, err := parseFamily(req.Family)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	t, err := s.reg.register(registration{
+		name:     req.Name,
+		regex:    req.Regex,
+		examples: req.Examples,
+		family:   fam,
+		keyed:    req.Keyed,
+	})
+	if err != nil {
+		jsonError(w, statusOf(err), err)
+		return
+	}
+	w.Header().Set("Location", "/v1/formats/"+t.name)
+	writeJSON(w, http.StatusAccepted, t.status())
+	s.tel.Recorder().Instant("serve", "serve.register",
+		telemetry.Str("tenant", t.name), telemetry.Str("family", t.family.String()))
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.names()
+	out := make([]tenantStatus, 0, len(names))
+	for _, n := range names {
+		if t, err := s.reg.lookup(n); err == nil {
+			out = append(out, t.status())
+		}
+	}
+	// Deterministic order for scripts and tests.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"formats": out})
+}
+
+// tenantStatus is the wire shape of GET /v1/formats/{name}: the
+// tenant's lifecycle state plus the live adaptive and drift views.
+type tenantStatus struct {
+	Name       string                   `json:"name"`
+	State      string                   `json:"state"`
+	Error      string                   `json:"error,omitempty"`
+	Source     string                   `json:"source"`
+	Regex      string                   `json:"regex,omitempty"`
+	Family     string                   `json:"family"`
+	Keyed      bool                     `json:"keyed"`
+	Backend    string                   `json:"backend,omitempty"`
+	Generation uint64                   `json:"generation"`
+	Adaptive   string                   `json:"adaptive,omitempty"`
+	SwapGen    uint64                   `json:"swap_generation,omitempty"`
+	Drift      *telemetry.DriftSnapshot `json:"drift,omitempty"`
+	Since      time.Time                `json:"since"`
+	Created    time.Time                `json:"created"`
+}
+
+// status snapshots the tenant for the API.
+func (t *tenant) status() tenantStatus {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := tenantStatus{
+		Name:       t.name,
+		State:      t.state.String(),
+		Error:      t.errMsg,
+		Source:     t.source,
+		Regex:      t.spec,
+		Family:     t.family.String(),
+		Keyed:      t.keyed,
+		Generation: t.gen,
+		Since:      t.since,
+		Created:    t.created,
+	}
+	if t.fn != nil {
+		st.Backend = t.fn.Backend().String()
+		st.Regex = t.fn.Pattern().Regex()
+	}
+	if t.hash != nil {
+		st.Adaptive = t.hash.State().String()
+		st.SwapGen = t.hash.Generation()
+		snap := t.hash.Monitor().Snapshot()
+		st.Drift = &snap
+	}
+	return st
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	t, err := s.reg.lookup(r.PathValue("name"))
+	if err != nil {
+		jsonError(w, statusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.status())
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.remove(r.PathValue("name")); err != nil {
+		jsonError(w, statusOf(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ready returns the tenant's adaptive hash and latest fn, or an error
+// explaining why it cannot serve.
+func (t *tenant) ready() (*adaptive.Hash, *core.Fn, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	switch t.state {
+	case stateReady:
+		return t.hash, t.fn, nil
+	case statePending:
+		return nil, nil, fmt.Errorf("%w: %q is synthesizing", errNotReady, t.name)
+	default:
+		return nil, nil, fmt.Errorf("%w: %q failed: %s", errNotReady, t.name, t.errMsg)
+	}
+}
+
+// hashRequest is the POST /v1/hash/{name} body: a single key or a
+// batch, not both.
+type hashRequest struct {
+	Key  *string  `json:"key,omitempty"`
+	Keys []string `json:"keys,omitempty"`
+}
+
+func (s *server) handleHash(w http.ResponseWriter, r *http.Request) {
+	t, err := s.reg.lookup(r.PathValue("name"))
+	if err != nil {
+		jsonError(w, statusOf(err), err)
+		return
+	}
+	ah, _, err := t.ready()
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		jsonError(w, statusOf(err), err)
+		return
+	}
+	var req hashRequest
+	if err := decodeJSON(r, &req); err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch {
+	case req.Key != nil && len(req.Keys) == 0:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"hash":       hex64(ah.Hash(*req.Key)),
+			"generation": ah.Generation(),
+		})
+	case req.Key == nil && len(req.Keys) > 0:
+		if len(req.Keys) > maxBatch {
+			jsonError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("batch of %d exceeds the %d-key limit", len(req.Keys), maxBatch))
+			return
+		}
+		out := make([]uint64, len(req.Keys))
+		ah.HashBatch(req.Keys, out)
+		hexes := make([]string, len(out))
+		for i, h := range out {
+			hexes[i] = hex64(h)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"hashes":     hexes,
+			"generation": ah.Generation(),
+		})
+	default:
+		jsonError(w, http.StatusBadRequest,
+			errors.New(`body must carry exactly one of "key" or "keys"`))
+	}
+}
+
+func hex64(v uint64) string { return strconv.FormatUint(v, 16) }
+
+func (s *server) handleExport(w http.ResponseWriter, r *http.Request) {
+	t, err := s.reg.lookup(r.PathValue("name"))
+	if err != nil {
+		jsonError(w, statusOf(err), err)
+		return
+	}
+	_, fn, err := t.ready()
+	if err != nil {
+		jsonError(w, statusOf(err), err)
+		return
+	}
+	frame, err := wire.Encode(fn.Plan())
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", t.name+".sepeplan"))
+	w.Header().Set("X-Sepe-Wire-Version", strconv.Itoa(wire.Version))
+	w.Write(frame)
+}
+
+func (s *server) handleImport(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, wire.MaxEncodedSize+1))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > wire.MaxEncodedSize {
+		jsonError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("plan frame exceeds %d bytes", wire.MaxEncodedSize))
+		return
+	}
+	d, err := wire.Decode(body)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("plan rejected: %w", err))
+		return
+	}
+	t, err := s.reg.adopt(r.PathValue("name"), d, "import")
+	if err != nil {
+		jsonError(w, statusOf(err), err)
+		return
+	}
+	if s.reg.cache != nil {
+		// Persist the imported frame verbatim so a restart replays it.
+		if err := s.reg.cache.Save(t.name, body); err != nil {
+			s.tel.Recorder().Instant("cache", "persist-failed",
+				telemetry.Str("tenant", t.name), telemetry.Str("error", err.Error()))
+		}
+	}
+	writeJSON(w, http.StatusCreated, t.status())
+}
+
+func (s *server) handleCertificate(w http.ResponseWriter, r *http.Request) {
+	t, err := s.reg.lookup(r.PathValue("name"))
+	if err != nil {
+		jsonError(w, statusOf(err), err)
+		return
+	}
+	_, fn, err := t.ready()
+	if err != nil {
+		jsonError(w, statusOf(err), err)
+		return
+	}
+	cert := core.Certify(fn.Plan())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"certificate": cert,
+		"digest":      hex64(core.CertDigest(fn.Plan())),
+	})
+}
+
+// decodeJSON reads a bounded JSON body, rejecting trailing garbage.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBody))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("invalid JSON body: trailing data")
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package pattern
+
+// Fingerprint returns a 64-bit digest of the format: the FNV-1a fold
+// of the length bounds and every position's Known/Value masks. Two
+// patterns share a fingerprint exactly when they admit the same keys
+// with the same constant-bit structure — the identity the wire format
+// stamps into every exported plan so an importer can tell "same
+// format, different process" from "different format entirely" without
+// shipping example keys.
+//
+// The digest is content-derived and carries no secret: formats are
+// public in the threat model of DESIGN.md §11 (only seeds are not),
+// so the fingerprint is safe on the wire and in logs.
+func (p *Pattern) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h = (h ^ uint64(b)) * prime64
+	}
+	mix64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	}
+	mix64(uint64(p.MinLen))
+	mix64(uint64(p.MaxLen))
+	for _, b := range p.Bytes {
+		mix(b.Known)
+		mix(b.Value)
+	}
+	return h
+}

@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Cache is an on-disk plan cache: one wire frame per named entry, so a
+// restarted process compiles yesterday's plans instead of re-running
+// synthesis. Entries are keyed by caller-chosen names (sepeserve uses
+// tenant names); names are validated against a conservative character
+// set so a hostile registration can never become a path traversal.
+//
+// Writes are atomic (temp file + rename in the same directory), so a
+// crash mid-save leaves either the old entry or the new one, never a
+// torn frame — and a torn frame would fail Decode's CRC anyway.
+// Methods are safe for concurrent use by multiple goroutines of one
+// process; cross-process coordination is the rename's atomicity.
+type Cache struct {
+	dir string
+}
+
+// cacheExt is the plan-frame file suffix.
+const cacheExt = ".sepeplan"
+
+// nameOK is the entry-name grammar: the same conservative set
+// sepeserve accepts for tenant names.
+var nameOK = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ErrBadName reports an entry name outside the allowed grammar.
+var ErrBadName = errors.New("wire: cache entry name not in [A-Za-z0-9][A-Za-z0-9._-]{0,63}")
+
+// ValidName reports whether name is acceptable as a cache entry (and
+// therefore as a sepeserve tenant name, which uses the same grammar).
+func ValidName(name string) bool {
+	return nameOK.MatchString(name) && !strings.Contains(name, "..")
+}
+
+// OpenCache ensures dir exists and returns a cache rooted there.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wire: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a validated entry name to its file.
+func (c *Cache) path(name string) (string, error) {
+	if !nameOK.MatchString(name) || strings.Contains(name, "..") {
+		return "", fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	return filepath.Join(c.dir, name+cacheExt), nil
+}
+
+// Save writes the already-encoded frame under name, atomically.
+func (c *Cache) Save(name string, frame []byte) error {
+	p, err := c.path(name)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("wire: cache save: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(frame); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wire: cache save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wire: cache save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("wire: cache save: %w", err)
+	}
+	return nil
+}
+
+// Load reads and decodes the entry, returning os.ErrNotExist (wrapped)
+// when the name has never been saved. A present-but-corrupt entry
+// returns the decoder's error; callers treat both the same way — fall
+// through to synthesis and overwrite.
+func (c *Cache) Load(name string) (*Decoded, error) {
+	p, err := c.path(name)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := os.ReadFile(p)
+	if err != nil {
+		return nil, err
+	}
+	d, err := Decode(frame)
+	if err != nil {
+		return nil, fmt.Errorf("wire: cache entry %q: %w", name, err)
+	}
+	return d, nil
+}
+
+// Remove deletes the entry; missing entries are not an error.
+func (c *Cache) Remove(name string) error {
+	p, err := c.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Names lists the saved entry names, sorted, skipping files that are
+// not plan frames.
+func (c *Cache) Names() ([]string, error) {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), cacheExt) {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), cacheExt)
+		if nameOK.MatchString(name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

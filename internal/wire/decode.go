@@ -1,0 +1,336 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/pattern"
+)
+
+// Decoded is the result of decoding one wire frame: the rebuilt
+// structural plan plus the frame's provenance stamps. The plan carries
+// no seed (the wire format cannot express one); pass Options.Seed to
+// Compile to key it locally.
+type Decoded struct {
+	// Plan is the rebuilt plan IR, structurally validated (VerifyPlan)
+	// and with its extraction networks recompiled for this process's
+	// CPU tier.
+	Plan *core.Plan
+	// Fingerprint is the format fingerprint stamped by the encoder,
+	// verified against the decoded pattern.
+	Fingerprint uint64
+	// CertDigest is the certificate digest stamped by the encoder,
+	// verified against this process's re-certification of the plan.
+	CertDigest uint64
+	// WasSeeded reports that the exporting deployment served the plan
+	// keyed. Importers that care about flood resistance should re-key
+	// (Compile with a fresh seed); the wire never carries the old one.
+	WasSeeded bool
+}
+
+// Compile routes the decoded plan through the ordinary backend
+// dispatch: translation validation, optional local re-keying and
+// bijectivity gating per opts, then closure compilation with this
+// process's CPU tier decision.
+func (d *Decoded) Compile(opts core.Options) (*core.Fn, error) {
+	return core.FromPlan(d.Plan, opts)
+}
+
+// decodeState is a bounds-checked cursor over the payload. Every read
+// fails with ErrBadPayload instead of panicking, and every count is
+// checked against both the hard limits and the bytes actually
+// remaining — a hostile frame cannot make the decoder allocate more
+// than it transmitted.
+type decodeState struct {
+	b   []byte
+	off int
+}
+
+func (d *decodeState) remaining() int { return len(d.b) - d.off }
+
+func (d *decodeState) u8() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, ErrBadPayload
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decodeState) u64() (uint64, error) {
+	if d.remaining() < 8 {
+		return 0, ErrBadPayload
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decodeState) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, ErrBadPayload
+	}
+	d.off += n
+	return v, nil
+}
+
+// count reads a length prefix and validates it against a hard limit
+// and a per-element minimum byte cost, so the subsequent allocation is
+// bounded by the frame's own size.
+func (d *decodeState) count(limit int, minBytesPer int) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(limit) {
+		return 0, ErrTooLarge
+	}
+	if minBytesPer > 0 && v > uint64(d.remaining()/minBytesPer) {
+		return 0, ErrBadPayload
+	}
+	return int(v), nil
+}
+
+func (d *decodeState) bytes(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, ErrBadPayload
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v, nil
+}
+
+// Decode parses one wire frame back into a plan. It is total over
+// arbitrary input: any byte string either yields a structurally
+// validated plan or an error — never a panic, never an allocation
+// beyond the Max* limits (fuzzed by FuzzPlanDecode). Validation runs
+// in four layers:
+//
+//  1. framing: magic, known version, in-bounds length, CRC;
+//  2. shape: counts within limits and within the transmitted bytes,
+//     masks/shifts/flags within their domains;
+//  3. identity: the format fingerprint and certificate digest stamped
+//     by the encoder must match this process's recomputation over the
+//     decoded plan;
+//  4. semantics: core.VerifyPlan — the certifier's structural
+//     findings — must come back clean.
+func Decode(data []byte) (*Decoded, error) {
+	if len(data) > MaxEncodedSize {
+		return nil, ErrTooLarge
+	}
+	if len(data) < 14 { // magic+version+length+crc of an empty payload
+		return nil, ErrTruncated
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	ver := binary.LittleEndian.Uint16(data[4:6])
+	if ver != Version {
+		return nil, fmt.Errorf("%w: %d (reader supports %d)", ErrBadVersion, ver, Version)
+	}
+	payLen := int(binary.LittleEndian.Uint32(data[6:10]))
+	if payLen != len(data)-14 {
+		if payLen > len(data)-14 {
+			return nil, ErrTruncated
+		}
+		return nil, ErrTrailingBytes
+	}
+	body := data[:10+payLen]
+	want := binary.LittleEndian.Uint32(data[10+payLen:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, ErrBadChecksum
+	}
+
+	d := &decodeState{b: data[10 : 10+payLen]}
+	fam, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if core.Family(fam) != core.Naive && core.Family(fam) != core.OffXor &&
+		core.Family(fam) != core.Aes && core.Family(fam) != core.Pext {
+		return nil, fmt.Errorf("%w: unknown family %d", ErrBadPayload, fam)
+	}
+	flags, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if flags&^byte(flagsKnown) != 0 {
+		return nil, fmt.Errorf("%w: unknown flag bits %#02x", ErrBadPayload, flags)
+	}
+	tgt, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if tgt&^byte(tgtKnown) != 0 {
+		return nil, fmt.Errorf("%w: unknown target bits %#02x", ErrBadPayload, tgt)
+	}
+	nameLen, err := d.count(maxTargetName, 1)
+	if err != nil {
+		return nil, err
+	}
+	nameBytes, err := d.bytes(nameLen)
+	if err != nil {
+		return nil, err
+	}
+	keyLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	hashBits, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if keyLen > MaxPatternLen || hashBits > 8*MaxPatternLen {
+		return nil, ErrTooLarge
+	}
+
+	minLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	maxLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if maxLen > MaxPatternLen || minLen > maxLen {
+		return nil, ErrTooLarge
+	}
+	if uint64(d.remaining()) < 2*maxLen {
+		return nil, ErrBadPayload
+	}
+	pbytes := make([]pattern.Byte, maxLen)
+	for i := range pbytes {
+		kv, err := d.bytes(2)
+		if err != nil {
+			return nil, err
+		}
+		pbytes[i] = pattern.Byte{Known: kv[0], Value: kv[1]}
+		if pbytes[i].Value&^pbytes[i].Known != 0 {
+			return nil, fmt.Errorf("%w: pattern byte %d has value outside known mask", ErrBadPayload, i)
+		}
+	}
+	pat := &pattern.Pattern{Bytes: pbytes, MinLen: int(minLen), MaxLen: int(maxLen)}
+	if err := pat.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayload, err)
+	}
+
+	nLoads, err := d.count(MaxLoads, 12) // offset+partial+shift+flags+mask ≥ 12 bytes
+	if err != nil {
+		return nil, err
+	}
+	loads := make([]core.Load, 0, nLoads)
+	for i := 0; i < nLoads; i++ {
+		off, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		part, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		shift, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		lf, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		mask, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		if off > MaxPatternLen || part > 8 || !validShift(shift) {
+			return nil, fmt.Errorf("%w: load %d out of range", ErrBadPayload, i)
+		}
+		if lf&^byte(loadFlagsKnown) != 0 {
+			return nil, fmt.Errorf("%w: load %d has unknown flag bits %#02x", ErrBadPayload, i, lf)
+		}
+		if lf&loadExtracted != 0 && onesCount(mask) == 0 {
+			return nil, fmt.Errorf("%w: load %d extracts an empty mask", ErrBadPayload, i)
+		}
+		loads = append(loads, core.NewLoad(int(off), int(part), mask, uint(shift), lf&loadExtracted != 0))
+	}
+
+	nSkip, err := d.count(MaxSkip, 1)
+	if err != nil {
+		return nil, err
+	}
+	var skip []int
+	if nSkip > 0 {
+		skip = make([]int, 0, nSkip)
+		for i := 0; i < nSkip; i++ {
+			s, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if s > MaxPatternLen {
+				return nil, ErrTooLarge
+			}
+			skip = append(skip, int(s))
+		}
+	}
+	skipLoads, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if skipLoads > MaxSkip {
+		return nil, ErrTooLarge
+	}
+	// Cross-field consistency: fixed and fallback plans have no skip
+	// table, and a variable plan's load count never exceeds its stride
+	// count (SkipTable emits one trailing stride past the last load).
+	if (flags&flagFixed != 0 || flags&flagFallback != 0) && (nSkip > 0 || skipLoads > 0) {
+		return nil, fmt.Errorf("%w: fixed/fallback plan carries a skip table", ErrBadPayload)
+	}
+	if nSkip > 0 && skipLoads >= uint64(nSkip) {
+		return nil, fmt.Errorf("%w: %d skip loads over %d strides", ErrBadPayload, skipLoads, nSkip)
+	}
+	if flags&flagFallback != 0 && nLoads > 0 {
+		return nil, fmt.Errorf("%w: fallback plan carries loads", ErrBadPayload)
+	}
+
+	fp, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	certDigest, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, ErrTrailingBytes
+	}
+
+	if got := pat.Fingerprint(); got != fp {
+		return nil, fmt.Errorf("%w: frame says %#016x, pattern hashes to %#016x", ErrFingerprint, fp, got)
+	}
+
+	p := &core.Plan{
+		Family:    core.Family(fam),
+		Target:    core.Target{Name: string(nameBytes), BitExtract: tgt&tgtBitExtract != 0, AESRound: tgt&tgtAESRound != 0},
+		Pattern:   pat,
+		Fixed:     flags&flagFixed != 0,
+		KeyLen:    int(keyLen),
+		Loads:     loads,
+		Skip:      skip,
+		SkipLoads: int(skipLoads),
+		Fallback:  flags&flagFallback != 0,
+		HashBits:  int(hashBits),
+	}
+	if err := core.VerifyPlan(p); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidPlan, err)
+	}
+	if got := core.CertDigest(p); got != certDigest {
+		return nil, fmt.Errorf("%w: frame says %#016x, plan certifies to %#016x", ErrCertDigest, certDigest, got)
+	}
+	return &Decoded{
+		Plan:        p,
+		Fingerprint: fp,
+		CertDigest:  certDigest,
+		WasSeeded:   flags&flagWasSeeded != 0,
+	}, nil
+}

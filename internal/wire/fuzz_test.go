@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/seed"
+)
+
+// FuzzPlanDecode: arbitrary bytes into Decode must return an error or
+// a validated plan — never panic, never hang, never allocate beyond
+// the package's Max* limits. The decoder is the serving plane's trust
+// boundary (plan import and the disk cache both feed it untrusted
+// bytes), so this target rides in `make fuzz` and the CI fuzz smoke
+// next to the parser fuzzers.
+func FuzzPlanDecode(f *testing.F) {
+	// Valid frames of every plan shape seed the corpus, plus framing
+	// edge cases the mutator can grow from.
+	seedPlans := []struct {
+		regex string
+		fam   core.Family
+		opts  core.Options
+	}{
+		{`[0-9]{3}-[0-9]{2}-[0-9]{4}`, core.Pext, core.Options{}},
+		{`[0-9]{3}-[0-9]{2}-[0-9]{4}`, core.Naive, core.Options{}},
+		{`[0-9]{3}-[0-9]{2}-[0-9]{4}`, core.Aes, core.Options{Seed: seed.FromUint64(7)}},
+		{`[a-z0-9]{8,24}\.html`, core.OffXor, core.Options{}},
+		{`[0-9]{4}`, core.Pext, core.Options{}},
+		{`[0-9]{4}`, core.Pext, core.Options{AllowShort: true}},
+	}
+	for _, sp := range seedPlans {
+		p := mustPlanF(f, sp.regex, sp.fam, sp.opts)
+		frame, err := Encode(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("SEPW"))
+	f.Add([]byte{'S', 'E', 'P', 'W', 1, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successful decode is a contract: the plan is structurally
+		// valid, within limits, carries no seed, and both compiles and
+		// re-encodes.
+		p := d.Plan
+		if p.Seed != nil {
+			t.Fatal("decoded plan carries keying material")
+		}
+		if len(p.Loads) > MaxLoads || len(p.Skip) > MaxSkip || p.Pattern.MaxLen > MaxPatternLen {
+			t.Fatalf("decoded plan exceeds limits: %d loads, %d skip, maxlen %d",
+				len(p.Loads), len(p.Skip), p.Pattern.MaxLen)
+		}
+		fn, err := d.Compile(core.Options{})
+		if err != nil {
+			t.Fatalf("validated plan failed to compile: %v", err)
+		}
+		// The compiled closure must be total over arbitrary keys.
+		_ = fn.Hash("")
+		_ = fn.Hash("a")
+		_ = fn.Hash("0123456789abcdef0123456789abcdef")
+		if _, err := Encode(p); err != nil {
+			t.Fatalf("validated plan failed to re-encode: %v", err)
+		}
+	})
+}
+
+// mustPlanF is mustPlan for fuzz seeding (testing.F is not a *testing.T).
+func mustPlanF(f *testing.F, regex string, fam core.Family, opts core.Options) *core.Plan {
+	f.Helper()
+	pat, err := rexParse(regex)
+	if err != nil {
+		f.Fatalf("ParseAndLower(%q): %v", regex, err)
+	}
+	fn, err := core.Synthesize(pat, fam, opts)
+	if err != nil {
+		f.Fatalf("Synthesize(%q, %v): %v", regex, fam, err)
+	}
+	return fn.Plan()
+}

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/seed"
+)
+
+// The golden fixtures pin wire-format version 1 byte for byte: one
+// frame per family over the SSN format, the keyed (post-mix) Pext
+// variant, a variable-length plan and a short-format fallback. If any
+// of these change without bumping wire.Version, this test fails — and
+// it should: a silent layout change strands every cached plan and
+// every peer that imported one.
+//
+// -update regenerates the fixtures after an *intended* format change
+// (which must come with a version bump and decoder support):
+//
+//	go test ./internal/wire -run TestGoldenFixtures -update
+var update = flag.Bool("update", false, "rewrite golden wire fixtures")
+
+// goldenCases enumerate the fixture plans. Synthesis is fully
+// deterministic (and seeding does not reach the encoding), so the
+// frames are reproducible on any machine.
+func goldenCases(t *testing.T) map[string]*core.Plan {
+	t.Helper()
+	const ssn = `[0-9]{3}-[0-9]{2}-[0-9]{4}`
+	return map[string]*core.Plan{
+		"ssn_naive":  mustPlan(t, ssn, core.Naive, core.Options{}),
+		"ssn_offxor": mustPlan(t, ssn, core.OffXor, core.Options{}),
+		"ssn_aes":    mustPlan(t, ssn, core.Aes, core.Options{}),
+		"ssn_pext":   mustPlan(t, ssn, core.Pext, core.Options{}),
+		// The keyed variant: the plan carries an affine post-mix
+		// (PlanSeed), whose only trace on the wire is the wasSeeded
+		// flag — the fixture proves seed material has no byte layout
+		// to regress.
+		"ssn_pext_keyed": mustPlan(t, ssn, core.Pext, core.Options{Seed: seed.FromUint64(42)}),
+		"url_variable":   mustPlan(t, `[a-z0-9]{8,24}\.html`, core.Pext, core.Options{}),
+		"pin_fallback":   mustPlan(t, `[0-9]{4}`, core.Pext, core.Options{}),
+	}
+}
+
+func TestGoldenFixtures(t *testing.T) {
+	for name, plan := range goldenCases(t) {
+		frame, err := Encode(plan)
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		path := filepath.Join("testdata", name+".sepeplan")
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, frame, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden fixture (run with -update): %v", name, err)
+		}
+		if !bytes.Equal(frame, want) {
+			t.Errorf("%s: wire encoding changed without a version bump (still %d).\n"+
+				"If the layout change is intended: bump wire.Version, keep Decode accepting "+
+				"the old version, and regenerate with -update.\ngot  %d bytes\nwant %d bytes",
+				name, Version, len(frame), len(want))
+		}
+		// The pinned bytes must also still decode and round-trip.
+		d, err := Decode(want)
+		if err != nil {
+			t.Fatalf("%s: golden fixture no longer decodes: %v", name, err)
+		}
+		if !plansEqual(d.Plan, plan) {
+			t.Errorf("%s: golden fixture decodes to a different plan", name)
+		}
+	}
+}

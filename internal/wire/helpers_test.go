@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/pattern"
+	"github.com/sepe-go/sepe/internal/rex"
+	"github.com/sepe-go/sepe/internal/rng"
+)
+
+// rexParse parses a restricted regex into a pattern (shared by the
+// fuzz seeder, which runs under *testing.F rather than *testing.T).
+func rexParse(expr string) (*pattern.Pattern, error) { return rex.ParseAndLower(expr) }
+
+// testRng returns a deterministic sampler source.
+func testRng(seed uint64) *rng.Rand { return rng.New(seed) }
+
+// clonePlan copies a plan's compile-relevant state so tests can
+// compile the same plan twice without Backend cross-talk.
+func clonePlan(p *core.Plan) *core.Plan {
+	q := *p
+	q.Loads = append([]core.Load(nil), p.Loads...)
+	q.Skip = append([]int(nil), p.Skip...)
+	return &q
+}
+
+// plansEqual compares the structural fields the wire format carries.
+func plansEqual(a, b *core.Plan) bool {
+	if a.Family != b.Family || a.Fixed != b.Fixed || a.Fallback != b.Fallback ||
+		a.KeyLen != b.KeyLen || a.HashBits != b.HashBits || a.SkipLoads != b.SkipLoads ||
+		a.Target != b.Target || len(a.Loads) != len(b.Loads) || len(a.Skip) != len(b.Skip) {
+		return false
+	}
+	for i := range a.Loads {
+		x, y := &a.Loads[i], &b.Loads[i]
+		if x.Offset != y.Offset || x.Partial != y.Partial || x.Mask != y.Mask ||
+			x.Shift != y.Shift || (x.Extractor() == nil) != (y.Extractor() == nil) {
+			return false
+		}
+	}
+	for i := range a.Skip {
+		if a.Skip[i] != b.Skip[i] {
+			return false
+		}
+	}
+	if a.Pattern.MinLen != b.Pattern.MinLen || a.Pattern.MaxLen != b.Pattern.MaxLen {
+		return false
+	}
+	for i := range a.Pattern.Bytes {
+		if a.Pattern.Bytes[i] != b.Pattern.Bytes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func put32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+
+func crcIEEE(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/cpu"
+	"github.com/sepe-go/sepe/internal/keys"
+	"github.com/sepe-go/sepe/internal/rng"
+)
+
+// tierConfigs are the execution-tier configurations of the
+// differential battery: the detected hardware (fused kernels where
+// the plan shape allows, i.e. the hw/fused tiers), each kernel class
+// forced off alone, and the all-software tier (the in-process
+// equivalent of SEPE_NOHW=all). Overrides are downward-clamped, so on
+// hardware without BMI2/AES-NI some configurations coincide — the
+// battery then simply re-proves the software tier.
+var tierConfigs = []struct {
+	name      string
+	bmi2, aes bool
+}{
+	{"hw", true, true},
+	{"nopext", false, true},
+	{"noaes", true, false},
+	{"sw", false, false},
+}
+
+// TestDifferentialRoundTrip is the serialize→deserialize→compile
+// oracle over the paper's full corpus: for every RQ format, every
+// family, and every execution tier, the plan that went through the
+// wire must hash a 64Ki-key corpus bit-identically to the in-process
+// plan. Encoding happens once per (format, family) under the default
+// tier; decoding and compilation run under each tier, which also
+// proves frames are tier-portable (a plan exported from a BMI2
+// machine serves identically on a machine without it).
+func TestDifferentialRoundTrip(t *testing.T) {
+	nKeys := 64 * 1024
+	if testing.Short() {
+		nKeys = 4 * 1024
+	}
+	prevB, prevA := cpu.BMI2(), cpu.AES()
+	defer func() { cpu.SetBMI2(prevB); cpu.SetAES(prevA) }()
+
+	for _, kt := range keys.All {
+		pat, err := rexParse(kt.Regex())
+		if err != nil {
+			t.Fatalf("%v: %v", kt, err)
+		}
+		corpus := pat.SampleN(rng.New(uint64(kt)*0x9E3779B9+1), nKeys)
+		for _, fam := range core.Families {
+			// Encode once, under the default tier: the frame must not
+			// depend on the encoder's CPU.
+			cpu.SetBMI2(prevB)
+			cpu.SetAES(prevA)
+			fn, err := core.Synthesize(pat, fam, core.Options{})
+			if err != nil {
+				t.Fatalf("%v/%v: synthesize: %v", kt, fam, err)
+			}
+			frame, err := Encode(fn.Plan())
+			if err != nil {
+				t.Fatalf("%v/%v: encode: %v", kt, fam, err)
+			}
+			for _, tier := range tierConfigs {
+				t.Run(fmt.Sprintf("%v/%v/%s", kt, fam, tier.name), func(t *testing.T) {
+					cpu.SetBMI2(tier.bmi2)
+					cpu.SetAES(tier.aes)
+					defer func() { cpu.SetBMI2(prevB); cpu.SetAES(prevA) }()
+
+					// In-process reference, compiled under this tier.
+					ref, err := core.Synthesize(pat, fam, core.Options{})
+					if err != nil {
+						t.Fatalf("synthesize: %v", err)
+					}
+					d, err := Decode(frame)
+					if err != nil {
+						t.Fatalf("decode: %v", err)
+					}
+					got, err := d.Compile(core.Options{})
+					if err != nil {
+						t.Fatalf("compile: %v", err)
+					}
+					if got.Backend() != ref.Backend() {
+						t.Errorf("backend: wire %v, in-process %v", got.Backend(), ref.Backend())
+					}
+					for _, key := range corpus {
+						if g, w := got.Hash(key), ref.Hash(key); g != w {
+							t.Fatalf("hash(%q) = %#x via wire, %#x in-process", key, g, w)
+						}
+					}
+					// Off-format keys hash identically too: the closures
+					// are total and the wire must not change their
+					// fallback behavior.
+					for _, key := range []string{"", "x", "totally-off-format-key-0123456789"} {
+						if g, w := got.Hash(key), ref.Hash(key); g != w {
+							t.Fatalf("off-format hash(%q) = %#x via wire, %#x in-process", key, g, w)
+						}
+					}
+				})
+			}
+		}
+	}
+}

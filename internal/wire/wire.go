@@ -1,0 +1,237 @@
+// Package wire is the plan IR's versioned binary encoding: the form
+// in which a synthesized hash function leaves its process — to a disk
+// cache that survives restarts, or over the network to another
+// machine that will compile and serve it (cmd/sepeserve).
+//
+// # Format (version 1)
+//
+// A frame is length-prefixed and checksummed:
+//
+//	magic    "SEPW"                          4 bytes
+//	version  uint16, little-endian           2 bytes
+//	length   uint32, little-endian           4 bytes — payload size
+//	payload  length bytes (below)
+//	crc32    uint32, little-endian           4 bytes — IEEE, over
+//	         magic, version, length and payload
+//
+// Multi-byte integers inside the payload are unsigned LEB128 varints
+// ("uv") except the 64-bit masks and digests, which are fixed
+// little-endian words ("u64"). The payload:
+//
+//	family     u8    core.Family (0..3)
+//	flags      u8    bit0 fixed, bit1 fallback, bit2 wasSeeded
+//	target     u8    bit0 BitExtract, bit1 AESRound
+//	targetName uv+n  length-prefixed UTF-8 target name
+//	keyLen     uv
+//	hashBits   uv
+//	minLen     uv    ┐ pattern: per-position Known/Value masks over
+//	maxLen     uv    │ maxLen bytes
+//	bytes      2×maxLen  (known, value) pairs  ┘
+//	nLoads     uv
+//	loads      nLoads × { offset uv, partial uv, shift uv,
+//	                      lflags u8 (bit0 extracted), mask u64 }
+//	nSkip      uv
+//	skip       nSkip × uv
+//	skipLoads  uv
+//	fingerprint u64  pattern.Fingerprint of the format
+//	certDigest  u64  core.CertDigest of the (unseeded) plan
+//
+// # Versioning rules
+//
+// The version is bumped whenever the byte layout changes or an
+// existing field changes meaning; Decode accepts exactly the versions
+// it knows (currently: 1) and rejects anything newer, so an old
+// reader fails loudly instead of misparsing. New optional semantics
+// must ride new flag bits with zero as the compatible default. The
+// golden fixtures under testdata/ pin the layout: any encoding change
+// without a version bump fails TestGoldenFixtures.
+//
+// # Seed exclusion
+//
+// The encoding carries no keying material, by construction: PlanSeed
+// (the affine post-mix rotations/constant and the AES round keys) has
+// no wire representation at all, only the one-bit wasSeeded marker
+// that tells an importer the original deployment was keyed. This is
+// the DESIGN.md §11 threat model applied to the serving plane — seeds
+// are per-process secrets, so shipping one with the plan would turn a
+// plan cache or an export endpoint into a seed oracle. A process that
+// imports a wasSeeded plan re-keys it with its *own* seed
+// (core.FromPlan with Options.Seed); hash placement therefore does
+// not survive transport for keyed tenants, which is the point.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/bits"
+
+	"github.com/sepe-go/sepe/internal/core"
+)
+
+// Version is the current wire-format version. Bump it on any layout
+// change and teach Decode the old layouts (or reject them loudly).
+const Version = 1
+
+// magic identifies a SEPE wire-format plan frame.
+var magic = [4]byte{'S', 'E', 'P', 'W'}
+
+// Decode hard limits: arbitrary input must never make the decoder
+// allocate beyond these, panic, or spin. They are far above anything
+// the planners emit (the longest RQ format, INTS, is 100 bytes and 13
+// loads) but small enough that a hostile frame costs kilobytes, not
+// gigabytes.
+const (
+	// MaxEncodedSize bounds the whole frame.
+	MaxEncodedSize = 1 << 20
+	// MaxPatternLen bounds the format's MaxLen (and so the per-byte
+	// mask table).
+	MaxPatternLen = 1 << 16
+	// MaxLoads bounds the unrolled load list.
+	MaxLoads = 1 << 13
+	// MaxSkip bounds the skip table.
+	MaxSkip = 1 << 13
+	// maxTargetName bounds the target's name string.
+	maxTargetName = 64
+)
+
+// Encoding errors.
+var (
+	ErrNilPlan       = errors.New("wire: nil plan")
+	ErrUnencodable   = errors.New("wire: plan exceeds encoding limits")
+	ErrNilPattern    = errors.New("wire: plan has no pattern")
+	ErrTruncated     = errors.New("wire: truncated frame")
+	ErrBadMagic      = errors.New("wire: bad magic")
+	ErrBadVersion    = errors.New("wire: unsupported version")
+	ErrBadChecksum   = errors.New("wire: checksum mismatch")
+	ErrBadPayload    = errors.New("wire: malformed payload")
+	ErrTooLarge      = errors.New("wire: frame exceeds size limits")
+	ErrFingerprint   = errors.New("wire: format fingerprint mismatch")
+	ErrCertDigest    = errors.New("wire: certificate digest mismatch")
+	ErrInvalidPlan   = errors.New("wire: decoded plan failed validation")
+	ErrTrailingBytes = errors.New("wire: trailing bytes after frame")
+)
+
+// Frame flag bits.
+const (
+	flagFixed     = 1 << 0
+	flagFallback  = 1 << 1
+	flagWasSeeded = 1 << 2
+	flagsKnown    = flagFixed | flagFallback | flagWasSeeded
+)
+
+// Target flag bits.
+const (
+	tgtBitExtract = 1 << 0
+	tgtAESRound   = 1 << 1
+	tgtKnown      = tgtBitExtract | tgtAESRound
+)
+
+// Load flag bits.
+const (
+	loadExtracted  = 1 << 0
+	loadFlagsKnown = loadExtracted
+)
+
+// Encode serializes the plan's structural IR. Seeded plans encode
+// byte-identically to their unseeded twins except for the wasSeeded
+// flag bit: the keying slot is excluded by construction (see the
+// package comment), and the certificate digest is computed over the
+// unseeded plan so seed rotation never changes the encoding.
+func Encode(p *core.Plan) ([]byte, error) {
+	if p == nil {
+		return nil, ErrNilPlan
+	}
+	if p.Pattern == nil {
+		return nil, ErrNilPattern
+	}
+	pat := p.Pattern
+	if pat.MaxLen > MaxPatternLen || len(p.Loads) > MaxLoads || len(p.Skip) > MaxSkip ||
+		len(p.Target.Name) > maxTargetName {
+		return nil, ErrUnencodable
+	}
+	if err := pat.Validate(); err != nil {
+		return nil, err
+	}
+
+	var pay []byte
+	pay = append(pay, byte(p.Family))
+	var flags byte
+	if p.Fixed {
+		flags |= flagFixed
+	}
+	if p.Fallback {
+		flags |= flagFallback
+	}
+	if p.Seed != nil {
+		flags |= flagWasSeeded
+	}
+	pay = append(pay, flags)
+	var tgt byte
+	if p.Target.BitExtract {
+		tgt |= tgtBitExtract
+	}
+	if p.Target.AESRound {
+		tgt |= tgtAESRound
+	}
+	pay = append(pay, tgt)
+	pay = putUvarint(pay, uint64(len(p.Target.Name)))
+	pay = append(pay, p.Target.Name...)
+	pay = putUvarint(pay, uint64(p.KeyLen))
+	pay = putUvarint(pay, uint64(p.HashBits))
+	pay = putUvarint(pay, uint64(pat.MinLen))
+	pay = putUvarint(pay, uint64(pat.MaxLen))
+	for _, b := range pat.Bytes {
+		pay = append(pay, b.Known, b.Value)
+	}
+	pay = putUvarint(pay, uint64(len(p.Loads)))
+	for i := range p.Loads {
+		l := &p.Loads[i]
+		if l.Offset < 0 || l.Partial < 0 {
+			return nil, ErrUnencodable
+		}
+		pay = putUvarint(pay, uint64(l.Offset))
+		pay = putUvarint(pay, uint64(l.Partial))
+		pay = putUvarint(pay, uint64(l.Shift))
+		var lf byte
+		if l.Extractor() != nil {
+			lf |= loadExtracted
+		}
+		pay = append(pay, lf)
+		pay = binary.LittleEndian.AppendUint64(pay, l.Mask)
+	}
+	pay = putUvarint(pay, uint64(len(p.Skip)))
+	for _, s := range p.Skip {
+		if s < 0 {
+			return nil, ErrUnencodable
+		}
+		pay = putUvarint(pay, uint64(s))
+	}
+	pay = putUvarint(pay, uint64(p.SkipLoads))
+	pay = binary.LittleEndian.AppendUint64(pay, pat.Fingerprint())
+	pay = binary.LittleEndian.AppendUint64(pay, core.CertDigest(p))
+
+	frame := make([]byte, 0, len(pay)+14)
+	frame = append(frame, magic[:]...)
+	frame = binary.LittleEndian.AppendUint16(frame, Version)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(pay)))
+	frame = append(frame, pay...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
+	if len(frame) > MaxEncodedSize {
+		return nil, ErrUnencodable
+	}
+	return frame, nil
+}
+
+// putUvarint appends v as an unsigned LEB128 varint.
+func putUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// rotl64Bits sanity-bounds a decoded shift: RotateLeft64 is total, but
+// shifts ≥ 64 never come out of packShifts, so the decoder treats them
+// as corruption rather than normalizing silently.
+func validShift(s uint64) bool { return s < 64 }
+
+// onesCount is re-exported shorthand for the decoder's mask checks.
+func onesCount(m uint64) int { return bits.OnesCount64(m) }

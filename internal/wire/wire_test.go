@@ -1,0 +1,299 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/rex"
+	"github.com/sepe-go/sepe/internal/seed"
+)
+
+// mustPlan synthesizes a plan for the regex and family, failing the
+// test on any error.
+func mustPlan(t *testing.T, regex string, fam core.Family, opts core.Options) *core.Plan {
+	t.Helper()
+	pat, err := rex.ParseAndLower(regex)
+	if err != nil {
+		t.Fatalf("ParseAndLower(%q): %v", regex, err)
+	}
+	fn, err := core.Synthesize(pat, fam, opts)
+	if err != nil {
+		t.Fatalf("Synthesize(%q, %v): %v", regex, fam, err)
+	}
+	return fn.Plan()
+}
+
+// testFormats covers the plan shapes the encoder must handle: fixed,
+// variable-length, short (fallback), and forced-short.
+var testFormats = []struct {
+	name  string
+	regex string
+	opts  core.Options
+}{
+	{"ssn", `[0-9]{3}-[0-9]{2}-[0-9]{4}`, core.Options{}},
+	{"mac", `([0-9a-f]{2}-){5}[0-9a-f]{2}`, core.Options{}},
+	{"varlen", `[a-z0-9]{8,24}\.html`, core.Options{}},
+	{"short-fallback", `[0-9]{4}`, core.Options{}},
+	{"short-forced", `[0-9]{4}`, core.Options{AllowShort: true}},
+}
+
+// TestRoundTrip: Encode→Decode must reproduce the structural plan
+// exactly, and the recompiled function must hash identically to the
+// original across sampled format keys.
+func TestRoundTrip(t *testing.T) {
+	for _, tf := range testFormats {
+		for _, fam := range core.Families {
+			p := mustPlan(t, tf.regex, fam, tf.opts)
+			orig, err := core.FromPlan(clonePlan(p), core.Options{})
+			if err != nil {
+				t.Fatalf("%s/%v: FromPlan(original): %v", tf.name, fam, err)
+			}
+			frame, err := Encode(p)
+			if err != nil {
+				t.Fatalf("%s/%v: Encode: %v", tf.name, fam, err)
+			}
+			d, err := Decode(frame)
+			if err != nil {
+				t.Fatalf("%s/%v: Decode: %v", tf.name, fam, err)
+			}
+			if d.WasSeeded {
+				t.Errorf("%s/%v: unseeded plan decoded as wasSeeded", tf.name, fam)
+			}
+			if d.Plan.Seed != nil {
+				t.Fatalf("%s/%v: decoded plan carries a seed", tf.name, fam)
+			}
+			q := d.Plan
+			if q.Family != p.Family || q.Fixed != p.Fixed || q.Fallback != p.Fallback ||
+				q.KeyLen != p.KeyLen || q.HashBits != p.HashBits || q.SkipLoads != p.SkipLoads ||
+				len(q.Loads) != len(p.Loads) || len(q.Skip) != len(p.Skip) ||
+				q.Target != p.Target {
+				t.Fatalf("%s/%v: structural mismatch:\n got %+v\nwant %+v", tf.name, fam, q, p)
+			}
+			for i := range p.Loads {
+				a, b := &p.Loads[i], &q.Loads[i]
+				if a.Offset != b.Offset || a.Partial != b.Partial || a.Mask != b.Mask ||
+					a.Shift != b.Shift || (a.Extractor() == nil) != (b.Extractor() == nil) {
+					t.Fatalf("%s/%v: load %d mismatch: got %+v want %+v", tf.name, fam, i, b, a)
+				}
+			}
+			fn, err := d.Compile(core.Options{})
+			if err != nil {
+				t.Fatalf("%s/%v: Compile: %v", tf.name, fam, err)
+			}
+			for _, key := range p.Pattern.SampleN(testRng(uint64(fam)+1), 256) {
+				if got, want := fn.Hash(key), orig.Hash(key); got != want {
+					t.Fatalf("%s/%v: hash(%q) = %#x, in-process %#x", tf.name, fam, key, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSeedExclusion: a seeded plan must encode byte-identically to its
+// unseeded twin except for the wasSeeded flag bit, and decoding must
+// never resurrect keying material.
+func TestSeedExclusion(t *testing.T) {
+	const regex = `[0-9]{3}-[0-9]{2}-[0-9]{4}`
+	for _, fam := range core.Families {
+		plain := mustPlan(t, regex, fam, core.Options{})
+		seeded := mustPlan(t, regex, fam, core.Options{Seed: seed.FromUint64(0xfeedface)})
+		if seeded.Seed == nil {
+			t.Fatalf("%v: seeded synthesis produced no keying slot", fam)
+		}
+		fp, err := Encode(plain)
+		if err != nil {
+			t.Fatalf("%v: Encode(plain): %v", fam, err)
+		}
+		fs, err := Encode(seeded)
+		if err != nil {
+			t.Fatalf("%v: Encode(seeded): %v", fam, err)
+		}
+		// Same length; the only difference is the flags byte (and the
+		// CRC that covers it).
+		if len(fp) != len(fs) {
+			t.Fatalf("%v: seeded frame %d bytes, unseeded %d — seeding leaked into the encoding",
+				fam, len(fs), len(fp))
+		}
+		diff := 0
+		for i := range fp {
+			if fp[i] != fs[i] {
+				diff++
+			}
+		}
+		// flags byte + up to 4 CRC bytes.
+		if diff > 5 {
+			t.Errorf("%v: %d differing bytes between seeded and unseeded frames (want ≤5: flag+crc)", fam, diff)
+		}
+		d, err := Decode(fs)
+		if err != nil {
+			t.Fatalf("%v: Decode(seeded): %v", fam, err)
+		}
+		if !d.WasSeeded {
+			t.Errorf("%v: wasSeeded flag lost", fam)
+		}
+		if d.Plan.Seed != nil {
+			t.Fatalf("%v: decoded plan resurrected a seed", fam)
+		}
+		// A second seed gives the byte-identical frame: the encoding is
+		// a pure function of the structural plan.
+		seeded2 := mustPlan(t, regex, fam, core.Options{Seed: seed.FromUint64(0x0ddba11)})
+		fs2, err := Encode(seeded2)
+		if err != nil {
+			t.Fatalf("%v: Encode(seeded2): %v", fam, err)
+		}
+		if !bytes.Equal(fs, fs2) {
+			t.Errorf("%v: encoding varies with the seed value", fam)
+		}
+	}
+}
+
+// TestDecodeRejections exercises the framing and validation layers
+// with targeted corruptions of a valid frame.
+func TestDecodeRejections(t *testing.T) {
+	p := mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, core.Pext, core.Options{})
+	frame, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mut func([]byte)) []byte {
+		b := append([]byte(nil), frame...)
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", frame[:8], ErrTruncated},
+		{"magic", corrupt(func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{"version", corrupt(func(b []byte) { b[4] = 99 }), ErrBadVersion},
+		{"truncated-payload", frame[:len(frame)-6], ErrTruncated},
+		{"trailing", append(append([]byte(nil), frame...), 0), ErrTrailingBytes},
+		{"crc", corrupt(func(b []byte) { b[len(b)-1] ^= 0xFF }), ErrBadChecksum},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Decode = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Flip each payload byte in turn (fixing up the CRC, so the
+	// corruption reaches the layers behind the checksum). Most flips
+	// must be rejected — shape checks, fingerprint, certificate digest,
+	// or plan validation. The frames that survive are by definition
+	// *valid* plans whose certified guarantees match their stamp (e.g.
+	// a packing-shift flip that keeps the rotation windows disjoint
+	// changes the function but not its certificate — plans are
+	// validated, not authenticated; tampering within the same
+	// certificate class is in-model). Surviving decodes must still
+	// compile and re-encode to a self-consistent frame, and a change to
+	// the format or the guarantees must never survive.
+	survived := 0
+	for i := 10; i < len(frame)-4; i++ {
+		b := append([]byte(nil), frame...)
+		b[i] ^= 0x01
+		reseal(b)
+		d, err := Decode(b)
+		if err != nil {
+			continue
+		}
+		survived++
+		if d.Fingerprint != p.Pattern.Fingerprint() && plansEqual(d.Plan, p) {
+			t.Errorf("byte %d: fingerprint changed but plan did not", i)
+		}
+		if _, err := d.Compile(core.Options{}); err != nil {
+			t.Errorf("byte %d: surviving decode failed to compile: %v", i, err)
+		}
+		re, err := Encode(d.Plan)
+		if err != nil {
+			t.Errorf("byte %d: surviving decode failed to re-encode: %v", i, err)
+			continue
+		}
+		d2, err := Decode(re)
+		if err != nil {
+			t.Errorf("byte %d: re-encoded frame failed to decode: %v", i, err)
+			continue
+		}
+		if !plansEqual(d.Plan, d2.Plan) {
+			t.Errorf("byte %d: re-encode round trip changed the plan", i)
+		}
+	}
+	// The flips that survive are the certificate-preserving ones; the
+	// overwhelming majority must be rejected.
+	if survived > len(frame)/4 {
+		t.Errorf("%d of %d byte flips survived validation", survived, len(frame)-14)
+	}
+}
+
+// TestCacheRoundTrip: save/load/list/remove against a temp dir, plus
+// the traversal guard.
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustPlan(t, `[0-9]{3}-[0-9]{2}-[0-9]{4}`, core.Pext, core.Options{})
+	frame, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save("ssn", frame); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Load("ssn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Fingerprint != p.Pattern.Fingerprint() {
+		t.Error("cache load returned a different plan")
+	}
+	names, err := c.Names()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "ssn" {
+		t.Errorf("Names = %v, want [ssn]", names)
+	}
+	if _, err := c.Load("absent"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("Load(absent) = %v, want ErrNotExist", err)
+	}
+	for _, bad := range []string{"../evil", "a/b", ".hidden", "", "x" + string(make([]byte, 100))} {
+		if err := c.Save(bad, frame); !errors.Is(err, ErrBadName) {
+			t.Errorf("Save(%q) = %v, want ErrBadName", bad, err)
+		}
+	}
+	// Corrupt entry: load fails, file stays for the caller to overwrite.
+	if err := os.WriteFile(filepath.Join(dir, "torn"+cacheExt), frame[:20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load("torn"); err == nil {
+		t.Error("Load(torn) accepted a truncated frame")
+	}
+	if err := c.Remove("ssn"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load("ssn"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("Load after Remove = %v, want ErrNotExist", err)
+	}
+	if err := c.Remove("ssn"); err != nil {
+		t.Errorf("Remove is not idempotent: %v", err)
+	}
+}
+
+// reseal recomputes the trailing CRC of a frame whose payload was
+// mutated, so tests reach the layers behind the checksum.
+func reseal(b []byte) {
+	if len(b) < 14 {
+		return
+	}
+	body := b[:len(b)-4]
+	put32(b[len(b)-4:], crcIEEE(body))
+}

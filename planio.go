@@ -1,0 +1,48 @@
+package sepe
+
+import (
+	"github.com/sepe-go/sepe/internal/core"
+	"github.com/sepe-go/sepe/internal/wire"
+)
+
+// Plan serialization: the public face of internal/wire. ExportPlan
+// turns a synthesized function into a portable, versioned binary frame
+// (the ".sepeplan" format served and cached by cmd/sepeserve);
+// ImportPlan validates such a frame and compiles it through the
+// ordinary backend dispatch, selecting this process's execution tier.
+//
+// Frames carry the structural plan only. Keying material (WithSeed)
+// never serializes: an imported plan that was keyed at the exporter is
+// unkeyed until re-keyed locally, by design — seeds are per-process
+// secrets (DESIGN.md §11, §12).
+
+// ExportPlan encodes the function's plan as a wire frame.
+func (h *Hash) ExportPlan() ([]byte, error) {
+	return wire.Encode(h.fn.Plan())
+}
+
+// PlanWireVersion is the wire-format version ExportPlan emits and
+// ImportPlan accepts.
+const PlanWireVersion = wire.Version
+
+// ImportPlan decodes and compiles a plan frame. The frame's checksum,
+// structural shape, format fingerprint and certificate digest are all
+// verified before compilation; any mismatch returns an error rather
+// than a weaker function. Options apply as in Synthesize — in
+// particular WithSeed keys the imported function locally, and
+// RequireCertifiedBijective gates on the certifier's proof.
+func ImportPlan(frame []byte, opts ...Option) (*Hash, error) {
+	d, err := wire.Decode(frame)
+	if err != nil {
+		return nil, err
+	}
+	var o core.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	fn, err := d.Compile(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Hash{fn: fn, fam: Family(fn.Family())}, nil
+}

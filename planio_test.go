@@ -1,0 +1,91 @@
+package sepe_test
+
+import (
+	"testing"
+
+	sepe "github.com/sepe-go/sepe"
+)
+
+func TestExportImportPlan(t *testing.T) {
+	f, err := sepe.ParseRegex(`[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range sepe.Families {
+		h, err := sepe.Synthesize(f, fam)
+		if err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+		frame, err := h.ExportPlan()
+		if err != nil {
+			t.Fatalf("%v: ExportPlan: %v", fam, err)
+		}
+		h2, err := sepe.ImportPlan(frame)
+		if err != nil {
+			t.Fatalf("%v: ImportPlan: %v", fam, err)
+		}
+		if h2.Family() != fam {
+			t.Errorf("%v: imported family %v", fam, h2.Family())
+		}
+		for _, key := range f.Samples(512, uint64(fam)+1) {
+			if got, want := h2.Hash(key), h.Hash(key); got != want {
+				t.Fatalf("%v: imported hash(%q) = %#x, want %#x", fam, key, got, want)
+			}
+		}
+	}
+}
+
+func TestImportPlanRejectsGarbage(t *testing.T) {
+	if _, err := sepe.ImportPlan([]byte("not a plan")); err == nil {
+		t.Fatal("ImportPlan accepted garbage")
+	}
+	f, _ := sepe.ParseRegex(`[0-9]{4}-[0-9]{4}`)
+	h, _ := sepe.Synthesize(f, sepe.Pext)
+	frame, err := h.ExportPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)/2] ^= 0xFF
+	if _, err := sepe.ImportPlan(frame); err == nil {
+		t.Fatal("ImportPlan accepted a corrupted frame")
+	}
+}
+
+// TestExportPlanExcludesSeed: a seeded function exports the same frame
+// as its unseeded twin — the public-API view of the threat model's
+// no-seed-on-the-wire rule. The import is unkeyed and hashes like the
+// plain function, not like the seeded one.
+func TestExportPlanExcludesSeed(t *testing.T) {
+	f, err := sepe.ParseRegex(`[0-9]{3}-[0-9]{2}-[0-9]{4}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := sepe.Synthesize(f, sepe.Pext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyed, err := sepe.NewSeededHash(f, sepe.Pext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := keyed.ExportPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported, err := sepe.ImportPlan(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for _, key := range f.Samples(64, 7) {
+		if imported.Hash(key) != plain.Hash(key) {
+			t.Fatalf("unkeyed import diverges from plain synthesis on %q", key)
+		}
+		if imported.Hash(key) != keyed.Hash(key) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeded function hashes identically to its export — seed had no effect?")
+	}
+}
