@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check lint mutate certify flood traffic bench benchhw benchparallel benchobs fuzz repro repro-quick examples golden serve-smoke clean
+.PHONY: all build test vet check lint lint-diff race mutate certify flood traffic bench benchhw benchparallel benchobs fuzz repro repro-quick examples golden serve-smoke clean
 
 # Pinned versions of the external analysis tools. The module has no
 # dependencies, so the usual blank-import tools.go pattern would break
@@ -38,17 +38,34 @@ vet:
 
 # Static analysis: go vet, the project's own sepevet analyzers
 # (shard-lock discipline, atomic-field consistency, telemetry span
-# pairing, unsafe confinement, seed confidentiality), and — when
-# installed — staticcheck and
-# govulncheck at the pinned versions. Any sepevet diagnostic fails the
-# target; CI runs the same set.
+# pairing, unsafe confinement, seed confidentiality, lock ordering,
+# zero-alloc hot paths, assembly ABI, handler hygiene), and — when
+# installed — staticcheck and govulncheck at the pinned versions.
+# Any non-baselined sepevet finding fails the target; suppressions
+# live in .sepevet-baseline.json (absent = empty; every entry needs a
+# justification and an expiry). SEPEVET_SARIF=path additionally writes
+# a SARIF 2.1.0 report for code-scanning upload.
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/sepevet ./...
+	$(GO) run ./cmd/sepevet $(if $(SEPEVET_SARIF),-sarif $(SEPEVET_SARIF)) ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "lint: staticcheck not on PATH (CI pins $(STATICCHECK_VERSION)); skipping"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
 	else echo "lint: govulncheck not on PATH (CI pins $(GOVULNCHECK_VERSION)); skipping"; fi
+
+# Diff-aware lint: only findings in files changed since DIFF_REF
+# (default origin/main) fail. Full-repo analysis still runs — the
+# filter is on reporting, so inter-procedural findings (lock cycles)
+# keep their whole-program context.
+DIFF_REF ?= origin/main
+lint-diff:
+	$(GO) run ./cmd/sepevet -diff $(DIFF_REF) ./...
+
+# Race-detector gate over the concurrent planes: the serving daemon,
+# the striped containers, and the adaptive lifecycle. `make check`
+# runs the whole suite under -race; this target is the focused loop.
+race:
+	$(GO) test -race ./cmd/sepeserve/... ./internal/shard/... ./internal/adaptive/...
 
 # Mutation testing for the plan-IR certifier: re-runs the seeded
 # planner-bug suite (internal/core/mutation_test.go) verbosely. Every

@@ -68,7 +68,7 @@ func (s tenantState) String() string {
 type tenant struct {
 	name string
 
-	mu      sync.RWMutex
+	mu      sync.RWMutex //sepe:lockrank 20
 	state   tenantState
 	errMsg  string // failed state only
 	source  string // "regex", "examples", "import", "cache"
@@ -89,7 +89,7 @@ type registry struct {
 	cache *wire.Cache // nil: no persistence
 	quick bool        // test mode: tighter adaptive timeouts
 
-	mu      sync.RWMutex
+	mu      sync.RWMutex //sepe:lockrank 10
 	tenants map[string]*tenant
 }
 

@@ -60,10 +60,21 @@ func (s *server) mux() *http.ServeMux {
 }
 
 // jsonError writes a JSON problem body with the given status.
-func jsonError(w http.ResponseWriter, status int, err error) {
+func (s *server) jsonError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	if werr := json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}); werr != nil {
+		s.recordWriteError("error-body", werr)
+	}
+}
+
+// recordWriteError notes a failed response write in the flight
+// recorder: the status is already committed by the time a body write
+// fails (the usual cause is a client disconnect mid-response), so the
+// recorder is the only place the failure can surface.
+func (s *server) recordWriteError(what string, err error) {
+	s.tel.Recorder().Instant("serve", "write-failed",
+		telemetry.Str("what", what), telemetry.Str("error", err.Error()))
 }
 
 // statusOf maps registry errors to HTTP statuses.
@@ -82,12 +93,14 @@ func statusOf(err error) int {
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		s.recordWriteError("json-body", err)
+	}
 }
 
 // registerRequest is the POST /v1/formats body.
@@ -102,12 +115,12 @@ type registerRequest struct {
 func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
 	if err := decodeJSON(r, &req); err != nil {
-		jsonError(w, http.StatusBadRequest, err)
+		s.jsonError(w, http.StatusBadRequest, err)
 		return
 	}
 	fam, err := parseFamily(req.Family)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, err)
+		s.jsonError(w, http.StatusBadRequest, err)
 		return
 	}
 	t, err := s.reg.register(registration{
@@ -118,11 +131,11 @@ func (s *server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		keyed:    req.Keyed,
 	})
 	if err != nil {
-		jsonError(w, statusOf(err), err)
+		s.jsonError(w, statusOf(err), err)
 		return
 	}
 	w.Header().Set("Location", "/v1/formats/"+t.name)
-	writeJSON(w, http.StatusAccepted, t.status())
+	s.writeJSON(w, http.StatusAccepted, t.status())
 	s.tel.Recorder().Instant("serve", "serve.register",
 		telemetry.Str("tenant", t.name), telemetry.Str("family", t.family.String()))
 }
@@ -141,7 +154,7 @@ func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
 			out[j], out[j-1] = out[j-1], out[j]
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"formats": out})
+	s.writeJSON(w, http.StatusOK, map[string]any{"formats": out})
 }
 
 // tenantStatus is the wire shape of GET /v1/formats/{name}: the
@@ -195,15 +208,15 @@ func (t *tenant) status() tenantStatus {
 func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	t, err := s.reg.lookup(r.PathValue("name"))
 	if err != nil {
-		jsonError(w, statusOf(err), err)
+		s.jsonError(w, statusOf(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, t.status())
+	s.writeJSON(w, http.StatusOK, t.status())
 }
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if err := s.reg.remove(r.PathValue("name")); err != nil {
-		jsonError(w, statusOf(err), err)
+		s.jsonError(w, statusOf(err), err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -234,29 +247,29 @@ type hashRequest struct {
 func (s *server) handleHash(w http.ResponseWriter, r *http.Request) {
 	t, err := s.reg.lookup(r.PathValue("name"))
 	if err != nil {
-		jsonError(w, statusOf(err), err)
+		s.jsonError(w, statusOf(err), err)
 		return
 	}
 	ah, _, err := t.ready()
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
-		jsonError(w, statusOf(err), err)
+		s.jsonError(w, statusOf(err), err)
 		return
 	}
 	var req hashRequest
 	if err := decodeJSON(r, &req); err != nil {
-		jsonError(w, http.StatusBadRequest, err)
+		s.jsonError(w, http.StatusBadRequest, err)
 		return
 	}
 	switch {
 	case req.Key != nil && len(req.Keys) == 0:
-		writeJSON(w, http.StatusOK, map[string]any{
+		s.writeJSON(w, http.StatusOK, map[string]any{
 			"hash":       hex64(ah.Hash(*req.Key)),
 			"generation": ah.Generation(),
 		})
 	case req.Key == nil && len(req.Keys) > 0:
 		if len(req.Keys) > maxBatch {
-			jsonError(w, http.StatusRequestEntityTooLarge,
+			s.jsonError(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("batch of %d exceeds the %d-key limit", len(req.Keys), maxBatch))
 			return
 		}
@@ -266,12 +279,12 @@ func (s *server) handleHash(w http.ResponseWriter, r *http.Request) {
 		for i, h := range out {
 			hexes[i] = hex64(h)
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		s.writeJSON(w, http.StatusOK, map[string]any{
 			"hashes":     hexes,
 			"generation": ah.Generation(),
 		})
 	default:
-		jsonError(w, http.StatusBadRequest,
+		s.jsonError(w, http.StatusBadRequest,
 			errors.New(`body must carry exactly one of "key" or "keys"`))
 	}
 }
@@ -281,45 +294,47 @@ func hex64(v uint64) string { return strconv.FormatUint(v, 16) }
 func (s *server) handleExport(w http.ResponseWriter, r *http.Request) {
 	t, err := s.reg.lookup(r.PathValue("name"))
 	if err != nil {
-		jsonError(w, statusOf(err), err)
+		s.jsonError(w, statusOf(err), err)
 		return
 	}
 	_, fn, err := t.ready()
 	if err != nil {
-		jsonError(w, statusOf(err), err)
+		s.jsonError(w, statusOf(err), err)
 		return
 	}
 	frame, err := wire.Encode(fn.Plan())
 	if err != nil {
-		jsonError(w, http.StatusInternalServerError, err)
+		s.jsonError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=%q", t.name+".sepeplan"))
 	w.Header().Set("X-Sepe-Wire-Version", strconv.Itoa(wire.Version))
-	w.Write(frame)
+	if _, err := w.Write(frame); err != nil {
+		s.recordWriteError("plan-frame", err)
+	}
 }
 
 func (s *server) handleImport(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, wire.MaxEncodedSize+1))
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, err)
+		s.jsonError(w, http.StatusBadRequest, err)
 		return
 	}
 	if len(body) > wire.MaxEncodedSize {
-		jsonError(w, http.StatusRequestEntityTooLarge,
+		s.jsonError(w, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("plan frame exceeds %d bytes", wire.MaxEncodedSize))
 		return
 	}
 	d, err := wire.Decode(body)
 	if err != nil {
-		jsonError(w, http.StatusBadRequest, fmt.Errorf("plan rejected: %w", err))
+		s.jsonError(w, http.StatusBadRequest, fmt.Errorf("plan rejected: %w", err))
 		return
 	}
 	t, err := s.reg.adopt(r.PathValue("name"), d, "import")
 	if err != nil {
-		jsonError(w, statusOf(err), err)
+		s.jsonError(w, statusOf(err), err)
 		return
 	}
 	if s.reg.cache != nil {
@@ -329,22 +344,22 @@ func (s *server) handleImport(w http.ResponseWriter, r *http.Request) {
 				telemetry.Str("tenant", t.name), telemetry.Str("error", err.Error()))
 		}
 	}
-	writeJSON(w, http.StatusCreated, t.status())
+	s.writeJSON(w, http.StatusCreated, t.status())
 }
 
 func (s *server) handleCertificate(w http.ResponseWriter, r *http.Request) {
 	t, err := s.reg.lookup(r.PathValue("name"))
 	if err != nil {
-		jsonError(w, statusOf(err), err)
+		s.jsonError(w, statusOf(err), err)
 		return
 	}
 	_, fn, err := t.ready()
 	if err != nil {
-		jsonError(w, statusOf(err), err)
+		s.jsonError(w, statusOf(err), err)
 		return
 	}
 	cert := core.Certify(fn.Plan())
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"certificate": cert,
 		"digest":      hex64(core.CertDigest(fn.Plan())),
 	})

@@ -261,7 +261,7 @@ type Hash struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 
-	mu      sync.Mutex
+	mu      sync.Mutex //sepe:lockrank 30
 	healing bool
 	closed  bool
 	done    chan struct{} // current heal goroutine; nil when idle
@@ -616,7 +616,7 @@ func dedup(keys []string) []string {
 // reservoir is a mutex-guarded ring of the most recently observed
 // keys — the sample the background re-synthesis feeds on.
 type reservoir struct {
-	mu   sync.Mutex
+	mu   sync.Mutex //sepe:lockrank 40
 	keys []string
 	pos  int
 	full bool

@@ -1,0 +1,303 @@
+// Package allocfree turns the repo's zero-allocation benchmark claims
+// into statically checked facts. A function annotated
+//
+//	//sepe:noalloc [closures] [inline]
+//
+// must compile without heap allocations: the analyzer re-runs the Go
+// compiler over every annotated package with -gcflags='-m -m', parses
+// the escape-analysis and inlining diagnostics, and reports any
+// "escapes to heap"/"moved to heap" line that falls inside an
+// annotated body. The compiler itself is the oracle — there is no
+// model of escape analysis here to drift out of date, and the build
+// cache replays diagnostics, so repeated runs cost one cache probe.
+//
+// With the closures argument the function is a compiled-hash
+// constructor: its one-time construction code may allocate (the
+// closure itself, captured state), but the bodies of the function
+// literals it builds — the per-key hot path — may not. With inline
+// the compiler must additionally report the function inlinable
+// ("can inline f"), so a hot helper cannot silently grow past the
+// inlining budget.
+package allocfree
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"github.com/sepe-go/sepe/internal/analysis"
+)
+
+// Analyzer is the allocfree analysis.
+var Analyzer = &analysis.Analyzer{
+	Name:       "allocfree",
+	Doc:        "check that //sepe:noalloc functions compile without heap allocations",
+	RunProgram: runProgram,
+}
+
+// span is a source region in one file.
+type span struct {
+	file       string // absolute path
+	start, end token.Position
+}
+
+func (s span) contains(file string, line, col int) bool {
+	if file != s.file {
+		return false
+	}
+	if line < s.start.Line || line > s.end.Line {
+		return false
+	}
+	if line == s.start.Line && col < s.start.Column {
+		return false
+	}
+	if line == s.end.Line && col > s.end.Column {
+		return false
+	}
+	return true
+}
+
+// target is one annotated function.
+type target struct {
+	name     string
+	pos      token.Pos
+	declLine token.Position // position of the function name, for inline matching
+	body     span
+	closures []span // func-literal bodies, for the closures argument
+	wantOnly string // "", "closures"
+	inline   bool
+}
+
+// diag is one parsed compiler diagnostic.
+type diag struct {
+	file string // absolute path
+	line int
+	col  int
+	msg  string
+}
+
+// diagRE matches `path/file.go:line:col: message` compiler output.
+var diagRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+func runProgram(pass *analysis.ProgramPass) error {
+	byPkg := map[*analysis.Package][]*target{}
+	for _, pkg := range pass.Pkgs {
+		targets := collect(pass, pkg)
+		if len(targets) > 0 {
+			byPkg[pkg] = targets
+		}
+	}
+	if len(byPkg) == 0 {
+		return nil
+	}
+	// One compile per module: go build applies -gcflags to the
+	// packages named on the command line, and the build cache replays
+	// diagnostics on later runs.
+	var pkgs []*analysis.Package
+	for pkg := range byPkg {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	diags, err := compileDiags(pkgs)
+	if err != nil {
+		return err
+	}
+	for _, pkg := range pkgs {
+		for _, t := range byPkg[pkg] {
+			check(pass, t, diags)
+		}
+	}
+	return nil
+}
+
+// collect finds the //sepe:noalloc functions of one package.
+func collect(pass *analysis.ProgramPass, pkg *analysis.Package) []*target {
+	var out []*target
+	for _, file := range pkg.Syntax {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			d, ok := analysis.FindDirective("noalloc", fd.Doc)
+			if !ok {
+				continue
+			}
+			if fd.Body == nil {
+				pass.Reportf(fd.Pos(), "//sepe:noalloc on %s: no body to check (assembly stubs are asmabi's job)", fd.Name.Name)
+				continue
+			}
+			t := &target{
+				name:     fd.Name.Name,
+				pos:      fd.Pos(),
+				declLine: pass.Fset.Position(fd.Name.Pos()),
+				body: span{
+					file:  pass.Fset.Position(fd.Body.Pos()).Filename,
+					start: pass.Fset.Position(fd.Body.Pos()),
+					end:   pass.Fset.Position(fd.Body.End()),
+				},
+			}
+			for _, arg := range d.Args {
+				switch arg {
+				case "closures":
+					t.wantOnly = "closures"
+				case "inline":
+					t.inline = true
+				default:
+					pass.Reportf(d.Pos.Pos(), "//sepe:noalloc on %s: unknown argument %q (want closures, inline)", t.name, arg)
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					t.closures = append(t.closures, span{
+						file:  pass.Fset.Position(lit.Body.Pos()).Filename,
+						start: pass.Fset.Position(lit.Body.Pos()),
+						end:   pass.Fset.Position(lit.Body.End()),
+					})
+				}
+				return true
+			})
+			if t.wantOnly == "closures" && len(t.closures) == 0 {
+				pass.Reportf(fd.Pos(), "//sepe:noalloc closures on %s: function builds no closures", t.name)
+				continue
+			}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// compileDiags runs the compiler over the packages with -m -m and
+// parses the diagnostics. The build runs from the module root so
+// relative ./pkg patterns name exactly the annotated packages.
+func compileDiags(pkgs []*analysis.Package) ([]diag, error) {
+	root, err := moduleRoot(pkgs[0].Dir)
+	if err != nil {
+		return nil, err
+	}
+	args := []string{"build", "-gcflags=-m -m"}
+	if len(pkgs) == 1 {
+		// A single main package would write its binary into the module
+		// root; discard it. (With several packages go build discards
+		// all objects itself.)
+		args = append(args, "-o", os.DevNull)
+	}
+	for _, pkg := range pkgs {
+		rel, err := filepath.Rel(root, pkg.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("allocfree: %w", err)
+		}
+		args = append(args, "./"+filepath.ToSlash(rel))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("allocfree: go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	var diags []diag
+	seen := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := diagRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		if seen[line] {
+			continue // generic instantiations repeat diagnostics
+		}
+		seen[line] = true
+		diags = append(diags, diag{file: file, line: atoi(m[2]), col: atoi(m[3]), msg: m[4]})
+	}
+	return diags, nil
+}
+
+func atoi(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("allocfree: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// isAlloc classifies a compiler message as a heap allocation.
+func isAlloc(msg string) bool {
+	if strings.Contains(msg, "does not escape") {
+		return false
+	}
+	return strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap")
+}
+
+// check matches the diagnostics against one annotated function.
+func check(pass *analysis.ProgramPass, t *target, diags []diag) {
+	inlinable := false
+	// One finding per allocation site: -m -m describes a single alloc
+	// with several messages ("x escapes to heap", "moved to heap: x").
+	sites := map[[2]int]bool{}
+	for _, d := range diags {
+		if d.file == t.body.file && d.line == t.declLine.Line &&
+			strings.HasPrefix(d.msg, "can inline ") {
+			inlinable = true
+		}
+		if !isAlloc(d.msg) {
+			continue
+		}
+		if !t.body.contains(d.file, d.line, d.col) {
+			continue
+		}
+		if t.wantOnly == "closures" {
+			// Only the closure bodies must stay clean; construction may
+			// allocate.
+			if !t.inClosure(d) {
+				continue
+			}
+		}
+		if sites[[2]int{d.line, d.col}] {
+			continue
+		}
+		sites[[2]int{d.line, d.col}] = true
+		pass.Reportf(t.pos, "%s is //sepe:noalloc but the compiler reports %s:%d:%d: %s",
+			t.name, filepath.Base(d.file), d.line, d.col, d.msg)
+	}
+	if t.inline && !inlinable {
+		pass.Reportf(t.pos, "%s is //sepe:noalloc inline but the compiler does not report it inlinable", t.name)
+	}
+}
+
+// inClosure reports whether the diagnostic falls inside one of the
+// function's literal bodies. A literal's own "func literal escapes to
+// heap" is positioned at its func keyword — outside its body span —
+// so construction-time closure allocation is naturally excluded while
+// a nested per-call literal inside a hot body is not.
+func (t *target) inClosure(d diag) bool {
+	for _, c := range t.closures {
+		if c.contains(d.file, d.line, d.col) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,129 @@
+package allocfree_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/analysis/allocfree"
+	"github.com/sepe-go/sepe/internal/analysis/analysistest"
+)
+
+// Annotated functions that really are allocation-free and inlinable
+// produce no diagnostics.
+func TestClean(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"hot/hot.go": `package hot
+
+//sepe:noalloc inline
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0x9e3779b97f4a7c15
+	return h ^ h>>29
+}
+
+//sepe:noalloc
+func sum(keys []uint64) uint64 {
+	var s uint64
+	for _, k := range keys {
+		s += mix(k)
+	}
+	return s
+}
+
+// build allocates at construction time; the closure body is clean.
+//
+//sepe:noalloc closures
+func build(mask uint64) func(uint64) uint64 {
+	table := make([]uint64, 256)
+	for i := range table {
+		table[i] = mix(uint64(i)) & mask
+	}
+	return func(k uint64) uint64 {
+		return table[byte(k)] ^ k
+	}
+}
+`,
+	}, allocfree.Analyzer)
+	analysistest.Expect(t, got)
+}
+
+// A seeded alloc mutant: the annotated hot path gains a heap
+// allocation and the compile diagnostics catch it.
+func TestAllocMutant(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"hot/hot.go": `package hot
+
+//sepe:noalloc
+func Escapes(n int) *int {
+	v := n + 1
+	return &v
+}
+`,
+	}, allocfree.Analyzer)
+	analysistest.Expect(t, got,
+		"Escapes is //sepe:noalloc but the compiler reports hot.go:5:2: v escapes to heap",
+	)
+}
+
+// A closure mutant: construction may allocate, but the returned hot
+// closure allocates per call.
+func TestClosureMutant(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"hot/hot.go": `package hot
+
+import "fmt"
+
+//sepe:noalloc closures
+func Build(prefix string) func(string) string {
+	buf := make([]byte, 0, 64)
+	_ = buf
+	return func(key string) string {
+		return fmt.Sprintf("%s/%s", prefix, key)
+	}
+}
+`,
+	}, allocfree.Analyzer)
+	if len(got) == 0 {
+		t.Fatalf("want at least one diagnostic for the allocating closure body, got none")
+	}
+	for _, g := range got {
+		if !strings.Contains(g, "Build is //sepe:noalloc") {
+			t.Errorf("unexpected diagnostic: %s", g)
+		}
+	}
+}
+
+// Losing inlinability is a finding of its own.
+func TestInlineLost(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"hot/hot.go": `package hot
+
+// tooBig is annotated inline but recursion makes it uninlinable.
+//
+//sepe:noalloc inline
+func tooBig(h uint64, n int) uint64 {
+	if n == 0 {
+		return h
+	}
+	return tooBig(h^h>>31, n-1)
+}
+`,
+	}, allocfree.Analyzer)
+	analysistest.Expect(t, got,
+		"tooBig is //sepe:noalloc inline but the compiler does not report it inlinable",
+	)
+}
+
+// Directive misuse is reported rather than silently ignored.
+func TestBadDirective(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"hot/hot.go": `package hot
+
+//sepe:noalloc turbo
+func f() {}
+`,
+	}, allocfree.Analyzer)
+	analysistest.Expect(t, got,
+		`//sepe:noalloc on f: unknown argument "turbo"`,
+	)
+}

@@ -18,7 +18,8 @@ import (
 )
 
 // Analyzer describes one static check: a name for diagnostics, a doc
-// string, and the Run function applied to each package.
+// string, and either a per-package Run function or a whole-program
+// RunProgram function (or both; each non-nil hook is invoked).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and on the command
 	// line (lower case, no spaces).
@@ -30,6 +31,11 @@ type Analyzer struct {
 	// through pass.Report. The error return is for operational
 	// failures, not findings.
 	Run func(pass *Pass) error
+	// RunProgram applies the check once to the whole set of target
+	// packages. Inter-procedural analyses (lock-order graphs, escape
+	// diagnostics from a real compile) need the cross-package view a
+	// per-package Pass cannot give.
+	RunProgram func(pass *ProgramPass) error
 }
 
 // Pass carries one type-checked package through one analyzer.
@@ -44,8 +50,29 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo records the type-checker's facts about the syntax.
 	TypesInfo *types.Info
+	// Dir is the package's source directory, for analyzers that read
+	// non-Go inputs living next to the package (assembly files).
+	Dir string
 	// Report delivers one diagnostic.
 	Report func(Diagnostic)
+}
+
+// ProgramPass carries every target package through one whole-program
+// analyzer.
+type ProgramPass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file of the load.
+	Fset *token.FileSet
+	// Pkgs holds the target (in-module) packages.
+	Pkgs []*Package
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -1,0 +1,240 @@
+// Package asmabi checks the hand-written amd64 assembly kernels
+// against their Go stub declarations, in the spirit of vet's asmdecl:
+// the PEXT and AESENC kernels (internal/pext, internal/aesround) are
+// straight-line leaf functions whose correctness depends on frame
+// discipline the compiler never sees. For every TEXT symbol in a
+// package's *_amd64.s files the analyzer verifies
+//
+//   - a bodyless Go declaration exists for the symbol, and every
+//     bodyless declaration has an implementation;
+//   - the declared argument size ($frame-argsize) matches the ABI0
+//     layout computed from the Go signature with the gc sizes for
+//     amd64 (strings are base+len, slices base+len+cap, results start
+//     8-aligned after the parameters);
+//   - every name+offset(FP) operand names a real parameter or result
+//     at its correct offset (key_base/key_len for strings, ret for an
+//     unnamed result);
+//   - the kernel keeps the leaf discipline: NOSPLIT, frame size 0 and
+//     no CALL instructions, so it can never grow the stack or re-enter
+//     Go with the caller's arguments pinned.
+//
+// The checks parse the assembly textually: Go's assembler grammar for
+// TEXT directives and FP references is regular enough that the two
+// regexes below cover everything the repo's kernels (and any future
+// ones in their style) can express.
+package asmabi
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/sepe-go/sepe/internal/analysis"
+)
+
+// Analyzer is the asmabi analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "asmabi",
+	Doc:  "check amd64 assembly kernels against their Go stub declarations (frame, offsets, NOSPLIT, no CALL)",
+	Run:  run,
+}
+
+// stub is one bodyless Go declaration with its computed frame layout.
+type stub struct {
+	decl     *ast.FuncDecl
+	operands map[string]int64
+	argSize  int64
+}
+
+var (
+	// textRE matches `TEXT ·name(SB), FLAGS, $frame-args` (flags
+	// optional, as the assembler allows).
+	textRE = regexp.MustCompile(`^TEXT\s+·([A-Za-z_][A-Za-z0-9_]*)\(SB\)\s*,\s*(?:([A-Z|_0-9]+)\s*,\s*)?\$(\d+)(?:-(\d+))?`)
+	// fpRE matches `name+offset(FP)` operands.
+	fpRE = regexp.MustCompile(`([A-Za-z_][A-Za-z0-9_]*)\+(\d+)\(FP\)`)
+	// callRE matches CALL instructions (the leaf kernels must not
+	// re-enter Go).
+	callRE = regexp.MustCompile(`^\s*(?:[A-Za-z_][A-Za-z0-9_]*:\s*)?CALL\b`)
+)
+
+func run(pass *analysis.Pass) error {
+	asmFiles, err := filepath.Glob(filepath.Join(pass.Dir, "*_amd64.s"))
+	if err != nil || len(asmFiles) == 0 {
+		return err
+	}
+	sort.Strings(asmFiles)
+
+	// The stubs: bodyless func declarations in the loaded files. When
+	// the load ran on a non-amd64 host the amd64 stub files are tag-
+	// excluded and there is nothing to check against.
+	stubs := map[string]*stub{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body != nil || fd.Recv != nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := &stub{decl: fd, operands: map[string]int64{}}
+			layout(obj.Signature(), s)
+			stubs[fd.Name.Name] = s
+		}
+	}
+	if len(stubs) == 0 {
+		return nil
+	}
+
+	implemented := map[string]bool{}
+	for _, path := range asmFiles {
+		if err := checkFile(pass, path, stubs, implemented); err != nil {
+			return err
+		}
+	}
+	// Every stub needs an implementation in the package's asm files.
+	names := make([]string, 0, len(stubs))
+	for name := range stubs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !implemented[name] {
+			pass.Reportf(stubs[name].decl.Pos(),
+				"assembly stub %s has no TEXT implementation in %s", name, pass.Dir)
+		}
+	}
+	return nil
+}
+
+// amd64Sizes computes gc's type sizes for the kernels' target.
+var amd64Sizes = types.SizesFor("gc", "amd64")
+
+// layout computes the ABI0 memory frame of a signature: parameters
+// laid out sequentially with their natural alignment, results starting
+// 8-aligned after them. Composite operands get the assembler's
+// sub-names (base/len/cap); a single unnamed result is "ret".
+func layout(sig *types.Signature, s *stub) {
+	var off int64
+	place := func(tuple *types.Tuple, unnamed string) {
+		for i := 0; i < tuple.Len(); i++ {
+			v := tuple.At(i)
+			t := v.Type()
+			off = align(off, amd64Sizes.Alignof(t))
+			name := v.Name()
+			if name == "" || name == "_" {
+				name = unnamed
+			}
+			switch u := t.Underlying().(type) {
+			case *types.Basic:
+				if u.Kind() == types.String {
+					s.operands[name+"_base"] = off
+					s.operands[name] = off // lenient: bare name = base
+					s.operands[name+"_len"] = off + 8
+					break
+				}
+				s.operands[name] = off
+			case *types.Slice:
+				s.operands[name+"_base"] = off
+				s.operands[name] = off
+				s.operands[name+"_len"] = off + 8
+				s.operands[name+"_cap"] = off + 16
+			default:
+				s.operands[name] = off
+			}
+			off += amd64Sizes.Sizeof(t)
+		}
+	}
+	place(sig.Params(), "arg")
+	off = align(off, 8)
+	place(sig.Results(), "ret")
+	s.argSize = align(off, 8)
+}
+
+func align(off, a int64) int64 {
+	if a <= 0 {
+		return off
+	}
+	return (off + a - 1) / a * a
+}
+
+// checkFile parses one assembly file and checks its TEXT blocks.
+func checkFile(pass *analysis.Pass, path string, stubs map[string]*stub, implemented map[string]bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	// Register the file so diagnostics carry real positions.
+	tf := pass.Fset.AddFile(path, -1, len(data))
+	tf.SetLinesForContent(data)
+	lines := strings.Split(string(data), "\n")
+	posOf := func(line int) token.Pos { return tf.LineStart(line) }
+
+	var cur *stub
+	var curName string
+	for i, raw := range lines {
+		line := raw
+		if idx := strings.Index(line, "//"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimRight(line, " \t")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if m := textRE.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			curName = m[1]
+			cur = stubs[curName]
+			implemented[curName] = true
+			if cur == nil {
+				pass.Reportf(posOf(i+1), "TEXT ·%s has no Go stub declaration in the package", curName)
+				continue
+			}
+			flags := m[2]
+			if !strings.Contains(flags, "NOSPLIT") {
+				pass.Reportf(posOf(i+1), "TEXT ·%s is not NOSPLIT: kernels must be leaf functions", curName)
+			}
+			frame, _ := strconv.ParseInt(m[3], 10, 64)
+			if frame != 0 {
+				pass.Reportf(posOf(i+1), "TEXT ·%s declares frame size %d: leaf kernels must be frameless", curName, frame)
+			}
+			if m[4] == "" {
+				pass.Reportf(posOf(i+1), "TEXT ·%s omits the argument size: want $0-%d", curName, cur.argSize)
+				continue
+			}
+			args, _ := strconv.ParseInt(m[4], 10, 64)
+			if args != cur.argSize {
+				pass.Reportf(posOf(i+1), "TEXT ·%s declares argument size %d, Go signature needs %d", curName, args, cur.argSize)
+			}
+			continue
+		}
+		if cur == nil && curName == "" {
+			continue
+		}
+		if callRE.MatchString(line) {
+			pass.Reportf(posOf(i+1), "TEXT ·%s contains a CALL: kernels must not re-enter Go", curName)
+		}
+		if cur == nil {
+			continue
+		}
+		for _, ref := range fpRE.FindAllStringSubmatch(line, -1) {
+			name := ref[1]
+			off, _ := strconv.ParseInt(ref[2], 10, 64)
+			want, ok := cur.operands[name]
+			if !ok {
+				pass.Reportf(posOf(i+1), "TEXT ·%s references %s+%d(FP): no such argument in the Go signature", curName, name, off)
+				continue
+			}
+			if off != want {
+				pass.Reportf(posOf(i+1), "TEXT ·%s references %s+%d(FP): %s is at offset %d", curName, name, off, name, want)
+			}
+		}
+	}
+	return nil
+}

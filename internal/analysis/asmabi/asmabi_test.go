@@ -1,0 +1,100 @@
+package asmabi_test
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/analysis/analysistest"
+	"github.com/sepe-go/sepe/internal/analysis/asmabi"
+)
+
+// A correct kernel file in the repo's style — uint64 params, a string
+// key, a slice, NOSPLIT frameless bodies — produces no diagnostics.
+func TestClean(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"hot/hw.go": `package hot
+
+func addHW(a, b uint64) uint64
+
+func hashHW(key string, seed uint64) uint64
+
+func sumHW(xs []uint64) uint64
+`,
+		"hot/hw_amd64.s": `//go:build amd64
+
+#include "textflag.h"
+
+TEXT ·addHW(SB), NOSPLIT, $0-24
+	MOVQ a+0(FP), AX
+	ADDQ b+8(FP), AX
+	MOVQ AX, ret+16(FP)
+	RET
+
+TEXT ·hashHW(SB), NOSPLIT, $0-32
+	MOVQ key_base+0(FP), SI
+	MOVQ key_len+8(FP), CX
+	MOVQ seed+16(FP), AX
+	XORQ CX, AX
+	MOVQ AX, ret+24(FP)
+	RET
+
+TEXT ·sumHW(SB), NOSPLIT, $0-32
+	MOVQ xs_base+0(FP), SI
+	MOVQ xs_len+8(FP), CX
+	XORQ AX, AX
+	MOVQ AX, ret+24(FP)
+	RET
+`,
+	}, asmabi.Analyzer)
+	analysistest.Expect(t, got)
+}
+
+// Seeded ABI mutants: each TEXT block carries one violation, plus a
+// symbol without a stub and a stub without an implementation.
+func TestMutants(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"hot/hw.go": `package hot
+
+func splitHW(a, b uint64) uint64
+
+func frameHW(a, b uint64) uint64
+
+func argsHW(a, b uint64) uint64
+
+func refHW(key string, seed uint64) uint64
+
+func missingHW(x uint64) uint64
+`,
+		"hot/hw_amd64.s": `//go:build amd64
+
+#include "textflag.h"
+
+TEXT ·splitHW(SB), $0-24
+	RET
+
+TEXT ·frameHW(SB), NOSPLIT, $16-24
+	RET
+
+TEXT ·argsHW(SB), NOSPLIT, $0-16
+	RET
+
+TEXT ·refHW(SB), NOSPLIT, $0-32
+	MOVQ key_base+8(FP), SI
+	MOVQ nope+0(FP), CX
+	CALL ·splitHW(SB)
+	RET
+
+TEXT ·ghostHW(SB), NOSPLIT, $0-8
+	RET
+`,
+	}, asmabi.Analyzer)
+	analysistest.Expect(t, got,
+		"assembly stub missingHW has no TEXT implementation",
+		"TEXT ·splitHW is not NOSPLIT: kernels must be leaf functions",
+		"TEXT ·frameHW declares frame size 16: leaf kernels must be frameless",
+		"TEXT ·argsHW declares argument size 16, Go signature needs 24",
+		"TEXT ·refHW references key_base+8(FP): key_base is at offset 0",
+		"TEXT ·refHW references nope+0(FP): no such argument in the Go signature",
+		"TEXT ·refHW contains a CALL: kernels must not re-enter Go",
+		"TEXT ·ghostHW has no Go stub declaration in the package",
+	)
+}

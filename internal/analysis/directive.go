@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// The //sepe: directives are the annotation language the whole-program
+// analyzers check (DESIGN.md §13):
+//
+//	//sepe:noalloc [closures] [inline]
+//	    On a function or method declaration. The allocfree analyzer
+//	    compiles the package with -gcflags='-m -m' and fails if the
+//	    body gains a heap allocation. With the closures argument the
+//	    one-time construction code may allocate but the bodies of the
+//	    function literals it builds may not (the compiled-hash shape:
+//	    alloc at synthesis time, never per key). With inline the
+//	    compiler must additionally report the function inlinable.
+//
+//	//sepe:lockrank N
+//	    On a mutex-typed struct field or on a named type embedding a
+//	    mutex. Declares the lock's position in the program's intended
+//	    partial order: locks must be acquired in strictly increasing
+//	    rank. The lockorder analyzer checks every inter-procedural
+//	    acquired-while-held edge against the declared ranks.
+//
+// A directive is a comment line of its own, immediately above the
+// declaration it annotates (in the doc comment) or on the same line
+// (field annotations).
+
+// Directive is one parsed //sepe: comment.
+type Directive struct {
+	// Name is the directive verb ("noalloc", "lockrank").
+	Name string
+	// Args are the space-separated arguments after the verb.
+	Args []string
+	// Pos locates the directive comment.
+	Pos ast.Node
+}
+
+// parseDirective parses one comment line, returning ok=false for
+// ordinary comments.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text, found := strings.CutPrefix(c.Text, "//sepe:")
+	if !found {
+		return Directive{}, false
+	}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return Directive{}, false
+	}
+	return Directive{Name: fields[0], Args: fields[1:], Pos: c}, true
+}
+
+// Directives extracts the //sepe: directives from a comment group.
+func Directives(groups ...*ast.CommentGroup) []Directive {
+	var out []Directive
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if d, ok := parseDirective(c); ok {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// FindDirective returns the first directive named name among the
+// groups, if any.
+func FindDirective(name string, groups ...*ast.CommentGroup) (Directive, bool) {
+	for _, d := range Directives(groups...) {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// HasArg reports whether the directive carries the given argument.
+func (d Directive) HasArg(arg string) bool {
+	for _, a := range d.Args {
+		if a == arg {
+			return true
+		}
+	}
+	return false
+}
+
+// IntArg parses the directive's first argument as an integer.
+func (d Directive) IntArg() (int, bool) {
+	if len(d.Args) == 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(d.Args[0])
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// The findings pipeline turns raw Diagnostics into CI-grade reports:
+// positions resolved against the module root, a committed suppression
+// baseline with expiry dates, and SARIF 2.1.0 output for code-scanning
+// upload. The contract `make lint` enforces is simple: every finding
+// is either fixed or suppressed by a justified, expiring baseline
+// entry; an expired entry fails the run until it is paid down.
+
+// Finding is one rendered diagnostic: position resolved, file path
+// slash-separated and relative to the module root.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	// Suppressed marks findings matched by a live baseline entry; they
+	// are reported (SARIF carries the suppression) but do not fail the
+	// run.
+	Suppressed bool `json:"suppressed,omitempty"`
+}
+
+// String renders the finding vet-style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.File, f.Line, f.Column, f.Message, f.Analyzer)
+}
+
+// Render resolves diagnostics into findings with root-relative paths.
+func Render(fset *token.FileSet, diags []Diagnostic, root string) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		file := pos.Filename
+		if root != "" && file != "" {
+			if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		out = append(out, Finding{
+			Analyzer: d.Analyzer,
+			File:     filepath.ToSlash(file),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Message:  d.Message,
+		})
+	}
+	return out
+}
+
+// BaselineEntry is one committed suppression. File and Analyzer must
+// match the finding exactly; Message matches as a substring, so the
+// entry survives line drift and small rewordings around the stable
+// core of the message.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	// Justification records why the finding is suppressed rather than
+	// fixed — every entry must have one.
+	Justification string `json:"justification"`
+	// Expires is the suppression's pay-down date (YYYY-MM-DD). After
+	// it the entry stops suppressing and the lint run fails until the
+	// finding is fixed or the date is consciously renewed. Empty means
+	// no expiry (discouraged; reserve for documented false positives).
+	Expires string `json:"expires,omitempty"`
+}
+
+func (b BaselineEntry) expired(now time.Time) (bool, error) {
+	if b.Expires == "" {
+		return false, nil
+	}
+	t, err := time.Parse("2006-01-02", b.Expires)
+	if err != nil {
+		return false, fmt.Errorf("baseline entry for %s (%s): bad expires date %q", b.File, b.Analyzer, b.Expires)
+	}
+	return now.After(t.Add(24 * time.Hour)), nil
+}
+
+func (b BaselineEntry) matches(f Finding) bool {
+	return b.Analyzer == f.Analyzer && b.File == f.File && strings.Contains(f.Message, b.Message)
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, so repositories without suppressions need not commit one.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	for _, e := range entries {
+		if e.Justification == "" {
+			return nil, fmt.Errorf("baseline %s: entry for %s (%s) has no justification", path, e.File, e.Analyzer)
+		}
+	}
+	return entries, nil
+}
+
+// WriteBaseline writes the findings as a fresh baseline skeleton:
+// every entry expires 90 days out and carries a TODO justification the
+// author must replace before committing.
+func WriteBaseline(w io.Writer, findings []Finding, now time.Time) error {
+	entries := make([]BaselineEntry, 0, len(findings))
+	for _, f := range findings {
+		entries = append(entries, BaselineEntry{
+			Analyzer:      f.Analyzer,
+			File:          f.File,
+			Message:       f.Message,
+			Justification: "TODO: justify or fix",
+			Expires:       now.AddDate(0, 0, 90).Format("2006-01-02"),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// ApplyBaseline marks findings matched by a live baseline entry as
+// suppressed, in place. It returns the problems the baseline itself
+// has: errs are failures (expired entries still matching a finding,
+// unparseable dates), warns are hygiene notes (entries matching
+// nothing — fixed findings whose suppression should be deleted).
+func ApplyBaseline(findings []Finding, entries []BaselineEntry, now time.Time) (errs, warns []string) {
+	used := make([]bool, len(entries))
+	for i := range findings {
+		for j, e := range entries {
+			if !e.matches(findings[i]) {
+				continue
+			}
+			used[j] = true
+			exp, err := e.expired(now)
+			if err != nil {
+				errs = append(errs, err.Error())
+				continue
+			}
+			if exp {
+				errs = append(errs, fmt.Sprintf(
+					"baseline entry for %s (%s) expired %s and still matches %q — fix it or renew the date",
+					e.File, e.Analyzer, e.Expires, findings[i].Message))
+				continue
+			}
+			findings[i].Suppressed = true
+		}
+	}
+	for j, e := range entries {
+		if !used[j] {
+			warns = append(warns, fmt.Sprintf(
+				"baseline entry for %s (%s) matches no finding — delete it (message: %q)",
+				e.File, e.Analyzer, e.Message))
+		}
+	}
+	sort.Strings(errs)
+	sort.Strings(warns)
+	return errs, warns
+}
+
+// sarif mirrors the subset of the SARIF 2.1.0 schema code-scanning
+// consumes.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// WriteSARIF renders the findings as one SARIF 2.1.0 run. Suppressed
+// findings are included with an external suppression so code scanning
+// shows them as baselined rather than new.
+func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifText{Text: strings.SplitN(a.Doc, "\n", 2)[0]},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		r := sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: f.File, URIBaseID: "%SRCROOT%"},
+				Region:           sarifRegion{StartLine: max(f.Line, 1), StartColumn: f.Column},
+			}}},
+		}
+		if f.Suppressed {
+			r.Suppressions = []sarifSuppression{{Kind: "external", Justification: "sepevet baseline"}}
+		}
+		results = append(results, r)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "sepevet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,398 @@
+// Package httpcheck enforces the sepeserve handler hygiene rules. A
+// handler — any function or literal with an http.ResponseWriter
+// parameter — must:
+//
+//   - send at most one status per path: a second WriteHeader on the
+//     same statement list, or a WriteHeader after the body has begun,
+//     is reported (net/http logs these as "superfluous WriteHeader"
+//     at runtime; here they fail the build);
+//   - bound what it reads: decoding r.Body directly with
+//     json.NewDecoder or slurping it with io.ReadAll hands the peer
+//     an unbounded allocation — wrap the body in io.LimitReader or
+//     http.MaxBytesReader first;
+//   - not drop response-write errors: an ExprStmt that discards the
+//     error from w.Write, (*json.Encoder).Encode, fmt.Fprint* to the
+//     writer, or io.Copy into it makes client disconnects invisible
+//     to the telemetry plane.
+//
+// Beyond handlers, any function that obtains an *http.Response must
+// close its Body somewhere in the same function — the coarse but
+// effective leak check for the traffic generator and smoke clients.
+//
+// The status-per-path check is deliberately linear: state flows
+// through a statement list and into branches, but never back out of
+// them, so `if bad { w.WriteHeader(404); return }` followed by a
+// success status is clean while `w.WriteHeader(500); w.WriteHeader(200)`
+// is not.
+package httpcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/sepe-go/sepe/internal/analysis"
+)
+
+// Analyzer is the httpcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "httpcheck",
+	Doc:  "check HTTP handler hygiene: one status per path, bounded request bodies, no dropped response-write errors, closed client bodies",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					c.checkFunc(fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				c.checkFunc(fn.Type, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// wstate is the response-write state threaded through a statement
+// list. It flows into branches but not back out.
+type wstate struct {
+	statusSent bool
+	bodySent   bool
+}
+
+// checkFunc applies the handler checks when the function has an
+// http.ResponseWriter parameter, and the client body-leak check
+// always.
+func (c *checker) checkFunc(ftype *ast.FuncType, body *ast.BlockStmt) {
+	if c.hasResponseWriterParam(ftype) {
+		c.scanList(body.List, wstate{})
+		c.checkUnboundedReads(body)
+		c.checkDroppedWrites(body)
+	}
+	c.checkLeakedResponses(body)
+}
+
+func (c *checker) hasResponseWriterParam(ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if tv, ok := c.pass.TypesInfo.Types[field.Type]; ok && isResponseWriter(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- one status per path -------------------------------------------
+
+// scanList walks a statement list linearly, threading the write state
+// through it and into (but not out of) nested control flow.
+func (c *checker) scanList(stmts []ast.Stmt, st wstate) wstate {
+	for _, s := range stmts {
+		st = c.scanStmt(s, st)
+	}
+	return st
+}
+
+func (c *checker) scanStmt(s ast.Stmt, st wstate) wstate {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.scanList(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = c.scanStmt(s.Init, st)
+		}
+		st = c.scanExpr(s.Cond, st)
+		c.scanList(s.Body.List, st)
+		if s.Else != nil {
+			c.scanStmt(s.Else, st)
+		}
+		return st
+	case *ast.ForStmt:
+		c.scanList(s.Body.List, st)
+		return st
+	case *ast.RangeStmt:
+		c.scanList(s.Body.List, st)
+		return st
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = c.scanStmt(s.Init, st)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				c.scanList(cc.Body, st)
+			}
+		}
+		return st
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				c.scanList(cc.Body, st)
+			}
+		}
+		return st
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				c.scanList(cc.Body, st)
+			}
+		}
+		return st
+	case *ast.LabeledStmt:
+		return c.scanStmt(s.Stmt, st)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Runs at another time; its writes are not on this path.
+		return st
+	default:
+		return c.scanExpr(s, st)
+	}
+}
+
+// scanExpr finds response writes directly inside one statement or
+// expression, skipping nested function literals (their bodies are
+// separate units checked on their own).
+func (c *checker) scanExpr(n ast.Node, st wstate) wstate {
+	if n == nil {
+		return st
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case c.isWriteHeader(call):
+			if st.statusSent {
+				c.pass.Reportf(call.Pos(), "second WriteHeader on the same path: only one status can be sent per response")
+			} else if st.bodySent {
+				c.pass.Reportf(call.Pos(), "WriteHeader after the response body has begun: the status is already committed")
+			}
+			st.statusSent = true
+		case c.isBodyWrite(call):
+			st.bodySent = true
+		}
+		return true
+	})
+	return st
+}
+
+// isWriteHeader matches w.WriteHeader(...) on an http.ResponseWriter.
+func (c *checker) isWriteHeader(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[sel.X]
+	return ok && isResponseWriter(tv.Type)
+}
+
+// isBodyWrite matches calls that start the response body: w.Write,
+// fmt.Fprint* with the writer first, io.Copy into the writer, and
+// Encode on a json.Encoder (sepeserve encoders always wrap the
+// response).
+func (c *checker) isBodyWrite(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write":
+		tv, ok := c.pass.TypesInfo.Types[sel.X]
+		return ok && isResponseWriter(tv.Type)
+	case "Encode":
+		return c.isJSONEncoder(sel.X)
+	case "Fprint", "Fprintf", "Fprintln":
+		return c.isPkgFunc(sel, "fmt") && c.firstArgIsResponseWriter(call)
+	case "Copy", "CopyN":
+		return c.isPkgFunc(sel, "io") && c.firstArgIsResponseWriter(call)
+	}
+	return false
+}
+
+// --- bounded request bodies ----------------------------------------
+
+// checkUnboundedReads flags json.NewDecoder(r.Body) and
+// io.ReadAll(r.Body): both let the peer choose the allocation size.
+func (c *checker) checkUnboundedReads(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var what string
+		switch {
+		case sel.Sel.Name == "NewDecoder" && c.isPkgFunc(sel, "encoding/json"):
+			what = "json.NewDecoder"
+		case sel.Sel.Name == "ReadAll" && c.isPkgFunc(sel, "io"):
+			what = "io.ReadAll"
+		default:
+			return true
+		}
+		if c.isRequestBody(call.Args[0]) {
+			c.pass.Reportf(call.Pos(), "%s reads r.Body without a size limit: wrap it in io.LimitReader or http.MaxBytesReader", what)
+		}
+		return true
+	})
+}
+
+// isRequestBody matches the expression `r.Body` where r is an
+// *http.Request.
+func (c *checker) isRequestBody(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Body" {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return isNamed(deref(tv.Type), "net/http", "Request")
+}
+
+// --- dropped response-write errors ---------------------------------
+
+// checkDroppedWrites flags expression statements that discard the
+// error from a response write.
+func (c *checker) checkDroppedWrites(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok || !c.isBodyWrite(call) {
+			return true
+		}
+		sel := call.Fun.(*ast.SelectorExpr)
+		c.pass.Reportf(call.Pos(), "%s error dropped: a failed response write must be handled or recorded, not discarded", sel.Sel.Name)
+		return true
+	})
+}
+
+// --- leaked client response bodies ---------------------------------
+
+// checkLeakedResponses requires any function that obtains an
+// *http.Response to also call Body.Close (directly or deferred)
+// somewhere in the same function.
+func (c *checker) checkLeakedResponses(body *ast.BlockStmt) {
+	// Acquisitions are scoped to this function (nested literals are
+	// their own units), but a Close inside a deferred closure counts
+	// for the enclosing function, so the close scan descends.
+	var gets []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && c.returnsHTTPResponse(call) {
+			gets = append(gets, call)
+		}
+		return true
+	})
+	if len(gets) == 0 {
+		return
+	}
+	closes := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok && inner.Sel.Name == "Body" {
+				if tv, ok := c.pass.TypesInfo.Types[inner.X]; ok && isNamed(deref(tv.Type), "net/http", "Response") {
+					closes = true
+				}
+			}
+		}
+		return true
+	})
+	if closes {
+		return
+	}
+	for _, call := range gets {
+		c.pass.Reportf(call.Pos(), "*http.Response obtained but Body.Close is never called in this function: the connection leaks")
+	}
+}
+
+// returnsHTTPResponse reports whether a call yields an
+// *http.Response (http.Get, client.Do, ...).
+func (c *checker) returnsHTTPResponse(call *ast.CallExpr) bool {
+	tv, ok := c.pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	check := func(t types.Type) bool { return isNamed(deref(t), "net/http", "Response") }
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if check(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(tv.Type)
+}
+
+// --- type helpers ---------------------------------------------------
+
+func (c *checker) isJSONEncoder(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	return ok && isNamed(deref(tv.Type), "encoding/json", "Encoder")
+}
+
+// isPkgFunc reports whether sel is a selection pkgname.Func resolving
+// to package pkgPath.
+func (c *checker) isPkgFunc(sel *ast.SelectorExpr, pkgPath string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := c.pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == pkgPath
+}
+
+func (c *checker) firstArgIsResponseWriter(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[call.Args[0]]
+	return ok && isResponseWriter(tv.Type)
+}
+
+// isResponseWriter reports whether t is exactly net/http.ResponseWriter.
+func isResponseWriter(t types.Type) bool {
+	return isNamed(t, "net/http", "ResponseWriter")
+}
+
+func isNamed(t types.Type, pkgPath, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,156 @@
+package httpcheck_test
+
+import (
+	"testing"
+
+	"github.com/sepe-go/sepe/internal/analysis/analysistest"
+	"github.com/sepe-go/sepe/internal/analysis/httpcheck"
+)
+
+// A hygienic handler set: one status per path, limited body, write
+// errors handled, client body closed.
+func TestClean(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"srv/srv.go": `package srv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	var req struct{ N int }
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	if err := json.NewEncoder(w).Encode(req); err != nil {
+		recordWriteError(err)
+	}
+}
+
+func recordWriteError(error) {}
+
+func probe(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	return err
+}
+`,
+	}, httpcheck.Analyzer)
+	analysistest.Expect(t, got)
+}
+
+// Double status and status-after-body on a straight-line path.
+func TestStatusPerPath(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"srv/srv.go": `package srv
+
+import "net/http"
+
+func double(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusInternalServerError)
+	w.WriteHeader(http.StatusOK)
+}
+
+func lateStatus(w http.ResponseWriter, r *http.Request) {
+	if _, err := w.Write([]byte("partial")); err != nil {
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// branchOK must stay clean: the 404 path returns before the 200.
+func branchOK(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "" {
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+`,
+	}, httpcheck.Analyzer)
+	analysistest.Expect(t, got,
+		"second WriteHeader on the same path: only one status can be sent per response",
+		"WriteHeader after the response body has begun: the status is already committed",
+	)
+}
+
+// Unbounded request-body reads.
+func TestUnboundedBody(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"srv/srv.go": `package srv
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+func ingest(w http.ResponseWriter, r *http.Request) {
+	var req struct{ N int }
+	if json.NewDecoder(r.Body).Decode(&req) != nil {
+		return
+	}
+	raw, _ := io.ReadAll(r.Body)
+	_ = raw
+}
+`,
+	}, httpcheck.Analyzer)
+	analysistest.Expect(t, got,
+		"json.NewDecoder reads r.Body without a size limit",
+		"io.ReadAll reads r.Body without a size limit",
+	)
+}
+
+// Dropped response-write errors, in each spelling the repo uses.
+func TestDroppedWriteErrors(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"srv/srv.go": `package srv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+func emit(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("frame"))
+	json.NewEncoder(w).Encode(map[string]int{"n": 1})
+	fmt.Fprintf(w, "n=%d", 1)
+}
+`,
+	}, httpcheck.Analyzer)
+	analysistest.Expect(t, got,
+		"Write error dropped: a failed response write must be handled or recorded",
+		"Encode error dropped: a failed response write must be handled or recorded",
+		"Fprintf error dropped: a failed response write must be handled or recorded",
+	)
+}
+
+// A client that never closes the response body leaks the connection.
+func TestLeakedResponseBody(t *testing.T) {
+	got := analysistest.Run(t, map[string]string{
+		"srv/srv.go": `package srv
+
+import "net/http"
+
+func leak(url string) (int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+`,
+	}, httpcheck.Analyzer)
+	analysistest.Expect(t, got,
+		"*http.Response obtained but Body.Close is never called in this function",
+	)
+}

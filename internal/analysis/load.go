@@ -188,18 +188,23 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 	return listed, nil
 }
 
-// Run applies every analyzer to every target package and returns the
-// diagnostics sorted by position.
+// Run applies every analyzer to every target package (per-package Run
+// hooks) and to the program as a whole (RunProgram hooks), returning
+// the diagnostics sorted by position.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      fset,
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Dir:       pkg.Dir,
 			}
 			name := a.Name
 			pass.Report = func(d Diagnostic) {
@@ -213,6 +218,24 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 					Analyzer: name,
 				})
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{Analyzer: a, Fset: fset, Pkgs: pkgs}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			diags = append(diags, d)
+		}
+		if err := a.RunProgram(pass); err != nil {
+			diags = append(diags, Diagnostic{
+				Pos:      token.NoPos,
+				Message:  fmt.Sprintf("internal error: %v", err),
+				Analyzer: name,
+			})
 		}
 	}
 	sort.SliceStable(diags, func(i, j int) bool {

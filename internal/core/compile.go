@@ -35,6 +35,8 @@ func (p *Plan) Compile() Func {
 	return fn
 }
 
+//
+//sepe:noalloc closures
 func (p *Plan) compile() (Func, Backend) {
 	// ps is the affine post-mix of the keying slot (keyed.go), nil for
 	// unseeded plans and for seeded Aes plans (whose keying lives in
@@ -79,6 +81,8 @@ func (p *Plan) compile() (Func, Backend) {
 // every leaf closure, and shaped for ILP: the four rotations are
 // independent, so seeding costs a depth-3 xor tree in line, not a
 // serial round chain behind an extra closure call.
+//
+//sepe:noalloc inline
 func mixFinal(h uint64, s *PlanSeed) uint64 {
 	if s == nil {
 		return h
@@ -88,6 +92,8 @@ func mixFinal(h uint64, s *PlanSeed) uint64 {
 }
 
 // word performs one load of the plan, including partial loads.
+//
+//sepe:noalloc
 func word(key string, l *Load) uint64 {
 	if l.Partial != 0 {
 		return hashes.LoadTail(key, l.Offset, l.Partial)
@@ -147,6 +153,8 @@ func compileXorFixed(loads []Load, ps *PlanSeed) (Func, Backend) {
 // compileGenericXor is the defensive path for mixed load shapes
 // (partial loads combined with extractions): correct for anything,
 // specialized for nothing.
+//
+//sepe:noalloc closures
 func compileGenericXor(loads []Load, ps *PlanSeed) (Func, Backend) {
 	need := maxEnd(loads)
 	bk := BackendSoftware
@@ -193,6 +201,8 @@ func compileGenericXor(loads []Load, ps *PlanSeed) (Func, Backend) {
 // without extraction — the Naive and OffXor families on fixed-length
 // keys. These are the paper's fastest functions (Figure 5c's OffXor),
 // so the closures contain nothing but loads and xors.
+//
+//sepe:noalloc closures
 func compilePlainXor(loads []Load, ps *PlanSeed) Func {
 	for i := range loads {
 		l := &loads[i]
@@ -266,6 +276,8 @@ func compilePlainXor(loads []Load, ps *PlanSeed) Func {
 // extraction networks are captured by value and the packing rotation
 // is elided for loads with Shift == 0 (always the first load, by
 // packShifts' construction).
+//
+//sepe:noalloc closures
 func compilePextXor(loads []Load, ps *PlanSeed) (Func, Backend, bool) {
 	if len(loads) == 0 || len(loads) > 3 {
 		return nil, 0, false
@@ -380,6 +392,8 @@ func compilePextXor(loads []Load, ps *PlanSeed) (Func, Backend, bool) {
 // closure instead of the generic word()/extract() path, eliding the
 // rotation when the shift is zero — which it always is for a single
 // load.
+//
+//sepe:noalloc closures
 func compilePartialSingle(loads []Load, ps *PlanSeed) (Func, Backend, bool) {
 	if len(loads) != 1 || loads[0].Partial == 0 {
 		return nil, 0, false
@@ -429,6 +443,8 @@ func compilePartialSingle(loads []Load, ps *PlanSeed) (Func, Backend, bool) {
 // the xor-based families, with a byte tail for the unaligned and
 // beyond-MinLen remainder. Pext extractions route through each load's
 // Extractor, which carries its own backend decision.
+//
+//sepe:noalloc closures
 func compileXorVariable(p *Plan, ps *PlanSeed) (Func, Backend) {
 	skip := append([]int(nil), p.Skip...)
 	nLoads := p.SkipLoads
@@ -470,6 +486,8 @@ func compileXorVariable(p *Plan, ps *PlanSeed) (Func, Backend) {
 // variable-length formats can leave arbitrarily many bytes to the
 // tail loop, and a shift-only fold would silently drop all but the
 // last eight.
+//
+//sepe:noalloc
 func byteTail(key string, pos int) uint64 {
 	if pos >= len(key) {
 		return 0
@@ -490,6 +508,8 @@ func byteTail(key string, pos int) uint64 {
 // call when AES-NI is active. The round keys arrive as parameters:
 // the fixed aesKey0/aesKey1 constants for unseeded plans, the
 // seed-derived keys of the plan's keying slot for seeded ones.
+//
+//sepe:noalloc closures
 func compileAesFixed(loads []Load, k0, k1 aesround.State) (Func, Backend) {
 	ls := append([]Load(nil), loads...)
 	need := maxEnd(ls)
@@ -569,6 +589,8 @@ func compileAesFixed(loads []Load, k0, k1 aesround.State) (Func, Backend) {
 
 // compileAesVariable is the skip-table loop with AES combining; the
 // per-pair round routes through the AESENC kernel when active.
+//
+//sepe:noalloc closures
 func compileAesVariable(p *Plan, k0, k1 aesround.State) (Func, Backend) {
 	skip := append([]int(nil), p.Skip...)
 	nLoads := p.SkipLoads

@@ -89,6 +89,8 @@ func resolveShards(opts []Option) int {
 
 // shardLock is one stripe's RWMutex, padded to a cache line so
 // adjacent stripes' lock words do not false-share.
+//
+//sepe:lockrank 50
 type shardLock struct {
 	sync.RWMutex
 	_ [40]byte
@@ -131,6 +133,8 @@ func log2(n int) int {
 // shardOf routes a hash to its shard by the top bits. For a single
 // shard shift is 64 and the expression is constant zero (Go defines
 // over-wide shifts as 0, unlike C).
+//
+//sepe:noalloc inline
 func (c *core) shardOf(h uint64) int { return int(h >> c.shift) }
 
 // Shards returns the shard count.

@@ -30,7 +30,7 @@ type Exemplar struct {
 // taken only when a new maximum is observed — takes a mutex.
 type maxExemplar struct {
 	max atomic.Uint64
-	mu  sync.Mutex
+	mu  sync.Mutex //sepe:lockrank 60
 	key string
 	at  int64
 }

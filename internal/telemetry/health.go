@@ -154,7 +154,12 @@ func (r *Registry) HealthHandler() http.Handler {
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(rep)
+		if err := enc.Encode(rep); err != nil {
+			// The probe hung up mid-body; the status already went out, so
+			// the recorder is the only place the failure can surface.
+			r.Recorder().Instant("telemetry", "health-write-failed",
+				Str("error", err.Error()))
+		}
 	})
 }
 

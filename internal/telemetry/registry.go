@@ -227,7 +227,10 @@ func (r *Registry) Handler() http.Handler {
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
-			enc.Encode(s)
+			if err := enc.Encode(s); err != nil {
+				r.Recorder().Instant("telemetry", "metrics-write-failed",
+					Str("error", err.Error()))
+			}
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -26,9 +26,13 @@ import (
 type Counter struct{ n atomic.Uint64 }
 
 // Add increments the counter by d.
+//
+//sepe:noalloc inline
 func (c *Counter) Add(d uint64) { c.n.Add(d) }
 
 // Inc increments the counter by one.
+//
+//sepe:noalloc inline
 func (c *Counter) Inc() { c.n.Add(1) }
 
 // Load returns the current value.
@@ -50,6 +54,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//sepe:noalloc inline
 func (h *Histogram) Observe(v uint64) {
 	i := bits.Len64(v)
 	if i >= histBuckets {
@@ -203,6 +209,8 @@ func NewBatchedContainerOps(m *ContainerMetrics) *BatchedContainerOps {
 func (b *BatchedContainerOps) Metrics() *ContainerMetrics { return b.m }
 
 // Put records one insert of key that examined probes chain entries.
+//
+//sepe:noalloc
 func (b *BatchedContainerOps) Put(key string, probes int) {
 	b.puts++
 	if b.puts%probeSampleEvery == 0 {
@@ -211,6 +219,8 @@ func (b *BatchedContainerOps) Put(key string, probes int) {
 }
 
 // Get records one lookup of key that examined probes chain entries.
+//
+//sepe:noalloc
 func (b *BatchedContainerOps) Get(key string, probes int) {
 	b.gets++
 	if b.gets%probeSampleEvery == 0 {
@@ -220,6 +230,8 @@ func (b *BatchedContainerOps) Get(key string, probes int) {
 
 // Delete records one erase of key that examined probes chain entries,
 // exactly, and flushes pending counts.
+//
+//sepe:noalloc
 func (b *BatchedContainerOps) Delete(key string, probes int) {
 	b.dels++
 	b.m.delProbes.Observe(uint64(probes))
@@ -238,6 +250,8 @@ func (b *BatchedContainerOps) sample(key string, probes int, h *Histogram) {
 
 // Flush publishes the locally accumulated operation counts to the
 // shared metrics block.
+//
+//sepe:noalloc
 func (b *BatchedContainerOps) Flush() {
 	if b.puts != 0 {
 		b.m.puts.Add(uint64(b.puts))
@@ -281,6 +295,8 @@ func (m *HashMetrics) Name() string { return m.name }
 // histogram and, when it sets a new maximum, key as the slowest-key
 // exemplar. at is the observation time in Unix seconds (callers that
 // already read the clock pass it along instead of reading it again).
+//
+//sepe:noalloc
 func (m *HashMetrics) ObserveLatency(key string, ns uint64, at int64) {
 	m.latency.Observe(ns)
 	m.slowest.offer(key, ns, at)
@@ -315,6 +331,8 @@ func (m *HashMetrics) SetCounterexamples(keys ...string) {
 // every 64 calls), so each wrapper value must stay confined to one
 // goroutine — the same ownership discipline the containers themselves
 // require. Wrap once per goroutine; all wrappers share m and d safely.
+//
+//sepe:noalloc closures
 func Instrument(fn func(string) uint64, m *HashMetrics, d *DriftMonitor) func(string) uint64 {
 	if m == nil && d == nil {
 		return fn
